@@ -1,0 +1,224 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Sec. 7). Each benchmark iteration regenerates the experiment's
+// data at the tiny scale (so `go test -bench=.` terminates quickly) and logs
+// the formatted rows; `cmd/esrbench` runs the same generators at the small
+// and paper scales with the paper's repetition counts.
+package esr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/commmodel"
+	"repro/internal/commplan"
+	"repro/internal/experiments"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+)
+
+// benchConfig is the reduced sweep used by the benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Reps = 1
+	return cfg
+}
+
+// BenchmarkTable1Catalogue regenerates Table 1: the catalogue matrices and
+// their structural properties.
+func BenchmarkTable1Catalogue(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatTable1(rows))
+		}
+	}
+}
+
+// benchTable2Matrix regenerates one matrix's Table 2 block: reference run,
+// undisturbed overheads for each phi, and failure experiments at both
+// locations.
+func benchTable2Matrix(b *testing.B, id string) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Table2([]string{id})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatTable2(rows, cfg.Phis))
+			r := rows[0]
+			for _, phi := range cfg.Phis {
+				b.ReportMetric(r.UndisturbedOverhead[phi], fmt.Sprintf("undist_phi%d_%%", phi))
+			}
+		}
+	}
+}
+
+func BenchmarkTable2_M1(b *testing.B) { benchTable2Matrix(b, "M1") }
+func BenchmarkTable2_M2(b *testing.B) { benchTable2Matrix(b, "M2") }
+func BenchmarkTable2_M3(b *testing.B) { benchTable2Matrix(b, "M3") }
+func BenchmarkTable2_M4(b *testing.B) { benchTable2Matrix(b, "M4") }
+func BenchmarkTable2_M5(b *testing.B) { benchTable2Matrix(b, "M5") }
+func BenchmarkTable2_M6(b *testing.B) { benchTable2Matrix(b, "M6") }
+func BenchmarkTable2_M7(b *testing.B) { benchTable2Matrix(b, "M7") }
+func BenchmarkTable2_M8(b *testing.B) { benchTable2Matrix(b, "M8") }
+
+// BenchmarkTable3ResidualDeviation regenerates Table 3: the Eqn. 7 relative
+// residual difference metric across the failure sweep.
+func BenchmarkTable3ResidualDeviation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Progresses = []float64{0.5}
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Table3(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatTable3(rows))
+		}
+	}
+}
+
+// benchFigure regenerates the box-plot data of Figures 1-3.
+func benchFigure(b *testing.B, id, location string) {
+	cfg := benchConfig()
+	cfg.Reps = 3 // boxes need a few samples
+	for i := 0; i < b.N; i++ {
+		fig, err := cfg.FigureRuntimes(id, location)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFigure(fig))
+			last := fig.Groups[len(fig.Groups)-1]
+			b.ReportMetric(100*(last.WithFailure.Median-fig.RefMean)/fig.RefMean, "maxphi_overhead_%")
+		}
+	}
+}
+
+// BenchmarkFigure1_M5Center regenerates Fig. 1: M5-class at center ranks.
+func BenchmarkFigure1_M5Center(b *testing.B) { benchFigure(b, "M5", "center") }
+
+// BenchmarkFigure2_M1Start regenerates Fig. 2: M1-class at start ranks.
+func BenchmarkFigure2_M1Start(b *testing.B) { benchFigure(b, "M1", "start") }
+
+// BenchmarkFigure3_M8Center regenerates Fig. 3: M8-class at center ranks
+// (the paper's most favourable case: dense band, low overhead).
+func BenchmarkFigure3_M8Center(b *testing.B) { benchFigure(b, "M8", "center") }
+
+// BenchmarkFigure4_ProgressSweep regenerates Fig. 4: runtime vs the progress
+// fraction at which three failures strike (M5-class at center).
+func BenchmarkFigure4_ProgressSweep(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Reps = 3
+	cfg.Progresses = []float64{0.2, 0.5, 0.8}
+	for i := 0; i < b.N; i++ {
+		fig, err := cfg.FigureProgress("M5", "center", 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatProgressFigure(fig))
+		}
+	}
+}
+
+// BenchmarkAnalysisBounds evaluates the Sec. 4.2 communication-overhead
+// bounds in the latency-bandwidth model for the whole catalogue.
+func BenchmarkAnalysisBounds(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Analysis(commmodel.DefaultModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatAnalysis(rows))
+		}
+	}
+}
+
+// BenchmarkSparsityLatency sweeps the band width of a banded matrix and
+// reports when the Sec. 5 extra-latency condition starts to bite: the
+// redundancy protocol is free exactly while the band covers the backup
+// distance.
+func BenchmarkSparsityLatency(b *testing.B) {
+	const n, ranks, phi = 4096, 16, 3
+	for i := 0; i < b.N; i++ {
+		for _, halfBand := range []int{8, 64, 256, 1024} {
+			a := matgen.BandedRandom(n, halfBand, 12, 7)
+			p := partition.NewBlockRow(n, ranks)
+			plans := commplan.BuildAll(a, p)
+			reds := make([]*commplan.Redundancy, ranks)
+			for r, pl := range plans {
+				red, err := commplan.BuildRedundancy(pl, phi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reds[r] = red
+			}
+			tot, err := commmodel.TotalOverhead(reds, commmodel.DefaultModel())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("halfBand=%4d: modelled overhead %.3e s, extra elements %d",
+					halfBand, tot.Modelled, tot.ExtraElems)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBackupStrategy compares the paper's Eqn. 5 neighbour
+// backups + Eqn. 6 top-ups against the adaptive strategy (the paper's
+// future-work item): per-iteration extra elements and modelled overhead on
+// the banded M5 class versus the scattered M3 class.
+func BenchmarkAblationBackupStrategy(b *testing.B) {
+	model := commmodel.DefaultModel()
+	for i := 0; i < b.N; i++ {
+		for _, id := range []string{"M3", "M5"} {
+			a := matgen.ByIDOrDie(id).Build(matgen.ScaleTiny)
+			p := partition.NewBlockRow(a.Rows, 8)
+			plans := commplan.BuildAll(a, p)
+			for _, strat := range []commplan.BackupStrategy{commplan.StrategyNeighbor, commplan.StrategyAdaptive} {
+				reds := make([]*commplan.Redundancy, len(plans))
+				for r, pl := range plans {
+					red, err := commplan.BuildRedundancyStrategy(pl, 3, strat)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reds[r] = red
+				}
+				tot, err := commmodel.TotalOverhead(reds, model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("%s %-16v extras=%6d modelled=%.3e", id, strat, tot.ExtraElems, tot.Modelled)
+					b.ReportMetric(float64(tot.ExtraElems), fmt.Sprintf("%s_%v_extras", id, strat))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkEndToEndSolve measures one resilient solve with three
+// simultaneous failures on the M5-class matrix: the headline configuration
+// of the paper's abstract (2.8%-55% overhead for three failures).
+func BenchmarkEndToEndSolve(b *testing.B) {
+	a := matgen.ByIDOrDie("M5").Build(matgen.ScaleTiny)
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.SolveOnce(a, 8, 3,
+			NewSchedule(Simultaneous(5, 4, 5, 6)), 1e-8, 1e-14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}

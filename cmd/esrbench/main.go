@@ -1,0 +1,169 @@
+// Command esrbench reproduces the paper's evaluation: Tables 1-3 and the
+// data of Figures 1-4, plus the Sec. 4.2 communication-model analysis.
+//
+// Usage:
+//
+//	esrbench -table 2 -scale small -ranks 16 -reps 3
+//	esrbench -figure 1
+//	esrbench -analysis
+//	esrbench -all -scale tiny
+//
+// At -scale paper the matrix sizes match the order of magnitude of the
+// paper's SuiteSparse problems; expect long runtimes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/commmodel"
+	"repro/internal/experiments"
+	"repro/internal/matgen"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "reproduce table 1, 2 or 3")
+		figure   = flag.Int("figure", 0, "reproduce figure 1, 2, 3 or 4")
+		analysis = flag.Bool("analysis", false, "evaluate the Sec. 4.2 communication bounds")
+		all      = flag.Bool("all", false, "reproduce everything")
+		scale    = flag.String("scale", "small", "matrix scale: tiny, small or paper")
+		ranks    = flag.Int("ranks", 16, "number of simulated compute nodes")
+		reps     = flag.Int("reps", 3, "repetitions per configuration (paper: >= 5)")
+		phis     = flag.String("phi", "1,3,8", "comma-separated redundancy levels")
+		matrices = flag.String("matrices", "", "comma-separated matrix ids (default: all of M1..M8)")
+		tol      = flag.Float64("tol", 1e-8, "solver tolerance (relative residual reduction)")
+		localTol = flag.Float64("localtol", 1e-14, "reconstruction subsystem tolerance")
+	)
+	flag.Parse()
+
+	sc, err := matgen.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = sc
+	cfg.Ranks = *ranks
+	cfg.Reps = *reps
+	cfg.Tol = *tol
+	cfg.LocalTol = *localTol
+	cfg.Phis = nil
+	for _, s := range strings.Split(*phis, ",") {
+		var phi int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &phi); err != nil {
+			fatal(fmt.Errorf("bad -phi element %q", s))
+		}
+		if phi < cfg.Ranks {
+			cfg.Phis = append(cfg.Phis, phi)
+		} else {
+			fmt.Fprintf(os.Stderr, "skipping phi=%d (>= ranks=%d)\n", phi, cfg.Ranks)
+		}
+	}
+	var ids []string
+	if *matrices != "" {
+		for _, id := range strings.Split(*matrices, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	ran := false
+	start := time.Now()
+	if *all || *table == 1 {
+		runTable1(cfg)
+		ran = true
+	}
+	if *all || *table == 2 {
+		runTable2(cfg, ids)
+		ran = true
+	}
+	if *all || *table == 3 {
+		runTable3(cfg, ids)
+		ran = true
+	}
+	if *all || *figure == 1 {
+		runFigure(cfg, "M5", "center", 1)
+		ran = true
+	}
+	if *all || *figure == 2 {
+		runFigure(cfg, "M1", "start", 2)
+		ran = true
+	}
+	if *all || *figure == 3 {
+		runFigure(cfg, "M8", "center", 3)
+		ran = true
+	}
+	if *all || *figure == 4 {
+		runFigure4(cfg)
+		ran = true
+	}
+	if *all || *analysis {
+		runAnalysis(cfg)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runTable1(cfg experiments.Config) {
+	rows, err := cfg.Table1()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.FormatTable1(rows))
+}
+
+func runTable2(cfg experiments.Config, ids []string) {
+	fmt.Printf("running Table 2 sweep (scale=%s, ranks=%d, reps=%d, phis=%v)...\n",
+		cfg.Scale, cfg.Ranks, cfg.Reps, cfg.Phis)
+	rows, err := cfg.Table2(ids)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.FormatTable2(rows, cfg.Phis))
+}
+
+func runTable3(cfg experiments.Config, ids []string) {
+	fmt.Println("running Table 3 sweep (residual-deviation metric)...")
+	rows, err := cfg.Table3(ids)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.FormatTable3(rows))
+}
+
+func runFigure(cfg experiments.Config, id, location string, fignum int) {
+	fmt.Printf("running Figure %d sweep (%s at %s)...\n", fignum, id, location)
+	fig, err := cfg.FigureRuntimes(id, location)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.FormatFigure(fig))
+}
+
+func runFigure4(cfg experiments.Config) {
+	fmt.Println("running Figure 4 sweep (M5 at center, 3 failures, progress sweep)...")
+	fig, err := cfg.FigureProgress("M5", "center", 3)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.FormatProgressFigure(fig))
+}
+
+func runAnalysis(cfg experiments.Config) {
+	rows, err := cfg.Analysis(commmodel.DefaultModel())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.FormatAnalysis(rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esrbench:", err)
+	os.Exit(1)
+}

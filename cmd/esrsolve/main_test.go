@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFailSpec(t *testing.T) {
+	count, prog, err := parseFailSpec("3@50%")
+	if err != nil || count != 3 || prog != 0.5 {
+		t.Fatalf("got %d %v %v", count, prog, err)
+	}
+	count, prog, err = parseFailSpec("1@80")
+	if err != nil || count != 1 || prog != 0.8 {
+		t.Fatalf("got %d %v %v", count, prog, err)
+	}
+	for _, bad := range []string{"", "3", "@50%", "x@50%", "3@y%", "0@50%", "-1@50%"} {
+		if _, _, err := parseFailSpec(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestLoadMatrixGenerators(t *testing.T) {
+	for _, gen := range []string{"poisson2d", "poisson3d", "elasticity", "circuit"} {
+		m, err := loadMatrix("", gen, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if m.Rows == 0 {
+			t.Fatalf("%s: empty matrix", gen)
+		}
+	}
+	if _, err := loadMatrix("", "M1", 0); err != nil {
+		t.Fatalf("catalogue id: %v", err)
+	}
+	if _, err := loadMatrix("", "nope", 4); err == nil {
+		t.Fatal("unknown generator should fail")
+	}
+	if _, err := loadMatrix("/does/not/exist.mtx", "", 0); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestLoadRHS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rhs.txt")
+	if err := os.WriteFile(path, []byte("1.5 2.5\n3.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 3)
+	if err := loadRHS(path, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1.5 || b[2] != 3.5 {
+		t.Fatalf("rhs = %v", b)
+	}
+	if err := loadRHS(path, make([]float64, 2)); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("x y z"), 0o644)
+	if err := loadRHS(bad, make([]float64, 3)); err == nil {
+		t.Fatal("garbage rhs should fail")
+	}
+}

@@ -1,0 +1,85 @@
+// Command matgen generates the catalogue's SPD test matrices and writes
+// them as MatrixMarket files.
+//
+// Examples:
+//
+//	matgen -id M5 -scale small -o m5.mtx
+//	matgen -all -scale tiny -dir ./matrices
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/matgen"
+	"repro/internal/mmio"
+	"repro/internal/sparse"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "catalogue id M1..M8")
+		all   = flag.Bool("all", false, "generate the whole catalogue")
+		scale = flag.String("scale", "small", "tiny, small or paper")
+		out   = flag.String("o", "", "output file (default: <id>.mtx)")
+		dir   = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	sc, err := matgen.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *all:
+		for _, e := range matgen.Catalogue() {
+			path := filepath.Join(*dir, fmt.Sprintf("%s.mtx", e.ID))
+			if err := writeEntry(e, sc, path); err != nil {
+				fatal(err)
+			}
+		}
+	case *id != "":
+		e, err := matgen.ByID(*id)
+		if err != nil {
+			fatal(err)
+		}
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("%s.mtx", e.ID)
+		}
+		if err := writeEntry(e, sc, path); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeEntry(e matgen.CatalogueEntry, sc matgen.Scale, path string) error {
+	m := e.Build(sc)
+	if err := m.CheckValid(); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := writeMM(f, m); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s (%s) n=%d nnz=%d -> %s\n", e.ID, e.Generator, e.ProblemType, m.Rows, m.NNZ(), path)
+	return nil
+}
+
+func writeMM(f *os.File, m *sparse.CSR) error {
+	return mmio.WriteCSR(f, m, true)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "matgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,283 @@
+// Package esr is a fault-tolerant sparse linear solver library: a full
+// reproduction of "How to Make the Preconditioned Conjugate Gradient Method
+// Resilient Against Multiple Node Failures" (Pachajoa, Levonyak, Gansterer,
+// Träff; ICPP 2019).
+//
+// The library solves symmetric positive-definite systems A x = b with a
+// parallel preconditioned conjugate gradient (PCG) solver running on an
+// in-process distributed-memory runtime (goroutine ranks exchanging
+// messages, the stand-in for MPI). The solver keeps phi redundant copies of
+// the two most recent search directions, piggybacked on the sparse
+// matrix-vector product's halo traffic (the paper's Eqns. 5/6), so that the
+// exact solver state can be reconstructed after up to phi simultaneous or
+// overlapping node failures — without checkpointing.
+//
+// Quick start:
+//
+//	a := esr.Poisson2D(64, 64)                 // SPD test matrix
+//	b := make([]float64, a.Rows)
+//	for i := range b { b[i] = 1 }
+//	sol, err := esr.Solve(a, b, esr.Config{
+//	    Ranks: 8,
+//	    Phi:   3,
+//	    Schedule: esr.NewSchedule(esr.Simultaneous(10, 2, 3, 4)),
+//	})
+//
+// The cmd/esrbench tool reproduces every table and figure of the paper's
+// evaluation; see DESIGN.md and EXPERIMENTS.md.
+package esr
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/matgen"
+	"repro/internal/mmio"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+)
+
+// Matrix is a sparse matrix in compressed sparse row format.
+type Matrix = sparse.CSR
+
+// COO is a coordinate-format builder for assembling matrices entry by entry.
+type COO = sparse.COO
+
+// NewCOO returns an empty builder for an r x c matrix.
+func NewCOO(r, c int) *COO { return sparse.NewCOO(r, c) }
+
+// Schedule describes deterministic node-failure scenarios.
+type Schedule = faults.Schedule
+
+// Event is a single failure injection.
+type Event = faults.Event
+
+// NewSchedule builds a failure schedule from events.
+func NewSchedule(events ...Event) *Schedule { return faults.NewSchedule(events...) }
+
+// Simultaneous schedules the given ranks to fail together at the poll point
+// of the given solver iteration.
+func Simultaneous(iteration int, ranks ...int) Event {
+	return faults.Simultaneous(iteration, ranks...)
+}
+
+// Overlapping schedules ranks to fail while the reconstruction for
+// `iteration` is in the given recovery phase (1-5), forcing a restart.
+func Overlapping(iteration, phase int, ranks ...int) Event {
+	return faults.Overlapping(iteration, phase, ranks...)
+}
+
+// ContiguousRanks returns count contiguous ranks starting at start (mod
+// clusterSize), the failure placement of the paper's experiments.
+func ContiguousRanks(start, count, clusterSize int) []int {
+	return faults.ContiguousRanks(start, count, clusterSize)
+}
+
+// Result reports a solve: iterations, residuals, the Eqn. 7 deviation
+// metric, and the reconstruction episodes.
+type Result = core.Result
+
+// Reconstruction records one exact-state-reconstruction episode.
+type Reconstruction = core.Reconstruction
+
+// DataLossError reports an unrecoverable failure set (more data lost than
+// the redundancy level covers).
+type DataLossError = core.DataLossError
+
+// Preconditioner names accepted by Config.
+const (
+	PrecondIdentity        = "identity"
+	PrecondJacobi          = "jacobi"
+	PrecondBlockJacobiILU  = "block-jacobi-ilu"
+	PrecondBlockJacobiChol = "block-jacobi-cholesky"
+	PrecondSSOR            = "ssor"
+)
+
+// Config controls a Solve run.
+type Config struct {
+	// Ranks is the number of simulated compute nodes (default 8).
+	Ranks int
+	// Phi is the number of simultaneous node failures to tolerate
+	// (default 0: plain PCG without redundancy).
+	Phi int
+	// Preconditioner selects the node-local block preconditioner; see the
+	// Precond* constants (default block-jacobi-ilu).
+	Preconditioner string
+	// Tol is the relative residual reduction target (default 1e-8, as in
+	// the paper).
+	Tol float64
+	// MaxIter bounds the PCG iterations (default 10 n).
+	MaxIter int
+	// LocalTol is the reconstruction subsystem tolerance (default 1e-14).
+	LocalTol float64
+	// SSOROmega is the relaxation factor when Preconditioner is "ssor"
+	// (default 1.2).
+	SSOROmega float64
+	// Schedule injects node failures (nil for a failure-free run).
+	Schedule *Schedule
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 8
+	}
+	if c.Preconditioner == "" {
+		c.Preconditioner = PrecondBlockJacobiILU
+	}
+	if c.SSOROmega == 0 {
+		c.SSOROmega = 1.2
+	}
+	return c
+}
+
+// Solution is the outcome of a Solve call.
+type Solution struct {
+	// X is the computed solution vector.
+	X []float64
+	// Result carries convergence and reconstruction statistics.
+	Result Result
+}
+
+// Solve distributes the SPD system A x = b over an in-process cluster and
+// runs the resilient PCG solver, injecting the configured failures. It is
+// the high-level entry point; packages under internal/ expose the full
+// distributed API for embedding.
+func Solve(a *Matrix, b []float64, cfg Config) (Solution, error) {
+	cfg = cfg.withDefaults()
+	if a.Rows != a.Cols {
+		return Solution{}, fmt.Errorf("esr: matrix must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return Solution{}, fmt.Errorf("esr: rhs length %d != %d", len(b), a.Rows)
+	}
+	if cfg.Ranks > a.Rows {
+		cfg.Ranks = a.Rows
+	}
+	if cfg.Phi < 0 || cfg.Phi >= cfg.Ranks {
+		return Solution{}, fmt.Errorf("esr: phi %d out of range [0, %d)", cfg.Phi, cfg.Ranks)
+	}
+
+	rt := cluster.New(cfg.Ranks)
+	p := partition.NewBlockRow(a.Rows, cfg.Ranks)
+	var mu sync.Mutex
+	sol := Solution{X: make([]float64, a.Rows)}
+	err := rt.Run(func(c *cluster.Comm) error {
+		e := distmat.WorldEnv(c)
+		lo, hi := p.Range(e.Pos)
+		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, cfg.Phi, 0)
+		if err != nil {
+			return err
+		}
+		prec, err := buildPrecond(cfg, m)
+		if err != nil {
+			return err
+		}
+		bv := distmat.Vector{P: p, Pos: e.Pos, Local: append([]float64(nil), b[lo:hi]...)}
+		x := distmat.NewVector(p, e.Pos)
+		opts := core.Options{Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol}
+		var res Result
+		if cfg.Phi == 0 && cfg.Schedule.Empty() {
+			res, err = core.PCG(e, m, x, bv, prec, opts)
+		} else {
+			res, err = core.ESRPCG(e, m, x, bv, prec, opts, cfg.Schedule)
+		}
+		if err != nil {
+			return err
+		}
+		full, err := distmat.Gather(e, x)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			copy(sol.X, full)
+			sol.Result = res
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+	return sol, nil
+}
+
+func buildPrecond(cfg Config, m *distmat.Matrix) (core.Precond, error) {
+	switch cfg.Preconditioner {
+	case PrecondIdentity:
+		return core.IdentityPrecond(), nil
+	case PrecondJacobi:
+		j, err := precond.NewJacobi(m.Diag())
+		if err != nil {
+			return nil, err
+		}
+		return core.LocalPrecond{P: j}, nil
+	case PrecondBlockJacobiILU:
+		f, err := precond.NewBlockJacobiILU(m.OwnBlock())
+		if err != nil {
+			return nil, err
+		}
+		return core.LocalPrecond{P: f}, nil
+	case PrecondBlockJacobiChol:
+		ch, err := precond.NewBlockJacobiChol(m.OwnBlock())
+		if err != nil {
+			return nil, err
+		}
+		return core.LocalPrecond{P: ch}, nil
+	case PrecondSSOR:
+		s, err := precond.NewSSOR(m.OwnBlock(), cfg.SSOROmega)
+		if err != nil {
+			return nil, err
+		}
+		return core.LocalPrecond{P: s}, nil
+	}
+	return nil, fmt.Errorf("esr: unknown preconditioner %q", cfg.Preconditioner)
+}
+
+// ResidualNorm returns ||b - A x||_2, for verifying solutions.
+func ResidualNorm(a *Matrix, x, b []float64) float64 {
+	r := make([]float64, a.Rows)
+	a.MulVec(r, x)
+	var s float64
+	for i := range r {
+		d := b[i] - r[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Matrix generators (see internal/matgen for the full catalogue).
+
+// Poisson2D returns the 5-point finite-difference Laplacian on an nx x ny
+// grid.
+func Poisson2D(nx, ny int) *Matrix { return matgen.Poisson2D(nx, ny) }
+
+// Poisson3D returns the 7-point Laplacian on an nx x ny x nz grid.
+func Poisson3D(nx, ny, nz int) *Matrix { return matgen.Poisson3D(nx, ny, nz) }
+
+// Elasticity3D returns a 3-dof-per-node elasticity-like SPD matrix (stencil
+// in {7, 15, 27}).
+func Elasticity3D(nx, ny, nz, stencil int, seed int64) *Matrix {
+	return matgen.Elasticity3D(nx, ny, nz, stencil, seed)
+}
+
+// CircuitLike returns an irregular circuit-like SPD matrix with long-range
+// couplings.
+func CircuitLike(n int, avgDeg, longRange float64, seed int64) *Matrix {
+	return matgen.CircuitLike(n, avgDeg, longRange, seed)
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return mmio.ReadCSR(r) }
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate format.
+func WriteMatrixMarket(w io.Writer, m *Matrix, symmetric bool) error {
+	return mmio.WriteCSR(w, m, symmetric)
+}

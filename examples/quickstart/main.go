@@ -1,0 +1,47 @@
+// Quickstart: solve a 2D Poisson problem with the resilient PCG solver and
+// survive a single node failure mid-solve — the paper's base scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	esr "repro"
+)
+
+func main() {
+	// A 96x96 five-point Laplacian: the "hello world" of SPD systems.
+	a := esr.Poisson2D(96, 96)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+
+	// Reference solve on 8 simulated compute nodes, no resilience.
+	ref, err := esr.Solve(a, b, esr.Config{Ranks: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference:   %3d iterations, relres %.2e, %v\n",
+		ref.Result.Iterations, ref.Result.RelResidual(), ref.Result.SolveTime.Round(0))
+
+	// Resilient solve: keep one redundant copy of the two most recent
+	// search directions (phi = 1) and kill rank 3 a third of the way in.
+	failAt := ref.Result.Iterations / 3
+	sol, err := esr.Solve(a, b, esr.Config{
+		Ranks:    8,
+		Phi:      1,
+		Schedule: esr.NewSchedule(esr.Simultaneous(failAt, 3)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := sol.Result.Reconstructions[0]
+	fmt.Printf("with failure: %3d iterations, relres %.2e, %v\n",
+		sol.Result.Iterations, sol.Result.RelResidual(), sol.Result.SolveTime.Round(0))
+	fmt.Printf("  rank %v failed at iteration %d; exact state reconstruction took %v (%d subsystem iterations)\n",
+		rec.FailedRanks, rec.Iteration, rec.Duration.Round(0), rec.SubIterations)
+	fmt.Printf("  residual deviation metric (Eqn. 7): %.2e\n", sol.Result.Delta)
+	fmt.Printf("verified ||b-Ax||: reference %.2e vs resilient %.2e\n",
+		esr.ResidualNorm(a, ref.X, b), esr.ResidualNorm(a, sol.X, b))
+}

@@ -1,0 +1,77 @@
+// Sparsity study (paper Sec. 5): how the matrix sparsity pattern determines
+// the cost of the ESR redundancy. For band widths covering the backup
+// distance ceil(phi*n/(2N)), the redundant copies piggyback on halo traffic
+// that exists anyway (zero extra latency, few extra elements); for narrow
+// bands or scattered patterns every redundancy round pays for fresh messages
+// and up to a full block of extra elements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/commmodel"
+	"repro/internal/commplan"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+func main() {
+	const n, ranks, phi = 8192, 16, 3
+	model := commmodel.DefaultModel()
+	fmt.Printf("n=%d, ranks=%d, phi=%d, model: lambda=%.1e s, mu=%.1e s/elem\n",
+		n, ranks, phi, model.Lambda, model.Mu)
+	fmt.Printf("backup distance ceil(phi*n/(2N)) = %d rows\n\n", (phi*n+2*ranks-1)/(2*ranks))
+
+	fmt.Printf("%-28s %9s %12s %12s %12s %8s %5s\n",
+		"pattern", "bandwidth", "halo cost", "esr overhead", "paper bound", "extras", "lat")
+
+	patterns := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"band w=16 (narrow)", matgen.BandedRandom(n, 16, 8, 1)},
+		{"band w=256", matgen.BandedRandom(n, 256, 8, 2)},
+		{"band w=768 (covers phi)", matgen.BandedRandom(n, 768, 8, 3)},
+		{"band w=2048 (wide)", matgen.BandedRandom(n, 2048, 8, 4)},
+		{"circuit-like (scattered)", matgen.CircuitLike(n, 4, 0.4, 5)},
+		{"elasticity (M8 class)", matgen.Elasticity3D(14, 14, 14, 27, 6)},
+	}
+	for _, pat := range patterns {
+		a := pat.a
+		p := partition.NewBlockRow(a.Rows, ranks)
+		plans := commplan.BuildAll(a, p)
+		reds := make([]*commplan.Redundancy, ranks)
+		for i, pl := range plans {
+			r, err := commplan.BuildRedundancy(pl, phi)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reds[i] = r
+		}
+		tot, err := commmodel.TotalOverhead(reds, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rounds, err := commmodel.Overheads(reds, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lat := 0
+		for _, ro := range rounds {
+			if ro.ExtraLatency {
+				lat++
+			}
+		}
+		fmt.Printf("%-28s %9d %12.3e %12.3e %12.3e %8d %5d\n",
+			pat.name, a.Bandwidth(), commmodel.MaxHaloCost(plans, model),
+			tot.Modelled, tot.PaperBound, tot.ExtraElems, lat)
+	}
+
+	fmt.Println("\nreading the table: 'extras' is the number of additional vector elements")
+	fmt.Println("each iteration must move for phi=3 redundancy; 'lat' counts redundancy")
+	fmt.Println("rounds that need a fresh message (the extra-latency case of Sec. 4.2).")
+	fmt.Println("Patterns whose band covers the backup distance get resilience nearly for")
+	fmt.Println("free, matching the paper's M8 observation (3 failures for ~2.5% overhead).")
+}

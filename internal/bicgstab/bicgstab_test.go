@@ -1,0 +1,198 @@
+package bicgstab
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/localsolve"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+type out struct {
+	res core.Result
+	x   []float64
+}
+
+func runBiCGSTAB(t *testing.T, a *sparse.CSR, ranks, phi int, sched *faults.Schedule, tol float64, withPrec bool) (out, error) {
+	t.Helper()
+	rt := cluster.New(ranks)
+	p := partition.NewBlockRow(a.Rows, ranks)
+	var mu sync.Mutex
+	var o out
+	err := rt.Run(func(c *cluster.Comm) error {
+		e := distmat.WorldEnv(c)
+		lo, hi := p.Range(e.Pos)
+		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, phi, 0)
+		if err != nil {
+			return err
+		}
+		var prec precond.Preconditioner
+		if withPrec {
+			prec, err = precond.NewBlockJacobiILU(m.OwnBlock())
+			if err != nil {
+				return err
+			}
+		}
+		b := distmat.NewVector(p, e.Pos)
+		for i := range b.Local {
+			b.Local[i] = 1 + math.Sin(float64(lo+i)*0.13)
+		}
+		x := distmat.NewVector(p, e.Pos)
+		res, err := Solve(e, m, x, b, prec, core.Options{Tol: tol}, sched)
+		if err != nil {
+			return err
+		}
+		full, err := distmat.Gather(e, x)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			o = out{res: res, x: full}
+			mu.Unlock()
+		}
+		return nil
+	})
+	return o, err
+}
+
+func seqSolution(t *testing.T, a *sparse.CSR) []float64 {
+	t.Helper()
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + math.Sin(float64(i)*0.13)
+	}
+	x := make([]float64, n)
+	res := localsolve.CG(a, x, b, nil, 1e-13, 20*n)
+	if !res.Converged {
+		t.Fatal("sequential reference did not converge")
+	}
+	return x
+}
+
+func TestBiCGSTABSolves(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	want := seqSolution(t, a)
+	for _, withPrec := range []bool{false, true} {
+		o, err := runBiCGSTAB(t, a, 4, 0, nil, 1e-10, withPrec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.res.Converged {
+			t.Fatalf("prec=%v: did not converge", withPrec)
+		}
+		if d := vec.MaxAbsDiff(o.x, want); d > 1e-5 {
+			t.Fatalf("prec=%v: solution error %g", withPrec, d)
+		}
+	}
+}
+
+func TestBiCGSTABPreconditioningHelps(t *testing.T) {
+	a := matgen.Poisson2D(24, 24)
+	plain, err := runBiCGSTAB(t, a, 4, 0, nil, 1e-9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := runBiCGSTAB(t, a, 4, 0, nil, 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec.res.Iterations >= plain.res.Iterations {
+		t.Fatalf("preconditioning did not reduce iterations: %d vs %d",
+			prec.res.Iterations, plain.res.Iterations)
+	}
+}
+
+func TestBiCGSTABSingleFailure(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	want := seqSolution(t, a)
+	for _, failIter := range []int{0, 2, 6} {
+		sched := faults.NewSchedule(faults.Simultaneous(failIter, 2))
+		o, err := runBiCGSTAB(t, a, 4, 1, sched, 1e-9, true)
+		if err != nil {
+			t.Fatalf("iter %d: %v", failIter, err)
+		}
+		if !o.res.Converged {
+			t.Fatalf("iter %d: did not converge", failIter)
+		}
+		if len(o.res.Reconstructions) != 1 {
+			t.Fatalf("iter %d: reconstructions = %d", failIter, len(o.res.Reconstructions))
+		}
+		if d := vec.MaxAbsDiff(o.x, want); d > 1e-4 {
+			t.Fatalf("iter %d: solution error %g", failIter, d)
+		}
+		for _, v := range o.x {
+			if math.IsNaN(v) {
+				t.Fatal("NaN leaked")
+			}
+		}
+	}
+}
+
+func TestBiCGSTABMultipleFailures(t *testing.T) {
+	a := matgen.ThermalMesh(8, 8, 8, 0.15, 3)
+	want := seqSolution(t, a)
+	sched := faults.NewSchedule(faults.Simultaneous(3, 2, 3, 4))
+	o, err := runBiCGSTAB(t, a, 8, 3, sched, 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.res.Converged {
+		t.Fatal("did not converge")
+	}
+	if d := vec.MaxAbsDiff(o.x, want); d > 1e-4 {
+		t.Fatalf("solution error %g", d)
+	}
+}
+
+func TestBiCGSTABOverlappingFailures(t *testing.T) {
+	a := matgen.Poisson3D(6, 6, 6)
+	sched := faults.NewSchedule(
+		faults.Simultaneous(2, 1),
+		faults.Overlapping(2, phaseR, 3),
+	)
+	o, err := runBiCGSTAB(t, a, 6, 2, sched, 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.res.Converged {
+		t.Fatal("did not converge")
+	}
+	if o.res.Reconstructions[0].Restarts < 1 {
+		t.Fatal("expected restart")
+	}
+	if len(o.res.Reconstructions[0].FailedRanks) != 2 {
+		t.Fatalf("failed ranks %v", o.res.Reconstructions[0].FailedRanks)
+	}
+}
+
+func TestBiCGSTABDeltaSmall(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	sched := faults.NewSchedule(faults.Simultaneous(4, 1, 2))
+	o, err := runBiCGSTAB(t, a, 6, 2, sched, 1e-8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o.res.Delta) > 1e-2 {
+		t.Fatalf("Delta = %g", o.res.Delta)
+	}
+}
+
+func TestBiCGSTABNeedsResilienceForSchedule(t *testing.T) {
+	a := matgen.Poisson2D(8, 8)
+	sched := faults.NewSchedule(faults.Simultaneous(1, 0))
+	_, err := runBiCGSTAB(t, a, 4, 0, sched, 1e-8, true)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,264 @@
+// Package checkpoint implements the checkpoint/restart (C/R) baseline the
+// paper positions ESR against (Sec. 1.2, Sec. 2.2): every Interval
+// iterations each rank saves its dynamic solver state (x, r, z, p and the
+// replicated scalars) to reliable storage; after a node failure, all ranks
+// roll back to the last checkpoint and redo the lost iterations.
+//
+// The reliable store is simulated by memory outside the rank's own (a
+// snapshot table owned by the harness); the data volume of every save and
+// restore is accounted under cluster.CatCheckpoint so the steady-state
+// overhead can be compared with ESR's redundancy traffic.
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/vec"
+)
+
+// Store is the simulated reliable checkpoint storage shared by all ranks.
+// It lives outside node memory, so it survives any number of node failures
+// (the paper's C/R model).
+type Store struct {
+	mu       sync.Mutex
+	counters *cluster.Counters
+	iter     int
+	snaps    map[int]snapshot
+	pending  map[int]snapshot
+	pendIter int
+	saved    int
+}
+
+type snapshot struct {
+	x, r, z, p []float64
+	scalars    [4]float64 // r0, rz, beta, spare
+}
+
+// NewStore creates an empty reliable store accounting its traffic on the
+// given counters (may be nil).
+func NewStore(counters *cluster.Counters) *Store {
+	return &Store{
+		counters: counters,
+		iter:     -1,
+		pendIter: -1,
+		snaps:    map[int]snapshot{},
+		pending:  map[int]snapshot{},
+	}
+}
+
+// save deposits one rank's state for the checkpoint at iteration iter. The
+// checkpoint becomes restorable once every rank of the cluster has
+// deposited (two-phase semantics: a failure mid-checkpoint rolls back to
+// the previous complete one).
+func (s *Store) save(rank, ranks, iter int, snap snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if iter != s.pendIter {
+		s.pending = map[int]snapshot{}
+		s.pendIter = iter
+	}
+	s.pending[rank] = snap
+	if s.counters != nil {
+		vol := len(snap.x) + len(snap.r) + len(snap.z) + len(snap.p) + len(snap.scalars)
+		s.counters.RecordExternal(cluster.CatCheckpoint, 1, vol)
+	}
+	if len(s.pending) == ranks {
+		s.snaps = s.pending
+		s.iter = s.pendIter
+		s.pending = map[int]snapshot{}
+		s.pendIter = -1
+		s.saved++
+	}
+}
+
+// load returns the rank's part of the last complete checkpoint.
+func (s *Store) load(rank int) (int, snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snaps[rank]
+	if ok && s.counters != nil {
+		vol := len(snap.x) + len(snap.r) + len(snap.z) + len(snap.p) + len(snap.scalars)
+		s.counters.RecordExternal(cluster.CatCheckpoint, 1, vol)
+	}
+	return s.iter, snap, ok
+}
+
+// Checkpoints returns how many complete checkpoints were taken.
+func (s *Store) Checkpoints() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saved
+}
+
+// Options configures the checkpointed PCG run.
+type Options struct {
+	// Core carries the solver tolerances.
+	Core core.Options
+	// Interval is the checkpoint period in iterations (default 10).
+	Interval int
+}
+
+// PCG runs the checkpoint/restart-protected PCG solver: the C/R baseline
+// for the ESR comparison. Failure semantics mirror core.ESRPCG (victims are
+// wiped at the post-SpMV poll point), but recovery rolls *all* ranks back
+// to the last complete checkpoint instead of reconstructing the state.
+func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m core.Precond, opts Options, sched *faults.Schedule, store *Store) (core.Result, error) {
+	if m == nil {
+		m = core.IdentityPrecond()
+	}
+	if store == nil {
+		return core.Result{}, fmt.Errorf("checkpoint: nil store")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 10
+	}
+	copts := opts.Core
+	if copts.Tol <= 0 {
+		copts.Tol = 1e-8
+	}
+	if copts.MaxIter <= 0 {
+		copts.MaxIter = 10 * a.P.N()
+		if copts.MaxIter < 100 {
+			copts.MaxIter = 100
+		}
+	}
+	if err := sched.Validate(e.Size()); err != nil {
+		return core.Result{}, err
+	}
+	start := time.Now()
+
+	r := distmat.NewVector(a.P, e.Pos)
+	z := distmat.NewVector(a.P, e.Pos)
+	p := distmat.NewVector(a.P, e.Pos)
+	u := distmat.NewVector(a.P, e.Pos)
+
+	if err := a.Residual(e, r, b, x, -1); err != nil {
+		return core.Result{}, err
+	}
+	if err := m.Apply(e, z, r); err != nil {
+		return core.Result{}, err
+	}
+	vec.Copy(p.Local, z.Local)
+	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(r.Local), vec.Dot(r.Local, z.Local)})
+	if err != nil {
+		return core.Result{}, err
+	}
+	r0 := math.Sqrt(norms[0])
+	rz := norms[1]
+	res := core.Result{InitialResidual: r0, FinalResidual: r0}
+	if r0 == 0 {
+		res.Converged = true
+		res.SolveTime = time.Since(start)
+		return res, nil
+	}
+
+	fired := map[int]bool{} // failure iterations already handled
+	j := 0
+	for j < copts.MaxIter {
+		res.WorkIterations++
+		// Periodic checkpoint (including iteration 0, so a rollback target
+		// always exists).
+		if j%opts.Interval == 0 {
+			store.save(e.Pos, e.Size(), j, snapshot{
+				x: vec.Clone(x.Local), r: vec.Clone(r.Local),
+				z: vec.Clone(z.Local), p: vec.Clone(p.Local),
+				scalars: [4]float64{r0, rz, 0, 0},
+			})
+			// Coordinated checkpointing: no rank proceeds until the
+			// checkpoint is complete, so every rank sees the same rollback
+			// target (this synchronisation is part of C/R's cost).
+			if err := e.Grp.Barrier(); err != nil {
+				return res, err
+			}
+		}
+		if err := a.MatVec(e, u, p, j); err != nil {
+			return res, err
+		}
+		if victims := sched.AtIteration(j); len(victims) > 0 && !fired[j] {
+			fired[j] = true
+			rbStart := time.Now()
+			// Victims lose their memory...
+			for _, f := range victims {
+				if f == e.Pos {
+					vec.Fill(x.Local, math.NaN())
+					vec.Fill(r.Local, math.NaN())
+					vec.Fill(z.Local, math.NaN())
+					vec.Fill(p.Local, math.NaN())
+				}
+			}
+			// ...and the whole cluster rolls back to the last checkpoint.
+			iter, snap, ok := store.load(e.Pos)
+			if !ok {
+				return res, fmt.Errorf("checkpoint: no checkpoint to roll back to")
+			}
+			copy(x.Local, snap.x)
+			copy(r.Local, snap.r)
+			copy(z.Local, snap.z)
+			copy(p.Local, snap.p)
+			r0 = snap.scalars[0]
+			rz = snap.scalars[1]
+			if err := e.Grp.Barrier(); err != nil {
+				return res, err
+			}
+			res.Reconstructions = append(res.Reconstructions, core.Reconstruction{
+				Iteration:   j,
+				FailedRanks: victims,
+				Duration:    time.Since(rbStart),
+			})
+			res.ReconstructTime += time.Since(rbStart)
+			j = iter // redo the lost iterations
+			continue
+		}
+		pu, err := distmat.Dot(e, p, u)
+		if err != nil {
+			return res, err
+		}
+		if pu <= 0 {
+			return res, fmt.Errorf("checkpoint: PCG breakdown at iteration %d", j)
+		}
+		alpha := rz / pu
+		vec.Axpy(alpha, p.Local, x.Local)
+		vec.Axpy(-alpha, u.Local, r.Local)
+		if err := m.Apply(e, z, r); err != nil {
+			return res, err
+		}
+		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(r.Local), vec.Dot(r.Local, z.Local)})
+		if err != nil {
+			return res, err
+		}
+		rn := math.Sqrt(norms[0])
+		rzNew := norms[1]
+		res.Iterations = j + 1
+		res.FinalResidual = rn
+		if rn <= copts.Tol*r0 {
+			res.Converged = true
+			break
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		vec.Axpby(1, z.Local, beta, p.Local)
+		j++
+	}
+
+	t := distmat.NewVector(a.P, e.Pos)
+	if err := a.Residual(e, t, b, x, -1); err != nil {
+		return res, err
+	}
+	tn, err := distmat.Norm2(e, t)
+	if err != nil {
+		return res, err
+	}
+	res.TrueResidual = tn
+	if tn > 0 {
+		res.Delta = (res.FinalResidual - tn) / tn
+	}
+	res.SolveTime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,181 @@
+package checkpoint
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/localsolve"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func run(t *testing.T, a *sparse.CSR, ranks int, sched *faults.Schedule, interval int) (core.Result, []float64, *Store, error) {
+	t.Helper()
+	rt := cluster.New(ranks)
+	store := NewStore(rt.Counters())
+	p := partition.NewBlockRow(a.Rows, ranks)
+	var mu sync.Mutex
+	var res core.Result
+	var xFull []float64
+	err := rt.Run(func(c *cluster.Comm) error {
+		e := distmat.WorldEnv(c)
+		lo, hi := p.Range(e.Pos)
+		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, 0, 0)
+		if err != nil {
+			return err
+		}
+		bj, err := precond.NewBlockJacobiILU(m.OwnBlock())
+		if err != nil {
+			return err
+		}
+		b := distmat.NewVector(p, e.Pos)
+		for i := range b.Local {
+			b.Local[i] = 1 + math.Sin(float64(lo+i)*0.13)
+		}
+		x := distmat.NewVector(p, e.Pos)
+		r, err := PCG(e, m, x, b, core.LocalPrecond{P: bj},
+			Options{Interval: interval, Core: core.Options{Tol: 1e-9}}, sched, store)
+		if err != nil {
+			return err
+		}
+		full, err := distmat.Gather(e, x)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			res, xFull = r, full
+			mu.Unlock()
+		}
+		return nil
+	})
+	return res, xFull, store, err
+}
+
+func reference(t *testing.T, a *sparse.CSR) []float64 {
+	t.Helper()
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + math.Sin(float64(i)*0.13)
+	}
+	x := make([]float64, n)
+	r := localsolve.CG(a, x, b, nil, 1e-13, 20*n)
+	if !r.Converged {
+		t.Fatal("reference failed")
+	}
+	return x
+}
+
+func TestCheckpointPCGNoFailures(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	want := reference(t, a)
+	res, x, store, err := run(t, a, 4, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if d := vec.MaxAbsDiff(x, want); d > 1e-5 {
+		t.Fatalf("solution error %g", d)
+	}
+	if store.Checkpoints() == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+}
+
+func TestCheckpointRollbackRecovers(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	want := reference(t, a)
+	sched := faults.NewSchedule(faults.Simultaneous(17, 1, 2))
+	res, x, _, err := run(t, a, 4, sched, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(res.Reconstructions) != 1 {
+		t.Fatalf("rollbacks = %d", len(res.Reconstructions))
+	}
+	if d := vec.MaxAbsDiff(x, want); d > 1e-5 {
+		t.Fatalf("solution error %g", d)
+	}
+	// A rollback redoes iterations: the failure at 17 rolls back to 10.
+	if res.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	for _, v := range x {
+		if math.IsNaN(v) {
+			t.Fatal("NaN leaked")
+		}
+	}
+}
+
+func TestCheckpointTrafficAccounted(t *testing.T) {
+	a := matgen.Poisson2D(12, 12)
+	rtBefore := cluster.New(1) // unrelated; just to access category constants
+	_ = rtBefore
+	_, _, store, err := run(t, a, 4, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.counters.Floats(cluster.CatCheckpoint) == 0 {
+		t.Fatal("checkpoint traffic not accounted")
+	}
+}
+
+// C/R pays for checkpoints even without failures; ESR's failure-free
+// overhead is communication-only. Compare the per-iteration state volume
+// saved by C/R (4n floats per checkpoint) with ESR's extra elements.
+func TestCheckpointVolumeExceedsESRRedundancy(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	const ranks = 4
+	_, _, store, err := run(t, a, ranks, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptFloats := store.counters.Floats(cluster.CatCheckpoint)
+	// ESR phi=1 extra volume on the same problem:
+	rt2 := cluster.New(ranks)
+	p := partition.NewBlockRow(a.Rows, ranks)
+	err = rt2.Run(func(c *cluster.Comm) error {
+		e := distmat.WorldEnv(c)
+		lo, hi := p.Range(e.Pos)
+		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, 1, 0)
+		if err != nil {
+			return err
+		}
+		bj, err := precond.NewBlockJacobiILU(m.OwnBlock())
+		if err != nil {
+			return err
+		}
+		b := distmat.NewVector(p, e.Pos)
+		for i := range b.Local {
+			b.Local[i] = 1
+		}
+		x := distmat.NewVector(p, e.Pos)
+		_, err = core.ESRPCG(e, m, x, b, core.LocalPrecond{P: bj}, core.Options{Tol: 1e-9}, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	esrFloats := rt2.Counters().Floats(cluster.CatRedundancy)
+	if esrFloats <= 0 {
+		t.Fatal("no redundancy traffic measured")
+	}
+	if ckptFloats <= esrFloats {
+		t.Fatalf("expected C/R volume (%d) to exceed ESR redundancy volume (%d) on this problem",
+			ckptFloats, esrFloats)
+	}
+}

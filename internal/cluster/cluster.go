@@ -1,0 +1,321 @@
+// Package cluster implements an in-process distributed-memory SPMD runtime:
+// the substitute for MPI + ULFM in the paper's experimental setup (see
+// DESIGN.md Sec. 2). Every rank runs as its own goroutine with strictly
+// private memory; all data exchange goes through typed messages over
+// channels. The runtime provides
+//
+//   - point-to-point Send/Recv with (source, tag) matching,
+//   - binomial-tree collectives (Barrier, Allreduce, Bcast, Allgather),
+//   - sub-group collectives for the replacement-node recovery subsystem,
+//   - fail-stop semantics: a rank can be killed, its memory is lost, peers
+//     observe RankFailedError on communication (ULFM-style notification),
+//     and a replacement rank can be provisioned in its slot,
+//   - communication counters by category for the overhead analysis.
+//
+// The message layer is deterministic for deterministic SPMD programs:
+// matching is FIFO per (source, tag) pair and reductions use a fixed tree
+// order, so repeated runs produce bit-identical floating-point results.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Msg is a message exchanged between ranks. Payloads are a float64 slice
+// and/or an int slice; receivers must not retain references past use if the
+// sender reuses buffers (the runtime copies payloads on Send, so this only
+// matters for zero-copy extensions).
+type Msg struct {
+	From int
+	Tag  int
+	F    []float64
+	I    []int
+}
+
+type msgKey struct {
+	from, tag int
+}
+
+// node is the runtime-side state of one rank slot.
+type node struct {
+	rank  int
+	inbox chan Msg
+	dead  chan struct{} // closed when the node fails
+	once  sync.Once
+}
+
+func (nd *node) kill() {
+	nd.once.Do(func() { close(nd.dead) })
+}
+
+func (nd *node) isDead() bool {
+	select {
+	case <-nd.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// Runtime owns the rank slots of a simulated distributed-memory machine.
+type Runtime struct {
+	size     int
+	mu       sync.Mutex
+	nodes    []*node
+	counters Counters
+}
+
+// New creates a runtime with the given number of rank slots.
+func New(size int) *Runtime {
+	if size <= 0 {
+		panic("cluster: non-positive size")
+	}
+	rt := &Runtime{size: size, nodes: make([]*node, size)}
+	for i := range rt.nodes {
+		rt.nodes[i] = rt.freshNode(i)
+	}
+	return rt
+}
+
+func (rt *Runtime) freshNode(rank int) *node {
+	return &node{
+		rank:  rank,
+		inbox: make(chan Msg, 8*rt.size+64),
+		dead:  make(chan struct{}),
+	}
+}
+
+// Size returns the number of rank slots.
+func (rt *Runtime) Size() int { return rt.size }
+
+// Counters returns the global communication counters.
+func (rt *Runtime) Counters() *Counters { return &rt.counters }
+
+// node returns the current node in slot rank (replacements swap the slot).
+func (rt *Runtime) nodeAt(rank int) *node {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.nodes[rank]
+}
+
+// Kill fails the node currently occupying the slot: its memory is considered
+// lost and all communication involving it reports RankFailedError. Safe to
+// call from any goroutine.
+func (rt *Runtime) Kill(rank int) {
+	rt.nodeAt(rank).kill()
+}
+
+// Revive installs a fresh (replacement) node in the slot of a failed rank
+// and returns a Comm handle for the replacement's goroutine. It panics if
+// the slot is still alive.
+func (rt *Runtime) Revive(rank int) *Comm {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.nodes[rank].isDead() {
+		panic(fmt.Sprintf("cluster: Revive(%d) on a live rank", rank))
+	}
+	rt.nodes[rank] = rt.freshNode(rank)
+	return &Comm{rt: rt, rank: rank, node: rt.nodes[rank], pending: map[msgKey][]Msg{}}
+}
+
+// Run launches fn on every rank as its own goroutine and waits for all of
+// them. The returned error joins all per-rank errors except ErrKilled
+// (killed ranks terminating is expected fail-stop behaviour).
+func (rt *Runtime) Run(fn func(c *Comm) error) error {
+	errs := make([]error, rt.size)
+	var wg sync.WaitGroup
+	wg.Add(rt.size)
+	for r := 0; r < rt.size; r++ {
+		c := &Comm{rt: rt, rank: r, node: rt.nodeAt(r), pending: map[msgKey][]Msg{}}
+		go func(r int, c *Comm) {
+			defer wg.Done()
+			errs[r] = fn(c)
+		}(r, c)
+	}
+	wg.Wait()
+	var agg []error
+	for r, err := range errs {
+		if err != nil && !errors.Is(err, ErrKilled) {
+			agg = append(agg, fmt.Errorf("rank %d: %w", r, err))
+		}
+	}
+	return errors.Join(agg...)
+}
+
+// Comm is a per-rank communicator handle. It must only be used from the
+// goroutine of its rank.
+type Comm struct {
+	rt      *Runtime
+	rank    int
+	node    *node
+	pending map[msgKey][]Msg
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.rt.size }
+
+// Runtime returns the owning runtime (for counters and fault control in
+// tests and harnesses).
+func (c *Comm) Runtime() *Runtime { return c.rt }
+
+// Check returns ErrKilled if this rank has been killed. SPMD programs call
+// it at cancellation points (top of iterations).
+func (c *Comm) Check() error {
+	if c.node.isDead() {
+		return ErrKilled
+	}
+	return nil
+}
+
+// Alive reports whether the slot of the given rank currently holds a live
+// node. This is the ULFM-style failure-notification primitive.
+func (c *Comm) Alive(rank int) bool {
+	return !c.rt.nodeAt(rank).isDead()
+}
+
+// Send delivers a message to rank `to` with the given tag, accounting it
+// under category cat. Payload slices are copied, so the caller may reuse its
+// buffers immediately. Send fails with RankFailedError if the destination is
+// dead and ErrKilled if the sender itself has been killed.
+func (c *Comm) Send(cat Category, to, tag int, f []float64, ints []int) error {
+	if to < 0 || to >= c.rt.size {
+		return fmt.Errorf("cluster: Send to invalid rank %d", to)
+	}
+	if err := c.Check(); err != nil {
+		return err
+	}
+	dst := c.rt.nodeAt(to)
+	if dst.isDead() {
+		return &RankFailedError{Rank: to}
+	}
+	m := Msg{From: c.rank, Tag: tag}
+	if len(f) > 0 {
+		m.F = append(make([]float64, 0, len(f)), f...)
+	}
+	if len(ints) > 0 {
+		m.I = append(make([]int, 0, len(ints)), ints...)
+	}
+	select {
+	case dst.inbox <- m:
+		c.rt.counters.record(cat, 1, len(f), len(ints))
+		return nil
+	case <-dst.dead:
+		return &RankFailedError{Rank: to}
+	case <-c.node.dead:
+		return ErrKilled
+	}
+}
+
+// Recv blocks until a message from rank `from` with the given tag is
+// available and returns it. Matching is FIFO per (from, tag). Recv fails
+// with RankFailedError if the source dies before a matching message arrives
+// and ErrKilled if the receiver itself is killed.
+func (c *Comm) Recv(from, tag int) (Msg, error) {
+	if from < 0 || from >= c.rt.size {
+		return Msg{}, fmt.Errorf("cluster: Recv from invalid rank %d", from)
+	}
+	key := msgKey{from, tag}
+	if q := c.pending[key]; len(q) > 0 {
+		m := q[0]
+		if len(q) == 1 {
+			delete(c.pending, key)
+		} else {
+			c.pending[key] = q[1:]
+		}
+		return m, nil
+	}
+	src := c.rt.nodeAt(from)
+	for {
+		// Drain everything already delivered before blocking.
+		select {
+		case m := <-c.node.inbox:
+			if m.From == from && m.Tag == tag {
+				return m, nil
+			}
+			k := msgKey{m.From, m.Tag}
+			c.pending[k] = append(c.pending[k], m)
+			continue
+		default:
+		}
+		select {
+		case m := <-c.node.inbox:
+			if m.From == from && m.Tag == tag {
+				return m, nil
+			}
+			k := msgKey{m.From, m.Tag}
+			c.pending[k] = append(c.pending[k], m)
+		case <-c.node.dead:
+			return Msg{}, ErrKilled
+		case <-src.dead:
+			// The source died; drain any message it managed to send first.
+			for {
+				select {
+				case m := <-c.node.inbox:
+					if m.From == from && m.Tag == tag {
+						return m, nil
+					}
+					k := msgKey{m.From, m.Tag}
+					c.pending[k] = append(c.pending[k], m)
+					continue
+				default:
+				}
+				break
+			}
+			if q := c.pending[key]; len(q) > 0 {
+				m := q[0]
+				if len(q) == 1 {
+					delete(c.pending, key)
+				} else {
+					c.pending[key] = q[1:]
+				}
+				return m, nil
+			}
+			return Msg{}, &RankFailedError{Rank: from}
+		}
+	}
+}
+
+// SendOwned is Send without the defensive payload copy: the caller
+// relinquishes ownership of the slices (it must not read or write them
+// afterwards). The hot SpMV path uses it for its freshly built payloads.
+func (c *Comm) SendOwned(cat Category, to, tag int, f []float64, ints []int) error {
+	if to < 0 || to >= c.rt.size {
+		return fmt.Errorf("cluster: Send to invalid rank %d", to)
+	}
+	if err := c.Check(); err != nil {
+		return err
+	}
+	dst := c.rt.nodeAt(to)
+	if dst.isDead() {
+		return &RankFailedError{Rank: to}
+	}
+	m := Msg{From: c.rank, Tag: tag, F: f, I: ints}
+	select {
+	case dst.inbox <- m:
+		c.rt.counters.record(cat, 1, len(f), len(ints))
+		return nil
+	case <-dst.dead:
+		return &RankFailedError{Rank: to}
+	case <-c.node.dead:
+		return ErrKilled
+	}
+}
+
+// SendFloats is shorthand for Send with only a float payload.
+func (c *Comm) SendFloats(cat Category, to, tag int, f []float64) error {
+	return c.Send(cat, to, tag, f, nil)
+}
+
+// RecvFloats receives a message and returns only its float payload.
+func (c *Comm) RecvFloats(from, tag int) ([]float64, error) {
+	m, err := c.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	return m.F, nil
+}

@@ -1,0 +1,568 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPingPong(t *testing.T) {
+	rt := New(2)
+	err := rt.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.SendFloats(CatOther, 1, 7, []float64{1, 2, 3}); err != nil {
+				return err
+			}
+			f, err := c.RecvFloats(1, 8)
+			if err != nil {
+				return err
+			}
+			if len(f) != 1 || f[0] != 6 {
+				return fmt.Errorf("got %v", f)
+			}
+			return nil
+		}
+		f, err := c.RecvFloats(0, 7)
+		if err != nil {
+			return err
+		}
+		s := 0.0
+		for _, v := range f {
+			s += v
+		}
+		return c.SendFloats(CatOther, 0, 8, []float64{s})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	rt := New(2)
+	err := rt.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{1}
+			if err := c.SendFloats(CatOther, 1, 1, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // must not be visible to the receiver
+			return c.SendFloats(CatOther, 1, 2, nil)
+		}
+		f, err := c.RecvFloats(0, 1)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Recv(0, 2); err != nil {
+			return err
+		}
+		if f[0] != 1 {
+			return fmt.Errorf("payload aliased: %v", f[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerSourceTag(t *testing.T) {
+	rt := New(2)
+	err := rt.Run(func(c *Comm) error {
+		const k = 50
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				if err := c.SendFloats(CatOther, 1, 3, []float64{float64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			f, err := c.RecvFloats(0, 3)
+			if err != nil {
+				return err
+			}
+			if f[0] != float64(i) {
+				return fmt.Errorf("out of order: got %v want %d", f[0], i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfOrderTagsMatched(t *testing.T) {
+	rt := New(2)
+	err := rt.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.SendFloats(CatOther, 1, 10, []float64{10}); err != nil {
+				return err
+			}
+			return c.SendFloats(CatOther, 1, 20, []float64{20})
+		}
+		// Receive tag 20 first although tag 10 arrives first.
+		f20, err := c.RecvFloats(0, 20)
+		if err != nil {
+			return err
+		}
+		f10, err := c.RecvFloats(0, 10)
+		if err != nil {
+			return err
+		}
+		if f20[0] != 20 || f10[0] != 10 {
+			return fmt.Errorf("mismatched: %v %v", f20, f10)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 33} {
+		rt := New(n)
+		err := rt.Run(func(c *Comm) error {
+			w := c.World()
+			out, err := w.Allreduce(OpSum, []float64{float64(c.Rank()), 1})
+			if err != nil {
+				return err
+			}
+			wantSum := float64(n*(n-1)) / 2
+			if out[0] != wantSum || out[1] != float64(n) {
+				return fmt.Errorf("rank %d: got %v", c.Rank(), out)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	rt := New(5)
+	err := rt.Run(func(c *Comm) error {
+		w := c.World()
+		mx, err := w.AllreduceScalar(OpMax, float64(c.Rank()*c.Rank()))
+		if err != nil {
+			return err
+		}
+		if mx != 16 {
+			return fmt.Errorf("max = %v", mx)
+		}
+		mn, err := w.AllreduceScalar(OpMin, float64(c.Rank())-2)
+		if err != nil {
+			return err
+		}
+		if mn != -2 {
+			return fmt.Errorf("min = %v", mn)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceDeterministic(t *testing.T) {
+	// Tree reduction order is fixed: two runs give bit-identical results for
+	// non-associative float sums.
+	run := func() float64 {
+		rt := New(8)
+		var mu sync.Mutex
+		var got float64
+		err := rt.Run(func(c *Comm) error {
+			v := math.Sqrt(float64(c.Rank()) + 0.1)
+			out, err := c.World().AllreduceScalar(OpSum, v)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			got = out
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic allreduce: %v vs %v", a, b)
+	}
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	const n = 6
+	for root := 0; root < n; root++ {
+		rt := New(n)
+		err := rt.Run(func(c *Comm) error {
+			var payload []float64
+			if c.Rank() == root {
+				payload = []float64{42, float64(root)}
+			}
+			got, err := c.World().Bcast(root, payload)
+			if err != nil {
+				return err
+			}
+			if len(got) != 2 || got[0] != 42 || got[1] != float64(root) {
+				return fmt.Errorf("rank %d got %v", c.Rank(), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 9
+	rt := New(n)
+	var counter sync.Map
+	err := rt.Run(func(c *Comm) error {
+		w := c.World()
+		for phase := 0; phase < 5; phase++ {
+			counter.Store(fmt.Sprintf("%d-%d", phase, c.Rank()), true)
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			// After the barrier, all ranks must have registered this phase.
+			for r := 0; r < n; r++ {
+				if _, ok := counter.Load(fmt.Sprintf("%d-%d", phase, r)); !ok {
+					return fmt.Errorf("barrier leak: phase %d rank %d missing", phase, r)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	rt := New(4)
+	err := rt.Run(func(c *Comm) error {
+		mine := make([]float64, c.Rank()) // rank r contributes r elements
+		for i := range mine {
+			mine[i] = float64(c.Rank()*10 + i)
+		}
+		all, off, err := c.World().Allgatherv(mine)
+		if err != nil {
+			return err
+		}
+		if len(off) != 5 || off[4] != 0+1+2+3 {
+			return fmt.Errorf("offsets %v", off)
+		}
+		for r := 0; r < 4; r++ {
+			part := all[off[r]:off[r+1]]
+			if len(part) != r {
+				return fmt.Errorf("rank %d part len %d", r, len(part))
+			}
+			for i, v := range part {
+				if v != float64(r*10+i) {
+					return fmt.Errorf("bad value %v", v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubGroupAllreduce(t *testing.T) {
+	rt := New(8)
+	members := []int{1, 3, 4, 6}
+	err := rt.Run(func(c *Comm) error {
+		in := false
+		for _, m := range members {
+			if m == c.Rank() {
+				in = true
+			}
+		}
+		if !in {
+			return nil // non-members do nothing
+		}
+		g, err := c.Group(members, 2)
+		if err != nil {
+			return err
+		}
+		out, err := g.AllreduceScalar(OpSum, float64(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if out != 1+3+4+6 {
+			return fmt.Errorf("subgroup sum = %v", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	rt := New(4)
+	err := rt.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if _, err := c.Group([]int{1, 2}, 0); err == nil {
+			return errors.New("expected error: caller not a member")
+		}
+		if _, err := c.Group([]int{0, 0, 1}, 0); err == nil {
+			return errors.New("expected error: duplicate member")
+		}
+		if _, err := c.Group([]int{0, 99}, 0); err == nil {
+			return errors.New("expected error: invalid rank")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillSendRecvSemantics(t *testing.T) {
+	rt := New(3)
+	err := rt.Run(func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			// Wait for rank 2's death notification via a failed Recv.
+			_, err := c.Recv(2, 5)
+			if _, ok := IsRankFailed(err); !ok {
+				return fmt.Errorf("want RankFailedError, got %v", err)
+			}
+			if c.Alive(2) {
+				return errors.New("rank 2 should be dead")
+			}
+			// Sends to the dead rank must fail too.
+			err = c.SendFloats(CatOther, 2, 5, []float64{1})
+			if _, ok := IsRankFailed(err); !ok {
+				return fmt.Errorf("send to dead: want RankFailedError, got %v", err)
+			}
+			return nil
+		case 1:
+			rt.Kill(2)
+			return nil
+		default: // rank 2: wait until killed
+			_, err := c.Recv(1, 99) // never sent; unblocks via the kill
+			if !errors.Is(err, ErrKilled) {
+				return fmt.Errorf("victim: want ErrKilled, got %v", err)
+			}
+			return err // ErrKilled is filtered by Run
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageBeforeDeathIsDelivered(t *testing.T) {
+	rt := New(2)
+	err := rt.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			if err := c.SendFloats(CatOther, 0, 4, []float64{7}); err != nil {
+				return err
+			}
+			rt.Kill(1)
+			_ = c.Check()
+			return ErrKilled
+		}
+		// Rank 0 may observe the death, but the in-flight message must win.
+		f, err := c.RecvFloats(1, 4)
+		if err != nil {
+			return fmt.Errorf("lost in-flight message: %v", err)
+		}
+		if f[0] != 7 {
+			return fmt.Errorf("got %v", f)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReviveReplacement(t *testing.T) {
+	rt := New(2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	err := rt.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			rt.Kill(1)
+			// Simulate the runtime provisioning a replacement in this slot.
+			go func() {
+				defer wg.Done()
+				rc := rt.Revive(1)
+				// Announce readiness so rank 0 cannot race the kill and
+				// send into the doomed original inbox.
+				if err := rc.SendFloats(CatOther, 0, 5, nil); err != nil {
+					t.Errorf("replacement announce: %v", err)
+					return
+				}
+				f, err := rc.RecvFloats(0, 6)
+				if err != nil || f[0] != 5 {
+					t.Errorf("replacement recv: %v %v", f, err)
+				}
+			}()
+			return ErrKilled
+		}
+		// Rank 0 waits for the replacement's announcement; the retry loop
+		// absorbs observing the slot while it is dead.
+		for {
+			if _, err := c.Recv(1, 5); err == nil {
+				break
+			} else if _, ok := IsRankFailed(err); !ok {
+				return err
+			}
+			runtime.Gosched()
+		}
+		return c.SendFloats(CatOther, 1, 6, []float64{5})
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckAfterKill(t *testing.T) {
+	rt := New(1)
+	err := rt.Run(func(c *Comm) error {
+		if err := c.Check(); err != nil {
+			return err
+		}
+		rt.Kill(0)
+		if err := c.Check(); !errors.Is(err, ErrKilled) {
+			return fmt.Errorf("want ErrKilled, got %v", err)
+		}
+		return ErrKilled
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	rt := New(2)
+	before := rt.Counters().Snapshot()
+	err := rt.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(CatHalo, 1, 1, []float64{1, 2, 3}, []int{4, 5})
+		}
+		_, err := c.Recv(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rt.Counters().Snapshot().Diff(before)
+	if d.MsgsOf(CatHalo) != 1 || d.FloatsOf(CatHalo) != 3 || d.Ints[CatHalo] != 2 {
+		t.Fatalf("counters: %+v", d)
+	}
+	if rt.Counters().TotalMessages() < 1 || rt.Counters().TotalFloats() < 3 {
+		t.Fatal("totals wrong")
+	}
+	rt.Counters().Reset()
+	if rt.Counters().TotalMessages() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestInvalidRanks(t *testing.T) {
+	rt := New(2)
+	err := rt.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.SendFloats(CatOther, 5, 0, nil); err == nil {
+			return errors.New("send to invalid rank should fail")
+		}
+		if _, err := c.Recv(-1, 0); err == nil {
+			return errors.New("recv from invalid rank should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAggregatesErrors(t *testing.T) {
+	rt := New(3)
+	sentinel := errors.New("boom")
+	err := rt.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want wrapped sentinel, got %v", err)
+	}
+}
+
+func TestCategoriesStringer(t *testing.T) {
+	for _, cat := range Categories() {
+		if cat.String() == "unknown" {
+			t.Fatalf("category %d has no name", cat)
+		}
+	}
+}
+
+func BenchmarkAllreduce16(b *testing.B) {
+	rt := New(16)
+	b.ResetTimer()
+	err := rt.Run(func(c *Comm) error {
+		w := c.World()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.AllreduceScalar(OpSum, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	rt := New(2)
+	payload := make([]float64, 1024)
+	b.SetBytes(int64(len(payload) * 8))
+	b.ResetTimer()
+	err := rt.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				if err := c.SendFloats(CatOther, 1, 1, payload); err != nil {
+					return err
+				}
+				if _, err := c.Recv(1, 2); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(0, 1); err != nil {
+					return err
+				}
+				if err := c.SendFloats(CatOther, 0, 2, nil); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import "sync/atomic"
+
+// Category labels a communication operation for the overhead accounting of
+// the paper's analysis (Sec. 4.2): the ESR redundancy traffic is separated
+// from the SpMV halo traffic it piggybacks on, and recovery traffic is
+// separated from steady-state traffic.
+type Category int
+
+const (
+	// CatOther is uncategorised traffic.
+	CatOther Category = iota
+	// CatHalo is SpMV halo-exchange traffic (the S_ik sets).
+	CatHalo
+	// CatRedundancy is the extra ESR traffic (the R^c_ik sets).
+	CatRedundancy
+	// CatCollective is reduction/broadcast traffic.
+	CatCollective
+	// CatRecovery is reconstruction-phase traffic.
+	CatRecovery
+	// CatCheckpoint is checkpoint/restart traffic (baseline comparator).
+	CatCheckpoint
+	numCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatOther:
+		return "other"
+	case CatHalo:
+		return "halo"
+	case CatRedundancy:
+		return "redundancy"
+	case CatCollective:
+		return "collective"
+	case CatRecovery:
+		return "recovery"
+	case CatCheckpoint:
+		return "checkpoint"
+	}
+	return "unknown"
+}
+
+// Categories lists all defined categories.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Counters accumulates global message and element counts per category.
+// All methods are safe for concurrent use.
+type Counters struct {
+	msgs   [numCategories]atomic.Int64
+	floats [numCategories]atomic.Int64
+	ints   [numCategories]atomic.Int64
+}
+
+func (ct *Counters) record(cat Category, msgs, floats, ints int) {
+	if cat < 0 || cat >= numCategories {
+		cat = CatOther
+	}
+	ct.msgs[cat].Add(int64(msgs))
+	ct.floats[cat].Add(int64(floats))
+	ct.ints[cat].Add(int64(ints))
+}
+
+// Messages returns the number of messages recorded under cat.
+func (ct *Counters) Messages(cat Category) int64 { return ct.msgs[cat].Load() }
+
+// Floats returns the number of float64 elements recorded under cat.
+func (ct *Counters) Floats(cat Category) int64 { return ct.floats[cat].Load() }
+
+// Ints returns the number of int elements recorded under cat.
+func (ct *Counters) Ints(cat Category) int64 { return ct.ints[cat].Load() }
+
+// TotalMessages returns the number of messages across all categories.
+func (ct *Counters) TotalMessages() int64 {
+	var s int64
+	for i := 0; i < int(numCategories); i++ {
+		s += ct.msgs[i].Load()
+	}
+	return s
+}
+
+// TotalFloats returns the number of float64 elements across all categories.
+func (ct *Counters) TotalFloats() int64 {
+	var s int64
+	for i := 0; i < int(numCategories); i++ {
+		s += ct.floats[i].Load()
+	}
+	return s
+}
+
+// RecordExternal accounts traffic that does not flow through Send, such as
+// checkpoint I/O to simulated reliable storage.
+func (ct *Counters) RecordExternal(cat Category, msgs, floats int) {
+	ct.record(cat, msgs, floats, 0)
+}
+
+// Reclassify moves a number of float-element counts from one category to
+// another. The SpMV path uses it to account redundancy elements that
+// piggyback on halo messages under CatRedundancy without double-counting the
+// message itself.
+func (ct *Counters) Reclassify(from, to Category, floats int64) {
+	ct.floats[from].Add(-floats)
+	ct.floats[to].Add(floats)
+}
+
+// Reset zeroes all counters.
+func (ct *Counters) Reset() {
+	for i := 0; i < int(numCategories); i++ {
+		ct.msgs[i].Store(0)
+		ct.floats[i].Store(0)
+		ct.ints[i].Store(0)
+	}
+}
+
+// Snapshot captures the current counter values.
+type Snapshot struct {
+	Msgs   [numCategories]int64
+	Floats [numCategories]int64
+	Ints   [numCategories]int64
+}
+
+// Snapshot returns a copy of the current values.
+func (ct *Counters) Snapshot() Snapshot {
+	var s Snapshot
+	for i := 0; i < int(numCategories); i++ {
+		s.Msgs[i] = ct.msgs[i].Load()
+		s.Floats[i] = ct.floats[i].Load()
+		s.Ints[i] = ct.ints[i].Load()
+	}
+	return s
+}
+
+// Diff returns the per-category deltas since an earlier snapshot.
+func (s Snapshot) Diff(earlier Snapshot) Snapshot {
+	var d Snapshot
+	for i := 0; i < int(numCategories); i++ {
+		d.Msgs[i] = s.Msgs[i] - earlier.Msgs[i]
+		d.Floats[i] = s.Floats[i] - earlier.Floats[i]
+		d.Ints[i] = s.Ints[i] - earlier.Ints[i]
+	}
+	return d
+}
+
+// MsgsOf returns the message delta of a category in a Snapshot (helper for
+// reporting code).
+func (s Snapshot) MsgsOf(cat Category) int64 { return s.Msgs[cat] }
+
+// FloatsOf returns the float-element delta of a category in a Snapshot.
+func (s Snapshot) FloatsOf(cat Category) int64 { return s.Floats[cat] }

@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrKilled is returned by communication operations on a rank that has been
+// killed. The SPMD program should unwind; Runtime.Run treats it as expected
+// fail-stop termination rather than an error.
+var ErrKilled = errors.New("cluster: this rank has been killed")
+
+// RankFailedError reports that a communication peer has failed. This is the
+// ULFM-style failure notification surfaced to survivors.
+type RankFailedError struct {
+	Rank int
+}
+
+// Error implements the error interface.
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("cluster: rank %d has failed", e.Rank)
+}
+
+// IsRankFailed reports whether err (or anything it wraps) is a
+// RankFailedError, returning the failed rank.
+func IsRankFailed(err error) (int, bool) {
+	var rf *RankFailedError
+	if errors.As(err, &rf) {
+		return rf.Rank, true
+	}
+	return -1, false
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Integration test of the genuine kill -> revive -> state-transfer path: a
+// rank's goroutine is killed mid computation (its memory is lost with it),
+// the runtime provisions a replacement goroutine in the slot, a survivor
+// transfers the lost state, and the full group resumes collectives.
+//
+// Failure knowledge is deterministic (all ranks know the kill iteration), as
+// in the solvers: the Group collectives model MPI without communicator
+// revocation, so a collective must not be entered with a dead member. The
+// ULFM-style error observations themselves (RankFailedError on send/recv to
+// dead slots, ErrKilled on own death) are covered by
+// TestKillSendRecvSemantics and TestMessageBeforeDeathIsDelivered.
+func TestKillDetectReviveResync(t *testing.T) {
+	const (
+		ranks    = 4
+		victim   = 2
+		killIter = 3
+		total    = 8
+	)
+	rt := New(ranks)
+
+	// The replacement goroutine is spawned by the "runtime environment"
+	// (this test) once the victim's goroutine has terminated.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	launchReplacement := func() {
+		defer wg.Done()
+		rc := rt.Revive(victim)
+		// Announce readiness to every survivor, then receive the lost state
+		// (resume iteration + accumulator) from the lowest survivor.
+		for r := 0; r < ranks; r++ {
+			if r == victim {
+				continue
+			}
+			if err := rc.SendFloats(CatRecovery, r, 902, nil); err != nil {
+				t.Errorf("replacement announce to %d: %v", r, err)
+				return
+			}
+		}
+		msg, err := rc.RecvFloats(0, 901)
+		if err != nil {
+			t.Errorf("replacement state transfer: %v", err)
+			return
+		}
+		if err := iterLoop(rc, int(msg[0]), msg[1], total); err != nil {
+			t.Errorf("replacement loop: %v", err)
+		}
+	}
+
+	err := rt.Run(func(c *Comm) error {
+		acc := 0.0
+		for it := 0; it < total; it++ {
+			if it == killIter {
+				if c.Rank() == victim {
+					rt.Kill(victim)
+					// The victim discovers its own death at the next
+					// cancellation point; its accumulator dies with it.
+					if err := c.Check(); !errors.Is(err, ErrKilled) {
+						return fmt.Errorf("victim expected ErrKilled, got %v", err)
+					}
+					go launchReplacement()
+					return ErrKilled
+				}
+				// Survivors wait for the replacement's readiness
+				// announcement. The retry loop absorbs every interleaving:
+				// before the kill the Recv blocks, across the kill it
+				// returns RankFailedError (the ULFM-style notification),
+				// and once the slot is revived the announcement arrives.
+				for {
+					_, err := c.Recv(victim, 902)
+					if err == nil {
+						break
+					}
+					if _, ok := IsRankFailed(err); !ok {
+						return fmt.Errorf("rank %d: unexpected error %v", c.Rank(), err)
+					}
+					runtime.Gosched()
+				}
+				if c.Rank() == 0 {
+					if err := c.SendFloats(CatRecovery, victim, 901, []float64{float64(it), acc}); err != nil {
+						return err
+					}
+				}
+			}
+			out, err := c.World().AllreduceScalar(OpSum, float64(it))
+			if err != nil {
+				return fmt.Errorf("rank %d iter %d: %v", c.Rank(), it, err)
+			}
+			if want := float64(it * ranks); out != want {
+				return fmt.Errorf("rank %d iter %d: allreduce %v, want %v", c.Rank(), it, out, want)
+			}
+			acc += out
+		}
+		return checkFinal(c, acc, total)
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// iterLoop is the SPMD body from iteration startIter on, shared by the
+// replacement's continuation.
+func iterLoop(c *Comm, startIter int, acc float64, total int) error {
+	for it := startIter; it < total; it++ {
+		out, err := c.World().AllreduceScalar(OpSum, float64(it))
+		if err != nil {
+			return err
+		}
+		if want := float64(it * c.Size()); out != want {
+			return fmt.Errorf("iter %d: %v want %v", it, out, want)
+		}
+		acc += out
+	}
+	return checkFinal(c, acc, total)
+}
+
+// checkFinal verifies that every participant (survivors and replacement)
+// holds the same accumulator: the state transfer preserved consistency.
+func checkFinal(c *Comm, acc float64, total int) error {
+	sum, err := c.World().AllreduceScalar(OpSum, acc)
+	if err != nil {
+		return err
+	}
+	var want float64
+	for it := 0; it < total; it++ {
+		want += float64(it * c.Size())
+	}
+	if sum != want*float64(c.Size()) {
+		return fmt.Errorf("rank %d: final state diverged: %v want %v", c.Rank(), sum, want*float64(c.Size()))
+	}
+	return nil
+}

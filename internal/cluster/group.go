@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Internal tag space: user tags must stay below tagInternalBase.
+const tagInternalBase = 1 << 24
+
+const (
+	opReduce = iota
+	opBcast
+	opGather
+	opBarrierUp
+	opBarrierDown
+	numOps
+)
+
+// Op is a reduction operator for Allreduce/Reduce.
+type Op int
+
+const (
+	// OpSum adds element-wise.
+	OpSum Op = iota
+	// OpMax takes the element-wise maximum.
+	OpMax
+	// OpMin takes the element-wise minimum.
+	OpMin
+)
+
+func (o Op) combine(acc, in []float64) {
+	switch o {
+	case OpSum:
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	case OpMax:
+		for i := range acc {
+			acc[i] = math.Max(acc[i], in[i])
+		}
+	case OpMin:
+		for i := range acc {
+			acc[i] = math.Min(acc[i], in[i])
+		}
+	}
+}
+
+// Group is a collective-communication context over a subset of ranks, used
+// both for full-communicator collectives and for the replacement-node
+// subgroup that solves the reconstruction subsystem (paper Sec. 4.1:
+// "additional communication between the psi replacement nodes").
+//
+// All members must call the same sequence of collective operations. The
+// context integer separates the tag spaces of different concurrently-used
+// groups.
+type Group struct {
+	c       *Comm
+	members []int
+	pos     int // my position within members
+	tagBase int
+}
+
+// Group creates a collective context over the given member ranks, which must
+// include the calling rank. The same (members, context) pair must be used by
+// every member.
+func (c *Comm) Group(members []int, context int) (*Group, error) {
+	ms := append([]int(nil), members...)
+	sort.Ints(ms)
+	pos := -1
+	for i, r := range ms {
+		if i > 0 && ms[i-1] == r {
+			return nil, fmt.Errorf("cluster: duplicate rank %d in group", r)
+		}
+		if r < 0 || r >= c.rt.size {
+			return nil, fmt.Errorf("cluster: invalid rank %d in group", r)
+		}
+		if r == c.rank {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("cluster: rank %d not a member of its own group", c.rank)
+	}
+	return &Group{
+		c:       c,
+		members: ms,
+		pos:     pos,
+		tagBase: tagInternalBase + context*numOps,
+	}, nil
+}
+
+// World returns the collective context over all ranks.
+func (c *Comm) World() *Group {
+	g, err := c.Group(allRanks(c.rt.size), 0)
+	if err != nil {
+		panic(err) // cannot happen
+	}
+	return g
+}
+
+func allRanks(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// Members returns the sorted member ranks of the group.
+func (g *Group) Members() []int { return append([]int(nil), g.members...) }
+
+// Size returns the number of group members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Pos returns the calling rank's position within the group.
+func (g *Group) Pos() int { return g.pos }
+
+// Reduce combines vals element-wise across the group with a fixed binomial
+// tree; the member at position 0 receives the result (other members receive
+// nil). The combination order is deterministic, so results are bit-identical
+// across repeated runs.
+func (g *Group) Reduce(op Op, vals []float64) ([]float64, error) {
+	n := len(g.members)
+	acc := append([]float64(nil), vals...)
+	tag := g.tagBase + opReduce
+	for mask := 1; mask < n; mask <<= 1 {
+		if g.pos&mask != 0 {
+			peer := g.members[g.pos-mask]
+			if err := g.c.SendFloats(CatCollective, peer, tag, acc); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		if g.pos+mask < n {
+			peer := g.members[g.pos+mask]
+			in, err := g.c.RecvFloats(peer, tag)
+			if err != nil {
+				return nil, err
+			}
+			if len(in) != len(acc) {
+				return nil, fmt.Errorf("cluster: Reduce length mismatch (%d vs %d)", len(in), len(acc))
+			}
+			op.combine(acc, in)
+		}
+	}
+	if g.pos == 0 {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// Bcast distributes rootVals (significant only at position rootPos) to every
+// member and returns the received copy.
+func (g *Group) Bcast(rootPos int, rootVals []float64) ([]float64, error) {
+	n := len(g.members)
+	if rootPos < 0 || rootPos >= n {
+		return nil, fmt.Errorf("cluster: Bcast root position %d out of range", rootPos)
+	}
+	rel := (g.pos - rootPos + n) % n
+	buf := rootVals
+	tag := g.tagBase + opBcast
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel < mask {
+			if rel+mask < n {
+				peer := g.members[(rel+mask+rootPos)%n]
+				if err := g.c.SendFloats(CatCollective, peer, tag, buf); err != nil {
+					return nil, err
+				}
+			}
+		} else if rel < 2*mask {
+			peer := g.members[(rel-mask+rootPos)%n]
+			in, err := g.c.RecvFloats(peer, tag)
+			if err != nil {
+				return nil, err
+			}
+			buf = in
+		}
+	}
+	if rel == 0 {
+		// Root returns a copy so callers can mutate it freely.
+		return append([]float64(nil), rootVals...), nil
+	}
+	return buf, nil
+}
+
+// Allreduce combines vals across the group and returns the combined result
+// on every member (reduce to position 0 followed by broadcast).
+func (g *Group) Allreduce(op Op, vals []float64) ([]float64, error) {
+	red, err := g.Reduce(op, vals)
+	if err != nil {
+		return nil, err
+	}
+	return g.Bcast(0, red)
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (g *Group) AllreduceScalar(op Op, v float64) (float64, error) {
+	out, err := g.Allreduce(op, []float64{v})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Barrier blocks until every member has entered it.
+func (g *Group) Barrier() error {
+	// An empty reduce + broadcast synchronises exactly like a barrier.
+	n := len(g.members)
+	up := g.tagBase + opBarrierUp
+	down := g.tagBase + opBarrierDown
+	for mask := 1; mask < n; mask <<= 1 {
+		if g.pos&mask != 0 {
+			if err := g.c.SendFloats(CatCollective, g.members[g.pos-mask], up, nil); err != nil {
+				return err
+			}
+			break
+		}
+		if g.pos+mask < n {
+			if _, err := g.c.Recv(g.members[g.pos+mask], up); err != nil {
+				return err
+			}
+		}
+	}
+	for mask := 1; mask < n; mask <<= 1 {
+		if g.pos < mask {
+			if g.pos+mask < n {
+				if err := g.c.SendFloats(CatCollective, g.members[g.pos+mask], down, nil); err != nil {
+					return err
+				}
+			}
+		} else if g.pos < 2*mask {
+			if _, err := g.c.Recv(g.members[g.pos-mask], down); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Allgatherv gathers each member's variable-length contribution and returns
+// the concatenation (in member order) plus the offset of each member's part.
+// Gathering is linear to position 0 followed by a broadcast; group sizes in
+// this repository are small enough (<= ranks) that this is not a bottleneck.
+func (g *Group) Allgatherv(vals []float64) (all []float64, offsets []int, err error) {
+	n := len(g.members)
+	tag := g.tagBase + opGather
+	if g.pos != 0 {
+		if err := g.c.SendFloats(CatCollective, g.members[0], tag, vals); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		parts := make([][]float64, n)
+		parts[0] = vals
+		for p := 1; p < n; p++ {
+			in, err := g.c.RecvFloats(g.members[p], tag)
+			if err != nil {
+				return nil, nil, err
+			}
+			parts[p] = in
+		}
+		offsets = make([]int, n+1)
+		for p := 0; p < n; p++ {
+			offsets[p+1] = offsets[p] + len(parts[p])
+		}
+		all = make([]float64, 0, offsets[n])
+		for _, part := range parts {
+			all = append(all, part...)
+		}
+	}
+	// Broadcast the offsets (as floats) then the payload.
+	offF := make([]float64, 0, n+1)
+	if g.pos == 0 {
+		for _, o := range offsets {
+			offF = append(offF, float64(o))
+		}
+	}
+	offF, err = g.Bcast(0, offF)
+	if err != nil {
+		return nil, nil, err
+	}
+	all, err = g.Bcast(0, all)
+	if err != nil {
+		return nil, nil, err
+	}
+	offsets = make([]int, len(offF))
+	for i, f := range offF {
+		offsets[i] = int(f)
+	}
+	return all, offsets, nil
+}

@@ -1,0 +1,152 @@
+// Package commmodel implements the latency-bandwidth communication cost
+// model of the paper's Sec. 4.2 and evaluates the analytic overhead bounds
+// for a concrete matrix/partition/phi configuration:
+//
+//	0 <= max_i |R^c_ik| mu <= O_k <= max_i (lambda_ik + |R^c_ik| mu)
+//
+// per communication round k, and summed over rounds
+//
+//	0 <= O <= phi (lambda_max + ceil(n/N) mu).
+//
+// The model is evaluated statically from the communication plans; the
+// cluster runtime's counters provide the matching empirical element counts.
+package commmodel
+
+import (
+	"fmt"
+
+	"repro/internal/commplan"
+)
+
+// Model is a latency-bandwidth (alpha-beta) communication cost model:
+// sending m elements in one message costs Lambda + m*Mu.
+type Model struct {
+	// Lambda is the per-message latency (seconds, or abstract units).
+	Lambda float64
+	// Mu is the per-element transfer cost.
+	Mu float64
+}
+
+// DefaultModel mirrors a commodity cluster interconnect: ~1.5 us latency and
+// ~1 ns per 8-byte element (about 8 GB/s effective bandwidth).
+func DefaultModel() Model {
+	return Model{Lambda: 1.5e-6, Mu: 1.0e-9}
+}
+
+// RoundOverhead is the modelled ESR communication overhead of one
+// redundancy round k (1-based), with the bracketing bounds of Sec. 4.2.
+type RoundOverhead struct {
+	// Round is k in 1..phi.
+	Round int
+	// MaxExtraElems is max_i |R^c_ik|.
+	MaxExtraElems int
+	// ExtraLatency reports whether any rank needed a fresh message in this
+	// round (S_{i,d_ik} empty while R^c_ik non-empty).
+	ExtraLatency bool
+	// Lower is the analytic lower bound max_i |R^c_ik| * mu.
+	Lower float64
+	// Modelled is the model's estimate max_i (latency_i + |R^c_ik| mu),
+	// where latency_i = lambda if rank i needs a fresh message, else 0.
+	Modelled float64
+	// Upper is the analytic upper bound max_i lambda + max_i |R^c_ik| mu.
+	Upper float64
+}
+
+// Overheads evaluates the per-round modelled overhead and bounds for the
+// given per-rank redundancy protocols (all built with the same phi).
+func Overheads(reds []*commplan.Redundancy, m Model) ([]RoundOverhead, error) {
+	if len(reds) == 0 {
+		return nil, fmt.Errorf("commmodel: no redundancy plans")
+	}
+	phi := reds[0].Phi
+	for _, r := range reds {
+		if r.Phi != phi {
+			return nil, fmt.Errorf("commmodel: inconsistent phi across ranks")
+		}
+	}
+	out := make([]RoundOverhead, phi)
+	for k := 1; k <= phi; k++ {
+		ro := RoundOverhead{Round: k}
+		var modelled float64
+		for _, r := range reds {
+			cnt := len(r.Extra[k-1])
+			if cnt > ro.MaxExtraElems {
+				ro.MaxExtraElems = cnt
+			}
+			lat := 0.0
+			if r.ExtraLatencyRounds()[k-1] {
+				ro.ExtraLatency = true
+				lat = m.Lambda
+			}
+			if c := lat + float64(cnt)*m.Mu; c > modelled {
+				modelled = c
+			}
+		}
+		ro.Lower = float64(ro.MaxExtraElems) * m.Mu
+		ro.Modelled = modelled
+		ro.Upper = m.Lambda + float64(ro.MaxExtraElems)*m.Mu
+		out[k-1] = ro
+	}
+	return out, nil
+}
+
+// Total sums the modelled overheads and bounds across rounds.
+type Total struct {
+	Lower, Modelled, Upper float64
+	// PaperBound is phi*(lambda_max + ceil(n/N)*mu), the closed-form upper
+	// bound the paper derives.
+	PaperBound float64
+	// ExtraElems is the total number of extra elements sent per iteration
+	// (sum over ranks and rounds), the bandwidth-side overhead.
+	ExtraElems int
+}
+
+// TotalOverhead aggregates Overheads and evaluates the closed-form paper
+// bound for the configuration.
+func TotalOverhead(reds []*commplan.Redundancy, m Model) (Total, error) {
+	rounds, err := Overheads(reds, m)
+	if err != nil {
+		return Total{}, err
+	}
+	var t Total
+	for _, ro := range rounds {
+		t.Lower += ro.Lower
+		t.Modelled += ro.Modelled
+		t.Upper += ro.Upper
+	}
+	for _, r := range reds {
+		for _, ex := range r.Extra {
+			t.ExtraElems += len(ex)
+		}
+	}
+	phi := reds[0].Phi
+	p := reds[0].Plan.P
+	t.PaperBound = float64(phi) * (m.Lambda + float64(p.MaxSize())*m.Mu)
+	return t, nil
+}
+
+// HaloCost models the cost of the plain SpMV halo exchange for one rank:
+// one message per destination with halo traffic, plus per-element cost. This
+// is the baseline the ESR overhead is measured against.
+func HaloCost(pl *commplan.HaloPlan, m Model) float64 {
+	var c float64
+	for k, idx := range pl.SendTo {
+		if k == pl.Rank || len(idx) == 0 {
+			continue
+		}
+		c += m.Lambda + float64(len(idx))*m.Mu
+	}
+	return c
+}
+
+// MaxHaloCost returns the maximum HaloCost over all ranks: the modelled
+// per-iteration communication time of the failure-free non-resilient SpMV.
+func MaxHaloCost(plans []*commplan.HaloPlan, m Model) float64 {
+	var mx float64
+	for _, pl := range plans {
+		if c := HaloCost(pl, m); c > mx {
+			mx = c
+		}
+	}
+	return mx
+}

@@ -1,0 +1,155 @@
+package commmodel
+
+import (
+	"testing"
+
+	"repro/internal/commplan"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+func buildReds(t *testing.T, a *sparse.CSR, ranks, phi int) []*commplan.Redundancy {
+	t.Helper()
+	p := partition.NewBlockRow(a.Rows, ranks)
+	plans := commplan.BuildAll(a, p)
+	reds := make([]*commplan.Redundancy, ranks)
+	for i, pl := range plans {
+		r, err := commplan.BuildRedundancy(pl, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reds[i] = r
+	}
+	return reds
+}
+
+// The inequality chain of Sec. 4.2 must hold for every round on every
+// pattern class of the catalogue.
+func TestBoundsChainHolds(t *testing.T) {
+	m := DefaultModel()
+	for _, e := range matgen.Catalogue() {
+		a := e.Build(matgen.ScaleTiny)
+		for _, phi := range []int{1, 2, 3} {
+			reds := buildReds(t, a, 6, phi)
+			rounds, err := Overheads(reds, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rounds) != phi {
+				t.Fatalf("%s: %d rounds, want %d", e.ID, len(rounds), phi)
+			}
+			for _, ro := range rounds {
+				if !(0 <= ro.Lower && ro.Lower <= ro.Modelled && ro.Modelled <= ro.Upper) {
+					t.Fatalf("%s phi=%d round %d: chain violated: %v <= %v <= %v",
+						e.ID, phi, ro.Round, ro.Lower, ro.Modelled, ro.Upper)
+				}
+			}
+			tot, err := TotalOverhead(reds, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(tot.Lower <= tot.Modelled && tot.Modelled <= tot.Upper) {
+				t.Fatalf("%s: total chain violated", e.ID)
+			}
+			if tot.Modelled > tot.PaperBound+1e-15 {
+				t.Fatalf("%s phi=%d: modelled %v exceeds paper bound %v",
+					e.ID, phi, tot.Modelled, tot.PaperBound)
+			}
+		}
+	}
+}
+
+// Zero-overhead case: a wide circulant band already sends every element to
+// >= phi ranks, so the lower and modelled overheads are exactly zero.
+func TestZeroOverheadWideBand(t *testing.T) {
+	n, ranks := 64, 8
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 100)
+		for d := 1; d <= 24; d++ {
+			coo.Add(i, (i+d)%n, -1)
+			coo.Add(i, (i-d+n)%n, -1)
+		}
+	}
+	reds := buildReds(t, coo.ToCSR(), ranks, 2)
+	tot, err := TotalOverhead(reds, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Modelled != 0 || tot.ExtraElems != 0 {
+		t.Fatalf("expected zero overhead, got modelled=%v extras=%d", tot.Modelled, tot.ExtraElems)
+	}
+}
+
+// Worst case: block-diagonal matrix sends nothing, so every round needs a
+// full fresh message and the modelled overhead hits the paper bound.
+func TestWorstCaseHitsPaperBound(t *testing.T) {
+	n, ranks, phi := 40, 4, 2
+	reds := buildReds(t, sparse.Identity(n), ranks, phi)
+	m := DefaultModel()
+	tot, err := TotalOverhead(reds, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(phi) * (m.Lambda + float64(n/ranks)*m.Mu)
+	if diff := tot.Modelled - want; diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("modelled %v, want %v", tot.Modelled, want)
+	}
+	if tot.Modelled != tot.PaperBound {
+		t.Fatalf("worst case should match the paper bound: %v vs %v", tot.Modelled, tot.PaperBound)
+	}
+	rounds, _ := Overheads(reds, m)
+	for _, ro := range rounds {
+		if !ro.ExtraLatency {
+			t.Fatal("expected extra latency in every round")
+		}
+	}
+}
+
+// Overhead grows (weakly) with phi: more rounds can only add cost.
+func TestOverheadMonotoneInPhi(t *testing.T) {
+	a := matgen.CircuitLike(400, 3, 0.4, 11)
+	m := DefaultModel()
+	prev := -1.0
+	for phi := 1; phi <= 4; phi++ {
+		reds := buildReds(t, a, 8, phi)
+		tot, err := TotalOverhead(reds, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tot.Modelled < prev {
+			t.Fatalf("phi=%d: overhead %v decreased from %v", phi, tot.Modelled, prev)
+		}
+		prev = tot.Modelled
+	}
+}
+
+func TestHaloCost(t *testing.T) {
+	a := matgen.Poisson2D(8, 8)
+	p := partition.NewBlockRow(a.Rows, 4)
+	plans := commplan.BuildAll(a, p)
+	m := Model{Lambda: 1, Mu: 0.01}
+	// Middle ranks talk to two neighbours: 2 messages of 8 elements each.
+	c := HaloCost(plans[1], m)
+	want := 2*1.0 + 16*0.01
+	if c != want {
+		t.Fatalf("HaloCost = %v, want %v", c, want)
+	}
+	if MaxHaloCost(plans, m) != want {
+		t.Fatalf("MaxHaloCost = %v, want %v", MaxHaloCost(plans, m), want)
+	}
+}
+
+func TestOverheadsErrors(t *testing.T) {
+	if _, err := Overheads(nil, DefaultModel()); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	a := matgen.Poisson2D(6, 6)
+	r1 := buildReds(t, a, 4, 1)
+	r2 := buildReds(t, a, 4, 2)
+	mixed := []*commplan.Redundancy{r1[0], r2[1]}
+	if _, err := Overheads(mixed, DefaultModel()); err == nil {
+		t.Fatal("expected error for inconsistent phi")
+	}
+}

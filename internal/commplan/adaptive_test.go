@@ -1,0 +1,126 @@
+package commplan
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// The redundancy invariant must hold for the adaptive strategy exactly as
+// for the paper's Eqn. 5 sequence.
+func TestAdaptiveInvariant(t *testing.T) {
+	mats := map[string]func() *sparse.CSR{
+		"circuit": func() *sparse.CSR { return matgen.CircuitLike(300, 3, 0.5, 7) },
+		"poisson": func() *sparse.CSR { return matgen.Poisson2D(16, 16) },
+		"elastic": func() *sparse.CSR { return matgen.Elasticity3D(4, 4, 3, 15, 2) },
+	}
+	for name, build := range mats {
+		a := build()
+		for _, phi := range []int{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/phi%d", name, phi), func(t *testing.T) {
+				p := partition.NewBlockRow(a.Rows, 6)
+				for _, pl := range BuildAll(a, p) {
+					r, err := BuildRedundancyStrategy(pl, phi, StrategyAdaptive)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for off, hs := range r.Holders() {
+						distinct := map[int]bool{}
+						for _, h := range hs {
+							if h == pl.Rank {
+								t.Fatalf("self-holder at offset %d", off)
+							}
+							distinct[h] = true
+						}
+						if len(distinct) < phi {
+							t.Fatalf("element %d has %d holders, want >= %d", off, len(distinct), phi)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// Backups must be distinct and never the owner, for both strategies.
+func TestAdaptiveBackupsDistinct(t *testing.T) {
+	a := matgen.CircuitLike(200, 4, 0.6, 3)
+	p := partition.NewBlockRow(a.Rows, 8)
+	for _, pl := range BuildAll(a, p) {
+		backs := AdaptiveBackups(pl, 5)
+		seen := map[int]bool{pl.Rank: true}
+		for _, b := range backs {
+			if seen[b] {
+				t.Fatalf("rank %d: duplicate or self backup %d in %v", pl.Rank, b, backs)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+// On scattered (circuit-like) patterns the adaptive strategy must not send
+// more extra elements than the Eqn. 5 neighbour strategy, and typically
+// sends far fewer (it picks backups that already receive halo traffic).
+func TestAdaptiveReducesExtrasOnScatteredPatterns(t *testing.T) {
+	a := matgen.CircuitLike(2000, 4, 0.6, 5)
+	p := partition.NewBlockRow(a.Rows, 16)
+	totalNeighbor, totalAdaptive := 0, 0
+	for _, pl := range BuildAll(a, p) {
+		rn, err := BuildRedundancyStrategy(pl, 3, StrategyNeighbor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := BuildRedundancyStrategy(pl, 3, StrategyAdaptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range rn.Extra {
+			totalNeighbor += len(rn.Extra[k])
+		}
+		for k := range ra.Extra {
+			totalAdaptive += len(ra.Extra[k])
+		}
+	}
+	if totalAdaptive > totalNeighbor {
+		t.Fatalf("adaptive sends more extras (%d) than neighbor (%d) on a scattered pattern",
+			totalAdaptive, totalNeighbor)
+	}
+	if totalAdaptive >= totalNeighbor*9/10 {
+		t.Logf("warning: adaptive saves little here (%d vs %d)", totalAdaptive, totalNeighbor)
+	}
+}
+
+// On a circulant banded pattern whose halo covers the Eqn. 5 backups, both
+// strategies send zero extras.
+func TestStrategiesAgreeOnWideBand(t *testing.T) {
+	a := circulantBand(128, 48)
+	p := partition.NewBlockRow(a.Rows, 8)
+	for _, pl := range BuildAll(a, p) {
+		for _, strat := range []BackupStrategy{StrategyNeighbor, StrategyAdaptive} {
+			r, err := BuildRedundancyStrategy(pl, 2, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, ex := range r.Extra {
+				if len(ex) != 0 {
+					t.Fatalf("%v: unexpected extras in round %d", strat, k+1)
+				}
+			}
+		}
+	}
+}
+
+func TestStrategyStringAndErrors(t *testing.T) {
+	if StrategyNeighbor.String() == "" || StrategyAdaptive.String() == "" {
+		t.Fatal("empty strategy names")
+	}
+	a := matgen.Poisson2D(6, 6)
+	p := partition.NewBlockRow(a.Rows, 4)
+	pl := BuildAll(a, p)[0]
+	if _, err := BuildRedundancyStrategy(pl, 1, BackupStrategy(99)); err == nil {
+		t.Fatal("unknown strategy must fail")
+	}
+}

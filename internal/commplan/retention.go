@@ -1,0 +1,172 @@
+package commplan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Retention is the per-rank store of redundant search-direction copies. The
+// resilient solver keeps the two most recent generations (p^(j-1) and p^(j),
+// paper Sec. 2.2): the rank's own block plus every element received from
+// other ranks during the SpMV (halo and redundancy top-ups alike).
+//
+// Reads are non-destructive: overlapping failures restart the reconstruction
+// and re-read the same generations (Sec. 4.1).
+type Retention struct {
+	// idxFrom[src] lists, sorted, the static global indices received from
+	// src each iteration (nil when nothing is received from src).
+	idxFrom [][]int
+	// pos[src] maps a global index to its position within idxFrom[src].
+	pos  []map[int]int
+	gens [2]retGen
+}
+
+type retGen struct {
+	iter int
+	own  []float64
+	vals [][]float64 // vals[src], aligned with idxFrom[src]
+}
+
+// NewRetention creates a retention store for a rank that receives the given
+// static per-source index lists each iteration (see RecvLists).
+func NewRetention(idxFrom [][]int) *Retention {
+	rt := &Retention{idxFrom: idxFrom, pos: make([]map[int]int, len(idxFrom))}
+	for src, idx := range idxFrom {
+		if len(idx) == 0 {
+			continue
+		}
+		m := make(map[int]int, len(idx))
+		for p, g := range idx {
+			m[g] = p
+		}
+		rt.pos[src] = m
+	}
+	rt.gens[0].iter = -1
+	rt.gens[1].iter = -1
+	return rt
+}
+
+// IndicesFrom returns the static indices held from source src.
+func (rt *Retention) IndicesFrom(src int) []int { return rt.idxFrom[src] }
+
+// Store records generation iter: the rank's own vector block and the values
+// received from each source (aligned with IndicesFrom(src)). The oldest of
+// the two retained generations is evicted. The own block is copied; the
+// recv slices are retained by reference (the store takes ownership: they
+// are the per-message payload buffers, which the receiver owns exclusively).
+func (rt *Retention) Store(iter int, own []float64, recv [][]float64) {
+	slot := 0
+	if rt.gens[0].iter == iter {
+		slot = 0 // re-store (post-recovery SpMV redo) overwrites in place
+	} else if rt.gens[1].iter == iter {
+		slot = 1
+	} else if rt.gens[0].iter > rt.gens[1].iter {
+		slot = 1 // overwrite the older generation
+	}
+	g := &rt.gens[slot]
+	g.iter = iter
+	g.own = append(g.own[:0], own...)
+	if g.vals == nil {
+		g.vals = make([][]float64, len(rt.idxFrom))
+	}
+	for src := range rt.idxFrom {
+		var in []float64
+		if src < len(recv) {
+			in = recv[src]
+		}
+		if len(in) != len(rt.idxFrom[src]) {
+			panic(fmt.Sprintf("commplan: Retention.Store source %d got %d values, want %d",
+				src, len(in), len(rt.idxFrom[src])))
+		}
+		g.vals[src] = in
+	}
+}
+
+// Generations returns the iterations currently retained, newest first.
+func (rt *Retention) Generations() (newest, oldest int) {
+	a, b := rt.gens[0].iter, rt.gens[1].iter
+	if a >= b {
+		return a, b
+	}
+	return b, a
+}
+
+func (rt *Retention) gen(iter int) *retGen {
+	for i := range rt.gens {
+		if rt.gens[i].iter == iter && iter >= 0 {
+			return &rt.gens[i]
+		}
+	}
+	return nil
+}
+
+// Own returns the rank's own block stored for generation iter, or an error
+// if that generation is no longer retained.
+func (rt *Retention) Own(iter int) ([]float64, error) {
+	g := rt.gen(iter)
+	if g == nil {
+		return nil, fmt.Errorf("commplan: generation %d not retained", iter)
+	}
+	return g.own, nil
+}
+
+// ValuesFor returns the retained values of generation iter for the requested
+// global indices of source src's block. Every requested index must be held.
+func (rt *Retention) ValuesFor(iter, src int, indices []int) ([]float64, error) {
+	g := rt.gen(iter)
+	if g == nil {
+		return nil, fmt.Errorf("commplan: generation %d not retained", iter)
+	}
+	pos := rt.pos[src]
+	out := make([]float64, len(indices))
+	for i, gi := range indices {
+		p, ok := pos[gi]
+		if !ok {
+			return nil, fmt.Errorf("commplan: index %d of rank %d not held here", gi, src)
+		}
+		out[i] = g.vals[src][p]
+	}
+	return out, nil
+}
+
+// Wipe discards all retained data, simulating the memory loss of a node
+// failure on the slot that is being reused as the replacement node.
+func (rt *Retention) Wipe() {
+	for i := range rt.gens {
+		rt.gens[i].iter = -1
+		rt.gens[i].own = rt.gens[i].own[:0]
+		for s := range rt.gens[i].vals {
+			rt.gens[i].vals[s] = rt.gens[i].vals[s][:0]
+		}
+	}
+}
+
+// AssignHolders computes the tailored recovery gather for a failed rank's
+// block: holders is the per-element holder list (see Redundancy.Holders),
+// lo the block's first global index, and failed the set of failed ranks.
+// For every element the lowest-ranked surviving holder is selected; the
+// result maps each chosen holder rank to the sorted global indices it must
+// provide. Elements with no surviving holder are returned in uncovered --
+// non-empty uncovered means unrecoverable data loss (e.g. Chen's strategy
+// under adjacent multi-failures, paper Sec. 3).
+func AssignHolders(holders [][]int, lo int, failed map[int]bool) (byHolder map[int][]int, uncovered []int) {
+	byHolder = map[int][]int{}
+	for off, hs := range holders {
+		chosen := -1
+		for _, h := range hs { // holders are sorted ascending
+			if !failed[h] {
+				chosen = h
+				break
+			}
+		}
+		if chosen < 0 {
+			uncovered = append(uncovered, lo+off)
+			continue
+		}
+		byHolder[chosen] = append(byHolder[chosen], lo+off)
+	}
+	for _, idx := range byHolder {
+		sort.Ints(idx)
+	}
+	return byHolder, uncovered
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/distmat"
+	"repro/internal/vec"
+)
+
+// PCG runs the reference (non-resilient) preconditioned conjugate gradient
+// method, Alg. 1 of the paper, on the distributed system A x = b. x is the
+// initial guess and receives the solution. m may be nil for plain CG.
+//
+// Every rank calls PCG with its local blocks; the returned Result is
+// identical on all ranks (reductions use a deterministic tree order).
+func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts Options) (Result, error) {
+	if m == nil {
+		m = IdentityPrecond()
+	}
+	opts = opts.withDefaults(a.P.N())
+	start := time.Now()
+
+	r := distmat.NewVector(a.P, e.Pos)
+	z := distmat.NewVector(a.P, e.Pos)
+	p := distmat.NewVector(a.P, e.Pos)
+	u := distmat.NewVector(a.P, e.Pos)
+
+	// r(0) = b - A x(0); z(0) = M^{-1} r(0); p(0) = z(0).
+	if err := a.Residual(e, r, b, x, -1); err != nil {
+		return Result{}, err
+	}
+	if err := m.Apply(e, z, r); err != nil {
+		return Result{}, err
+	}
+	vec.Copy(p.Local, z.Local)
+
+	// Fused allreduce of (||r||^2, r'z).
+	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(r.Local), vec.Dot(r.Local, z.Local)})
+	if err != nil {
+		return Result{}, err
+	}
+	r0 := math.Sqrt(norms[0])
+	rz := norms[1]
+	res := Result{InitialResidual: r0, FinalResidual: r0}
+	if r0 == 0 {
+		res.Converged = true
+		res.SolveTime = time.Since(start)
+		return res, nil
+	}
+	target := opts.Tol * r0
+
+	for j := 0; j < opts.MaxIter; j++ {
+		// u = A p(j) (lines 3/5 share the product).
+		if err := a.MatVec(e, u, p, j); err != nil {
+			return Result{}, err
+		}
+		pu, err := distmat.Dot(e, p, u)
+		if err != nil {
+			return Result{}, err
+		}
+		if pu <= 0 {
+			return res, fmt.Errorf("core: PCG breakdown, p'Ap = %g at iteration %d", pu, j)
+		}
+		alpha := rz / pu
+		vec.Axpy(alpha, p.Local, x.Local)        // x(j+1) = x(j) + alpha p(j)
+		vec.Axpy(-alpha, u.Local, r.Local)       // r(j+1) = r(j) - alpha A p(j)
+		if err := m.Apply(e, z, r); err != nil { // z(j+1) = M^{-1} r(j+1)
+			return Result{}, err
+		}
+		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(r.Local), vec.Dot(r.Local, z.Local)})
+		if err != nil {
+			return Result{}, err
+		}
+		rn := math.Sqrt(norms[0])
+		rzNew := norms[1]
+		res.Iterations = j + 1
+		res.FinalResidual = rn
+		if rn <= target {
+			res.Converged = true
+			break
+		}
+		beta := rzNew / rz // beta(j) = r(j+1)'z(j+1) / r(j)'z(j)
+		rz = rzNew
+		vec.Axpby(1, z.Local, beta, p.Local) // p(j+1) = z(j+1) + beta(j) p(j)
+	}
+
+	res.WorkIterations = res.Iterations
+	// True residual and the Eqn. 7 deviation metric.
+	if err := finishResult(e, a, x, b, &res); err != nil {
+		return res, err
+	}
+	res.SolveTime = time.Since(start)
+	return res, nil
+}
+
+// finishResult recomputes the true residual ||b - A x|| and the relative
+// residual difference metric of Eqn. 7.
+func finishResult(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, res *Result) error {
+	t := distmat.NewVector(a.P, e.Pos)
+	if err := a.Residual(e, t, b, x, -1); err != nil {
+		return err
+	}
+	tn, err := distmat.Norm2(e, t)
+	if err != nil {
+		return err
+	}
+	res.TrueResidual = tn
+	if tn > 0 {
+		res.Delta = (res.FinalResidual - tn) / tn
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package distmat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/commplan"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// Matrix is the local part of a block-row distributed sparse matrix together
+// with its communication structure. Rows keeps the static row block with
+// global column indices (the paper's A_{Ii, I}, reconstructible from
+// reliable storage); local is the column-localised copy used by the SpMV
+// kernel.
+type Matrix struct {
+	// P is the row/vector partition of the Env's index space.
+	P partition.Partition
+	// Pos is the owning position.
+	Pos int
+	// Rows is the static row block with global column indices.
+	Rows *sparse.CSR
+	// Plan is the SpMV halo plan (S_ik / RecvFrom sets).
+	Plan *commplan.HaloPlan
+	// Red is the redundancy protocol state; nil when phi = 0.
+	Red *commplan.Redundancy
+	// Ret retains the two most recent SpMV input generations; nil when the
+	// matrix is not resilience-enabled.
+	Ret *commplan.Retention
+
+	local     *sparse.CSR // column-localised row block
+	ghost     []int       // sorted external global indices used by SpMV
+	ghostPos  map[int]int
+	sendLists [][]int // merged halo+redundancy indices per destination
+	recvLists [][]int // merged indices received per source
+	xbuf      []float64
+	tagBase   int
+}
+
+// matrixTag spaces the SpMV message tags of different matrices sharing an
+// Env.
+const matrixTagStride = 64
+
+// NewMatrix builds the distributed matrix for this position from its static
+// row block, running the distributed symbolic phase to derive the halo plan
+// (like PETSc's scatter construction) and, for phi > 0, the ESR redundancy
+// protocol of the paper's Eqns. 5 and 6.
+//
+// ctx distinguishes multiple matrices living in the same Env (system matrix,
+// explicit preconditioner, recovery submatrix).
+func NewMatrix(e *Env, rows *sparse.CSR, p partition.Partition, phi, ctx int) (*Matrix, error) {
+	return NewMatrixStrategy(e, rows, p, phi, ctx, commplan.StrategyNeighbor)
+}
+
+// NewMatrixStrategy is NewMatrix with an explicit backup-rank selection
+// strategy for the redundancy protocol (commplan.StrategyNeighbor is the
+// paper's Eqn. 5; commplan.StrategyAdaptive adapts to the sparsity pattern).
+func NewMatrixStrategy(e *Env, rows *sparse.CSR, p partition.Partition, phi, ctx int, strat commplan.BackupStrategy) (*Matrix, error) {
+	if p.Ranks() != e.Size() {
+		return nil, fmt.Errorf("distmat: partition ranks %d != env size %d", p.Ranks(), e.Size())
+	}
+	if rows.Rows != p.Size(e.Pos) || rows.Cols != p.N() {
+		return nil, fmt.Errorf("distmat: row block %dx%d does not match partition (want %dx%d)",
+			rows.Rows, rows.Cols, p.Size(e.Pos), p.N())
+	}
+	plan, err := buildSymbolicEnv(e, rows, p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{
+		P:       p,
+		Pos:     e.Pos,
+		Rows:    rows,
+		Plan:    plan,
+		tagBase: 2000 + ctx*matrixTagStride,
+	}
+	if phi > 0 {
+		m.Red, err = commplan.BuildRedundancyStrategy(plan, phi, strat)
+		if err != nil {
+			return nil, err
+		}
+		m.sendLists = m.Red.SendLists()
+	} else {
+		m.sendLists = make([][]int, p.Ranks())
+		for k, s := range plan.SendTo {
+			if k != e.Pos && len(s) > 0 {
+				m.sendLists[k] = s
+			}
+		}
+	}
+	if err := m.exchangeRecvLists(e); err != nil {
+		return nil, err
+	}
+	if phi > 0 {
+		m.Ret = commplan.NewRetention(m.recvLists)
+	}
+	m.localize()
+	return m, nil
+}
+
+// buildSymbolicEnv is commplan.BuildSymbolic generalised to an Env (group
+// positions instead of global ranks).
+func buildSymbolicEnv(e *Env, rows *sparse.CSR, p partition.Partition, ctx int) (*commplan.HaloPlan, error) {
+	needs := commplan.NeedSets(rows, p, e.Pos)
+	pl := &commplan.HaloPlan{
+		P:        p,
+		Rank:     e.Pos,
+		SendTo:   make([][]int, e.Size()),
+		RecvFrom: make([][]int, e.Size()),
+	}
+	tag := 1500 + ctx*matrixTagStride
+	for k := 0; k < e.Size(); k++ {
+		if k == e.Pos {
+			continue
+		}
+		if err := e.send(cluster.CatOther, k, tag, nil, needs[k]); err != nil {
+			return nil, err
+		}
+	}
+	for k := 0; k < e.Size(); k++ {
+		if k == e.Pos {
+			continue
+		}
+		msg, err := e.recv(k, tag)
+		if err != nil {
+			return nil, err
+		}
+		pl.SendTo[k] = msg.I
+		pl.RecvFrom[k] = needs[k]
+	}
+	return pl, nil
+}
+
+// exchangeRecvLists distributes the merged send lists so each receiver knows
+// the static index layout of incoming SpMV messages.
+func (m *Matrix) exchangeRecvLists(e *Env) error {
+	tag := m.tagBase + 1
+	for k, idx := range m.sendLists {
+		if k == e.Pos {
+			continue
+		}
+		// Send the list (possibly empty) so every pair agrees.
+		if err := e.send(cluster.CatOther, k, tag, nil, idx); err != nil {
+			return err
+		}
+	}
+	m.recvLists = make([][]int, e.Size())
+	for k := 0; k < e.Size(); k++ {
+		if k == e.Pos {
+			continue
+		}
+		msg, err := e.recv(k, tag)
+		if err != nil {
+			return err
+		}
+		m.recvLists[k] = msg.I
+	}
+	return nil
+}
+
+// localize builds the column-localised CSR: own columns map to [0, bs),
+// ghost columns to bs + position in the sorted ghost list.
+func (m *Matrix) localize() {
+	lo, hi := m.P.Range(m.Pos)
+	bs := hi - lo
+	ghostSet := map[int]bool{}
+	for i := 0; i < m.Rows.Rows; i++ {
+		cols, _ := m.Rows.Row(i)
+		for _, cGlobal := range cols {
+			if cGlobal < lo || cGlobal >= hi {
+				ghostSet[cGlobal] = true
+			}
+		}
+	}
+	m.ghost = make([]int, 0, len(ghostSet))
+	for g := range ghostSet {
+		m.ghost = append(m.ghost, g)
+	}
+	sort.Ints(m.ghost)
+	m.ghostPos = make(map[int]int, len(m.ghost))
+	for pth, g := range m.ghost {
+		m.ghostPos[g] = pth
+	}
+	loc := &sparse.CSR{
+		Rows:   m.Rows.Rows,
+		Cols:   bs + len(m.ghost),
+		RowPtr: append([]int(nil), m.Rows.RowPtr...),
+		Col:    make([]int, m.Rows.NNZ()),
+		Val:    append([]float64(nil), m.Rows.Val...),
+	}
+	for k, cGlobal := range m.Rows.Col {
+		if cGlobal >= lo && cGlobal < hi {
+			loc.Col[k] = cGlobal - lo
+		} else {
+			loc.Col[k] = bs + m.ghostPos[cGlobal]
+		}
+	}
+	m.local = loc
+	m.xbuf = make([]float64, loc.Cols)
+}
+
+// GhostCount returns the number of external vector elements the SpMV needs.
+func (m *Matrix) GhostCount() int { return len(m.ghost) }
+
+// MatVec computes y = A x with the halo exchange, sending merged
+// halo+redundancy payloads (piggybacking, Sec. 4.2) and, when resilience is
+// enabled, retaining the received generation under the iteration number
+// `iter`. x and y are distributed vectors on the matrix's partition.
+func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
+	lo, hi := m.P.Range(m.Pos)
+	tag := m.tagBase + 2
+	// Post sends: one message per destination with merged payload.
+	for k, idx := range m.sendLists {
+		if k == e.Pos || len(idx) == 0 {
+			continue
+		}
+		payload := make([]float64, len(idx))
+		for t, g := range idx {
+			payload[t] = x.Local[g-lo]
+		}
+		cat := cluster.CatHalo
+		nHalo := len(m.Plan.SendTo[k])
+		if nHalo == 0 {
+			cat = cluster.CatRedundancy // fresh message: the extra latency case
+		}
+		// The payload is freshly built: transfer ownership, skip the copy.
+		if err := e.C.SendOwned(cat, e.Members[k], e.tag+tag, payload, nil); err != nil {
+			return err
+		}
+		if extra := len(idx) - nHalo; extra > 0 && nHalo > 0 {
+			// Piggybacked redundancy elements: reclassify their volume.
+			e.C.Runtime().Counters().Reclassify(cluster.CatHalo, cluster.CatRedundancy, int64(extra))
+		}
+	}
+	// Receive and scatter into the ghost buffer; keep full payloads for the
+	// retention store.
+	recvVals := make([][]float64, e.Size())
+	for k, idx := range m.recvLists {
+		if k == e.Pos || len(idx) == 0 {
+			continue
+		}
+		msg, err := e.recv(k, tag)
+		if err != nil {
+			return err
+		}
+		if len(msg.F) != len(idx) {
+			return fmt.Errorf("distmat: MatVec from pos %d: %d values, want %d", k, len(msg.F), len(idx))
+		}
+		recvVals[k] = msg.F
+		for t, g := range idx {
+			if p, ok := m.ghostPos[g]; ok {
+				m.xbuf[(hi-lo)+p] = msg.F[t]
+			}
+		}
+	}
+	copy(m.xbuf[:hi-lo], x.Local)
+	m.local.MulVec(y.Local, m.xbuf)
+	// iter < 0 marks inputs that are not search directions (initial
+	// residual, verification products): they are not retained.
+	if m.Ret != nil && iter >= 0 {
+		m.Ret.Store(iter, x.Local, recvVals)
+	}
+	return nil
+}
+
+// MatVecLocal computes y = A x when the caller has already assembled the
+// full input vector (own + ghost entries addressed globally). Used by
+// reconstruction steps that operate on gathered data.
+func (m *Matrix) MatVecLocal(y []float64, xGlobal []float64) {
+	if len(xGlobal) != m.P.N() {
+		panic("distmat: MatVecLocal needs the full-length input")
+	}
+	m.Rows.MulVec(y, xGlobal)
+}
+
+// GhostProduct computes y += sum over external columns of the row block:
+// y[i] += A[i, c] * ghost[c] for every stored entry with a column c outside
+// this rank's own block; columns missing from ghost contribute zero. With
+// ghost filled only with survivor-owned vector entries this evaluates the
+// reconstruction products A_{If, I\If} x_{I\If} and P_{If, I\If} r_{I\If}
+// of the paper's Alg. 2 (lines 5 and 7).
+func (m *Matrix) GhostProduct(y []float64, ghost map[int]float64) {
+	lo, hi := m.P.Range(m.Pos)
+	for i := 0; i < m.Rows.Rows; i++ {
+		cols, vals := m.Rows.Row(i)
+		var s float64
+		for t, c := range cols {
+			if c < lo || c >= hi {
+				if v, ok := ghost[c]; ok {
+					s += vals[t] * v
+				}
+			}
+		}
+		y[i] += s
+	}
+}
+
+// Diag returns the local block's diagonal entries (global row = global col).
+func (m *Matrix) Diag() []float64 {
+	lo, hi := m.P.Range(m.Pos)
+	d := make([]float64, hi-lo)
+	for i := 0; i < m.Rows.Rows; i++ {
+		cols, vals := m.Rows.Row(i)
+		for t, c := range cols {
+			if c == lo+i {
+				d[i] = vals[t]
+			}
+		}
+	}
+	return d
+}
+
+// OwnBlock extracts the square diagonal block A_{Ii, Ii} with localised
+// column indices (0-based within the block).
+func (m *Matrix) OwnBlock() *sparse.CSR {
+	lo, hi := m.P.Range(m.Pos)
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	return m.Rows.Submatrix(rowsLocalToGlobal(m.Rows.Rows), idx)
+}
+
+// rowsLocalToGlobal builds [0, 1, ..., n-1]; the row block's rows are
+// already local.
+func rowsLocalToGlobal(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// Residual computes r = b - A x into r (all distributed). Scratch-free
+// convenience used by solvers at setup and for verification.
+func (m *Matrix) Residual(e *Env, r, b, x Vector, iter int) error {
+	if err := m.MatVec(e, r, x, iter); err != nil {
+		return err
+	}
+	vec.Axpby(1, b.Local, -1, r.Local)
+	return nil
+}

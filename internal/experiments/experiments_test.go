@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/commmodel"
+	"repro/internal/matgen"
+)
+
+func tinyConfig() Config {
+	cfg := QuickConfig()
+	cfg.Reps = 1
+	cfg.Progresses = []float64{0.5}
+	cfg.Locations = []string{"center"}
+	return cfg
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := tinyConfig().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.N <= 0 || r.NNZ <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	text := FormatTable1(rows)
+	if !strings.Contains(text, "M8") || !strings.Contains(text, "Table 1") {
+		t.Fatal("format missing content")
+	}
+}
+
+func TestSolveOnceReferenceAndResilient(t *testing.T) {
+	a := matgen.ByIDOrDie("M1").Build(matgen.ScaleTiny)
+	m, err := SolveOnce(a, 4, 0, nil, 1e-8, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Converged || m.Iterations == 0 || m.Runtime <= 0 {
+		t.Fatalf("reference measurement %+v", m)
+	}
+}
+
+func TestTable2SingleMatrix(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := cfg.Table2([]string{"M1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.T0 <= 0 || r.RefIters == 0 {
+		t.Fatalf("bad reference: %+v", r)
+	}
+	for _, phi := range cfg.Phis {
+		if _, ok := r.UndisturbedOverhead[phi]; !ok {
+			t.Fatalf("missing undisturbed overhead for phi=%d", phi)
+		}
+	}
+	// phis x locations cells
+	if len(r.Cells) != len(cfg.Phis)*len(cfg.Locations) {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		if c.ReconstructMean < 0 {
+			t.Fatalf("negative reconstruction time: %+v", c)
+		}
+	}
+	text := FormatTable2(rows, cfg.Phis)
+	if !strings.Contains(text, "M1") {
+		t.Fatal("format missing matrix id")
+	}
+}
+
+func TestTable3SingleMatrix(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := cfg.Table3([]string{"M2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatal("want one row")
+	}
+	// The deviations must be small compared to the 1e8 residual reduction.
+	if abs(rows[0].MaxDeltaESR) > 1e-2 || abs(rows[0].DeltaPCG) > 1e-2 {
+		t.Fatalf("deviations too large: %+v", rows[0])
+	}
+	if FormatTable3(rows) == "" {
+		t.Fatal("empty format")
+	}
+}
+
+func TestFigureRuntimes(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Reps = 2
+	fig, err := cfg.FigureRuntimes("M5", "center")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Groups) != len(cfg.Phis) {
+		t.Fatalf("groups = %d", len(fig.Groups))
+	}
+	if fig.RefMean <= 0 {
+		t.Fatal("no reference runtime")
+	}
+	for _, g := range fig.Groups {
+		if g.Undisturbed.N == 0 || g.WithFailure.N == 0 {
+			t.Fatalf("empty boxes for phi=%d", g.Phi)
+		}
+	}
+	if !strings.Contains(FormatFigure(fig), "M5 at center") {
+		t.Fatal("format missing caption")
+	}
+}
+
+func TestFigureProgress(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Progresses = []float64{0.2, 0.5, 0.8}
+	fig, err := cfg.FigureProgress("M5", "center", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Boxes) != 3 {
+		t.Fatalf("boxes = %d", len(fig.Boxes))
+	}
+	if !strings.Contains(FormatProgressFigure(fig), "3 node failures") {
+		t.Fatal("format missing caption")
+	}
+}
+
+func TestAnalysisBounds(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := cfg.Analysis(commmodel.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8*len(cfg.Phis) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !(0 <= r.Lower && r.Lower <= r.Modelled && r.Modelled <= r.Upper) {
+			t.Fatalf("chain violated: %+v", r)
+		}
+		if r.Modelled > r.PaperBound+1e-15 {
+			t.Fatalf("paper bound violated: %+v", r)
+		}
+	}
+	if FormatAnalysis(rows) == "" {
+		t.Fatal("empty format")
+	}
+}
+
+func TestStartRank(t *testing.T) {
+	if s, err := StartRank("start", 16); err != nil || s != 0 {
+		t.Fatal("start wrong")
+	}
+	if s, err := StartRank("center", 16); err != nil || s != 8 {
+		t.Fatal("center wrong")
+	}
+	if _, err := StartRank("edge", 16); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,189 @@
+// Package faults describes node-failure scenarios for the resilient
+// solvers. Failures are injected at deterministic poll points: the paper's
+// experiments introduce one batch of simultaneous failures at 20%, 50% or
+// 80% of the solver's progress (Sec. 7.1), placed in contiguous ranks
+// starting at rank 0 ("start") or at rank N/2 ("center"); overlapping
+// failures additionally fire while a reconstruction is in progress
+// (Sec. 4.1) and force the reconstruction to restart with the enlarged
+// failed set.
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Event is one failure injection: Ranks fail together at the poll point of
+// the given solver iteration. Phase 0 fires at the iteration's main poll
+// point (right after the SpMV distributed the redundant copies); Phase p >= 1
+// fires immediately before recovery phase p of an ongoing reconstruction,
+// modelling failures that overlap with the recovery.
+type Event struct {
+	// Iteration is the 0-based solver iteration of the poll point.
+	Iteration int
+	// Phase selects the poll point within the iteration (see type doc).
+	Phase int
+	// Ranks are the victims.
+	Ranks []int
+}
+
+// Schedule is a deterministic collection of failure events. All ranks
+// evaluate the same schedule, which makes failure knowledge consistent
+// without a membership protocol (the role ULFM plays in the paper's setup).
+type Schedule struct {
+	events []Event
+}
+
+// NewSchedule builds a schedule from events.
+func NewSchedule(events ...Event) *Schedule {
+	s := &Schedule{events: append([]Event(nil), events...)}
+	return s
+}
+
+// Empty reports whether the schedule contains no events.
+func (s *Schedule) Empty() bool { return s == nil || len(s.events) == 0 }
+
+// Events returns a copy of the schedule's events.
+func (s *Schedule) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	return append([]Event(nil), s.events...)
+}
+
+// AtIteration returns the sorted union of ranks failing at the main poll
+// point of the given iteration (Phase 0).
+func (s *Schedule) AtIteration(iter int) []int {
+	if s == nil {
+		return nil
+	}
+	return s.collect(func(e Event) bool { return e.Iteration == iter && e.Phase == 0 })
+}
+
+// AtRecoveryPhase returns the sorted union of ranks failing right before
+// recovery phase `phase` of a reconstruction running for iteration iter.
+func (s *Schedule) AtRecoveryPhase(iter, phase int) []int {
+	if s == nil {
+		return nil
+	}
+	return s.collect(func(e Event) bool { return e.Iteration == iter && e.Phase == phase })
+}
+
+// MaxSimultaneous returns the largest total number of ranks failing within
+// one iteration (simultaneous plus overlapping), i.e. the psi the schedule
+// requires the solver's phi to cover.
+func (s *Schedule) MaxSimultaneous() int {
+	if s == nil {
+		return 0
+	}
+	perIter := map[int]map[int]bool{}
+	for _, e := range s.events {
+		m := perIter[e.Iteration]
+		if m == nil {
+			m = map[int]bool{}
+			perIter[e.Iteration] = m
+		}
+		for _, r := range e.Ranks {
+			m[r] = true
+		}
+	}
+	mx := 0
+	for _, m := range perIter {
+		if len(m) > mx {
+			mx = len(m)
+		}
+	}
+	return mx
+}
+
+func (s *Schedule) collect(match func(Event) bool) []int {
+	set := map[int]bool{}
+	for _, e := range s.events {
+		if match(e) {
+			for _, r := range e.Ranks {
+				set[r] = true
+			}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks structural sanity: phases are non-negative and victims
+// are valid ranks, with at least one rank surviving every iteration. It does
+// NOT enforce psi <= phi: whether a failure set is recoverable depends on
+// the matrix pattern (incidental SpMV copies may cover more than phi
+// failures), and the recovery protocol detects true data loss dynamically.
+// Use GuaranteedCovered to check the protocol's hard guarantee.
+func (s *Schedule) Validate(ranks int) error {
+	if s == nil {
+		return nil
+	}
+	for _, e := range s.events {
+		if e.Phase < 0 {
+			return fmt.Errorf("faults: negative phase in event %+v", e)
+		}
+		for _, r := range e.Ranks {
+			if r < 0 || r >= ranks {
+				return fmt.Errorf("faults: invalid rank %d in event %+v", r, e)
+			}
+		}
+	}
+	if s.MaxSimultaneous() >= ranks {
+		return fmt.Errorf("faults: schedule kills all %d ranks in one iteration", ranks)
+	}
+	return nil
+}
+
+// GuaranteedCovered reports whether the schedule stays within the protocol's
+// hard tolerance: at most phi ranks lost per iteration (simultaneous plus
+// overlapping). Schedules beyond it may still recover on favourable sparsity
+// patterns, or fail with a data-loss error.
+func (s *Schedule) GuaranteedCovered(phi int) bool {
+	return s.MaxSimultaneous() <= phi
+}
+
+// ContiguousRanks returns `count` contiguous ranks starting at `start`
+// (modulo the cluster size), the placement used in the paper's experiments:
+// "failures are placed in contiguous ranks ... starting from rank 0 or 64".
+func ContiguousRanks(start, count, clusterSize int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = (start + i) % clusterSize
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IterationAtProgress converts a progress fraction (e.g. 0.2, 0.5, 0.8) of
+// an expected iteration count into a 0-based iteration index, clamped to
+// [0, expected-1].
+func IterationAtProgress(fraction float64, expectedIters int) int {
+	it := int(fraction * float64(expectedIters))
+	if it < 0 {
+		it = 0
+	}
+	if expectedIters > 0 && it >= expectedIters {
+		it = expectedIters - 1
+	}
+	return it
+}
+
+// Simultaneous is a convenience constructor for a single batch of
+// simultaneous failures at an iteration's main poll point.
+func Simultaneous(iteration int, ranks ...int) Event {
+	return Event{Iteration: iteration, Phase: 0, Ranks: ranks}
+}
+
+// Overlapping is a convenience constructor for a failure that strikes while
+// the reconstruction for `iteration` is in recovery phase `phase`.
+func Overlapping(iteration, phase int, ranks ...int) Event {
+	return Event{Iteration: iteration, Phase: phase, Ranks: ranks}
+}

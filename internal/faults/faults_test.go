@@ -1,0 +1,106 @@
+package faults
+
+import "testing"
+
+func TestScheduleQueries(t *testing.T) {
+	s := NewSchedule(
+		Simultaneous(3, 1, 2),
+		Simultaneous(3, 2, 5),
+		Overlapping(3, 2, 7),
+		Simultaneous(9, 0),
+	)
+	if s.Empty() {
+		t.Fatal("schedule not empty")
+	}
+	got := s.AtIteration(3)
+	want := []int{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("AtIteration(3) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AtIteration(3) = %v", got)
+		}
+	}
+	if ov := s.AtRecoveryPhase(3, 2); len(ov) != 1 || ov[0] != 7 {
+		t.Fatalf("AtRecoveryPhase = %v", ov)
+	}
+	if ov := s.AtRecoveryPhase(9, 1); ov != nil {
+		t.Fatalf("unexpected overlap %v", ov)
+	}
+	if s.AtIteration(4) != nil {
+		t.Fatal("no failures at iteration 4")
+	}
+}
+
+func TestMaxSimultaneousCountsUnionPerIteration(t *testing.T) {
+	s := NewSchedule(
+		Simultaneous(1, 0, 1),
+		Overlapping(1, 3, 2),
+		Simultaneous(5, 3),
+	)
+	if got := s.MaxSimultaneous(); got != 3 {
+		t.Fatalf("MaxSimultaneous = %d, want 3", got)
+	}
+	if s.GuaranteedCovered(2) {
+		t.Fatal("3 > 2 must not be covered")
+	}
+	if !s.GuaranteedCovered(3) {
+		t.Fatal("3 <= 3 must be covered")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (*Schedule)(nil).Validate(4); err != nil {
+		t.Fatal("nil schedule must validate")
+	}
+	if err := NewSchedule(Simultaneous(1, 9)).Validate(4); err == nil {
+		t.Fatal("invalid rank must fail")
+	}
+	if err := NewSchedule(Event{Iteration: 0, Phase: -1, Ranks: []int{0}}).Validate(4); err == nil {
+		t.Fatal("negative phase must fail")
+	}
+	if err := NewSchedule(Simultaneous(0, 0, 1, 2, 3)).Validate(4); err == nil {
+		t.Fatal("killing every rank must fail")
+	}
+	if err := NewSchedule(Simultaneous(0, 0, 1)).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContiguousRanks(t *testing.T) {
+	got := ContiguousRanks(6, 3, 8)
+	want := []int{0, 6, 7} // wraps around and is sorted
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ContiguousRanks = %v", got)
+		}
+	}
+	if got := ContiguousRanks(0, 3, 8); got[0] != 0 || got[2] != 2 {
+		t.Fatalf("ContiguousRanks(0,3,8) = %v", got)
+	}
+}
+
+func TestIterationAtProgress(t *testing.T) {
+	if it := IterationAtProgress(0.5, 100); it != 50 {
+		t.Fatalf("got %d", it)
+	}
+	if it := IterationAtProgress(0.999, 10); it != 9 {
+		t.Fatalf("got %d", it)
+	}
+	if it := IterationAtProgress(1.5, 10); it != 9 {
+		t.Fatalf("clamp high: got %d", it)
+	}
+	if it := IterationAtProgress(-0.5, 10); it != 0 {
+		t.Fatalf("clamp low: got %d", it)
+	}
+}
+
+func TestEventsCopy(t *testing.T) {
+	s := NewSchedule(Simultaneous(1, 0))
+	ev := s.Events()
+	ev[0].Iteration = 99
+	if s.AtIteration(99) != nil {
+		t.Fatal("Events must return a copy")
+	}
+}

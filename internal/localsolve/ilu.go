@@ -1,0 +1,294 @@
+package localsolve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// ILU0 is an incomplete LU factorisation with zero fill-in: L (unit lower)
+// and U share the sparsity pattern of A. This is the approximate local
+// solver the paper uses for the reconstruction subsystem (Sec. 6).
+type ILU0 struct {
+	n      int
+	rowPtr []int
+	col    []int
+	val    []float64
+	diag   []int // position of the diagonal entry in each row
+}
+
+// NewILU0 factorises the square CSR matrix a in IKJ order. Zero or missing
+// pivots are replaced by a small multiple of the matrix norm to keep the
+// preconditioner defined (standard practice for incomplete factorisations).
+func NewILU0(a *sparse.CSR) (*ILU0, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("localsolve: ILU0 needs a square matrix")
+	}
+	n := a.Rows
+	f := &ILU0{
+		n:      n,
+		rowPtr: append([]int(nil), a.RowPtr...),
+		col:    append([]int(nil), a.Col...),
+		val:    append([]float64(nil), a.Val...),
+		diag:   make([]int, n),
+	}
+	var maxAbs float64
+	for _, v := range f.val {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	eps := 1e-12 * (maxAbs + 1)
+	// Locate diagonals; insert conceptual zero pivots as eps.
+	for i := 0; i < n; i++ {
+		f.diag[i] = -1
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			if f.col[k] == i {
+				f.diag[i] = k
+				break
+			}
+		}
+		if f.diag[i] < 0 {
+			return nil, fmt.Errorf("localsolve: ILU0 row %d has no diagonal entry", i)
+		}
+	}
+	// colPos[j] caches the position of column j within the current row.
+	colPos := make([]int, n)
+	for j := range colPos {
+		colPos[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			colPos[f.col[k]] = k
+		}
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			j := f.col[k]
+			if j >= i {
+				break // columns sorted: L part exhausted
+			}
+			piv := f.val[f.diag[j]]
+			if math.Abs(piv) < eps {
+				piv = eps
+			}
+			lij := f.val[k] / piv
+			f.val[k] = lij
+			// Update the remainder of row i with row j of U.
+			for kk := f.diag[j] + 1; kk < f.rowPtr[j+1]; kk++ {
+				jj := f.col[kk]
+				if p := colPos[jj]; p >= 0 {
+					f.val[p] -= lij * f.val[kk]
+				}
+			}
+		}
+		if math.Abs(f.val[f.diag[i]]) < eps {
+			f.val[f.diag[i]] = eps
+		}
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			colPos[f.col[k]] = -1
+		}
+	}
+	return f, nil
+}
+
+// Solve computes z such that (LU) z = r: a forward substitution with the
+// unit lower factor followed by a backward substitution with U. z may alias
+// r.
+func (f *ILU0) Solve(z, r []float64) {
+	n := f.n
+	if len(z) != n || len(r) != n {
+		panic("localsolve: ILU0.Solve dimension mismatch")
+	}
+	// L y = r (unit diagonal)
+	for i := 0; i < n; i++ {
+		s := r[i]
+		for k := f.rowPtr[i]; k < f.diag[i]; k++ {
+			s -= f.val[k] * z[f.col[k]]
+		}
+		z[i] = s
+	}
+	// U x = y
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := f.diag[i] + 1; k < f.rowPtr[i+1]; k++ {
+			s -= f.val[k] * z[f.col[k]]
+		}
+		z[i] = s / f.val[f.diag[i]]
+	}
+}
+
+// Multiply computes y = L U x, the action of the preconditioner M = LU
+// itself (needed by the ESR reconstruction variant that applies M rather
+// than M^{-1}).
+func (f *ILU0) Multiply(y, x []float64) {
+	n := f.n
+	if len(y) != n || len(x) != n {
+		panic("localsolve: ILU0.Multiply dimension mismatch")
+	}
+	// u = U x
+	u := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := f.diag[i]; k < f.rowPtr[i+1]; k++ {
+			s += f.val[k] * x[f.col[k]]
+		}
+		u[i] = s
+	}
+	// y = L u (unit diagonal)
+	for i := 0; i < n; i++ {
+		s := u[i]
+		for k := f.rowPtr[i]; k < f.diag[i]; k++ {
+			s += f.val[k] * u[f.col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// IC0 is an incomplete Cholesky factorisation with zero fill-in of an SPD
+// matrix: A ~= L L^T with L restricted to the lower-triangular pattern of A.
+// Used as the split preconditioner M = L L^T for the SPCG variant.
+type IC0 struct {
+	n      int
+	rowPtr []int // lower-triangle CSR (including diagonal)
+	col    []int
+	val    []float64
+	diag   []int
+}
+
+// NewIC0 factorises the SPD CSR matrix a. Non-positive pivots are lifted to
+// a small positive value (shifted IC), keeping the factor usable as a
+// preconditioner.
+func NewIC0(a *sparse.CSR) (*IC0, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("localsolve: IC0 needs a square matrix")
+	}
+	n := a.Rows
+	f := &IC0{n: n, rowPtr: make([]int, n+1), diag: make([]int, n)}
+	// Extract the lower triangle pattern (columns sorted).
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		hasDiag := false
+		for t, j := range cols {
+			if j > i {
+				break
+			}
+			f.col = append(f.col, j)
+			f.val = append(f.val, vals[t])
+			if j == i {
+				hasDiag = true
+			}
+		}
+		if !hasDiag {
+			return nil, fmt.Errorf("localsolve: IC0 row %d has no diagonal entry", i)
+		}
+		f.rowPtr[i+1] = len(f.col)
+		f.diag[i] = len(f.col) - 1
+	}
+	var maxAbs float64
+	for _, v := range f.val {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	eps := 1e-10 * (maxAbs + 1)
+	// Row-oriented up-looking IC(0).
+	colStart := make([]int, n) // scratch: position of column j in row i
+	for j := range colStart {
+		colStart[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			colStart[f.col[k]] = k
+		}
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			j := f.col[k]
+			// s = a_ij - sum_{t<j} L_it L_jt over the shared pattern.
+			s := f.val[k]
+			// iterate over row j's entries with column < j
+			for kj := f.rowPtr[j]; kj < f.diag[j]; kj++ {
+				t := f.col[kj]
+				if p := colStart[t]; p >= 0 && p < k {
+					s -= f.val[p] * f.val[kj]
+				}
+			}
+			if j < i {
+				d := f.val[f.diag[j]]
+				if math.Abs(d) < eps {
+					d = eps
+				}
+				f.val[k] = s / d
+			} else { // j == i
+				if s <= eps {
+					s = eps
+				}
+				f.val[k] = math.Sqrt(s)
+			}
+		}
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			colStart[f.col[k]] = -1
+		}
+	}
+	return f, nil
+}
+
+// SolveL solves L y = b by forward substitution.
+func (f *IC0) SolveL(y, b []float64) {
+	for i := 0; i < f.n; i++ {
+		s := b[i]
+		for k := f.rowPtr[i]; k < f.diag[i]; k++ {
+			s -= f.val[k] * y[f.col[k]]
+		}
+		y[i] = s / f.val[f.diag[i]]
+	}
+}
+
+// SolveLT solves L^T x = b by backward substitution.
+func (f *IC0) SolveLT(x, b []float64) {
+	n := f.n
+	copy(x, b)
+	for i := n - 1; i >= 0; i-- {
+		x[i] /= f.val[f.diag[i]]
+		xi := x[i]
+		for k := f.rowPtr[i]; k < f.diag[i]; k++ {
+			x[f.col[k]] -= f.val[k] * xi
+		}
+	}
+}
+
+// Solve computes z = (L L^T)^{-1} r.
+func (f *IC0) Solve(z, r []float64) {
+	y := make([]float64, f.n)
+	f.SolveL(y, r)
+	f.SolveLT(z, y)
+}
+
+// MulL computes y = L x.
+func (f *IC0) MulL(y, x []float64) {
+	for i := 0; i < f.n; i++ {
+		var s float64
+		for k := f.rowPtr[i]; k <= f.diag[i]; k++ {
+			s += f.val[k] * x[f.col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulLT computes y = L^T x.
+func (f *IC0) MulLT(y, x []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < f.n; i++ {
+		xi := x[i]
+		for k := f.rowPtr[i]; k <= f.diag[i]; k++ {
+			y[f.col[k]] += f.val[k] * xi
+		}
+	}
+}
+
+// Multiply computes y = L L^T x (the action of M itself).
+func (f *IC0) Multiply(y, x []float64) {
+	u := make([]float64, f.n)
+	f.MulLT(u, x)
+	f.MulL(y, u)
+}

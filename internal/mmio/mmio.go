@@ -1,0 +1,153 @@
+// Package mmio reads and writes sparse matrices in the NIST MatrixMarket
+// coordinate format, the interchange format of the SuiteSparse collection the
+// paper draws its test problems from. Supported qualifiers: real / integer /
+// pattern values, general / symmetric storage.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// header is the mandatory first line of a MatrixMarket file.
+const header = "%%MatrixMarket"
+
+// ReadCSR parses a MatrixMarket coordinate stream into a CSR matrix.
+// Symmetric storage is expanded to full storage (both triangles), matching
+// how the solvers in this repository consume matrices.
+func ReadCSR(r io.Reader) (*sparse.CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	head := strings.Fields(sc.Text())
+	if len(head) < 4 || head[0] != header {
+		return nil, fmt.Errorf("mmio: missing %s header", header)
+	}
+	if strings.ToLower(head[1]) != "matrix" || strings.ToLower(head[2]) != "coordinate" {
+		return nil, fmt.Errorf("mmio: only 'matrix coordinate' objects are supported")
+	}
+	valType := strings.ToLower(head[3])
+	switch valType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported value type %q", valType)
+	}
+	symmetry := "general"
+	if len(head) >= 5 {
+		symmetry = strings.ToLower(head[4])
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("mmio: missing size line")
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("mmio: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mmio: negative dimensions")
+	}
+
+	coo := sparse.NewCOO(rows, cols)
+	read := 0
+	for read < nnz {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("mmio: expected %d entries, got %d", nnz, read)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("mmio: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad row index %q", fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad column index %q", fields[1])
+		}
+		v := 1.0
+		if valType != "pattern" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("mmio: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: bad value %q", fields[2])
+			}
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("mmio: entry (%d,%d) out of range %dx%d", i, j, rows, cols)
+		}
+		i--
+		j--
+		coo.Add(i, j, v)
+		if symmetry == "symmetric" && i != j {
+			coo.Add(j, i, v)
+		}
+		read++
+	}
+	return coo.ToCSR(), nil
+}
+
+// WriteCSR writes the matrix in MatrixMarket coordinate real format. If
+// symmetric is true, only the lower triangle is emitted with the symmetric
+// qualifier (the matrix must actually be symmetric; this is not verified).
+func WriteCSR(w io.Writer, m *sparse.CSR, symmetric bool) error {
+	bw := bufio.NewWriter(w)
+	sym := "general"
+	if symmetric {
+		sym = "symmetric"
+	}
+	if _, err := fmt.Fprintf(bw, "%s matrix coordinate real %s\n", header, sym); err != nil {
+		return err
+	}
+	nnz := 0
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		for _, j := range cols {
+			if !symmetric || j <= i {
+				nnz++
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, nnz); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			if symmetric && j > i {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,128 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func TestReadGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.0
+2 2 3.0
+3 1 -1.0
+3 3 4.0
+`
+	m, err := ReadCSR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 3 || m.NNZ() != 4 {
+		t.Fatalf("dims %dx%d nnz %d", m.Rows, m.Cols, m.NNZ())
+	}
+	if m.At(2, 0) != -1 || m.At(1, 1) != 3 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestReadSymmetricExpands(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 2.0
+2 1 -1.0
+`
+	m, err := ReadCSR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3 (expanded)", m.NNZ())
+	}
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 {
+		t.Fatal("symmetric expansion wrong")
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadCSR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 1 || m.At(1, 0) != 1 {
+		t.Fatal("pattern values should be 1")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n", // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",   // garbage
+	}
+	for i, in := range cases {
+		if _, err := ReadCSR(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRoundTripGeneral(t *testing.T) {
+	orig := matgen.CircuitLike(200, 3, 0.3, 5)
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, orig, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualCSR(t, orig, back)
+}
+
+func TestRoundTripSymmetric(t *testing.T) {
+	orig := matgen.Poisson2D(12, 9)
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, orig, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualCSR(t, orig, back)
+}
+
+func assertEqualCSR(t *testing.T, a, b *sparse.CSR) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		t.Fatalf("shape mismatch: %dx%d/%d vs %dx%d/%d",
+			a.Rows, a.Cols, a.NNZ(), b.Rows, b.Cols, b.NNZ())
+	}
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		if len(ac) != len(bc) {
+			t.Fatalf("row %d nnz mismatch", i)
+		}
+		for k := range ac {
+			if ac[k] != bc[k] || av[k] != bv[k] {
+				t.Fatalf("row %d entry %d mismatch", i, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package partition
+
+import "sort"
+
+// IndexSet is a sorted set of distinct global indices, used to describe the
+// union index set I_f of failed ranks and element selections of matrices and
+// vectors (the paper's notation B_{I_i, I_k}).
+type IndexSet []int
+
+// NewIndexSet returns a sorted, deduplicated index set built from idx.
+func NewIndexSet(idx []int) IndexSet {
+	s := make([]int, len(idx))
+	copy(s, idx)
+	sort.Ints(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return IndexSet(out)
+}
+
+// RangeSet returns the index set {lo, lo+1, ..., hi-1}.
+func RangeSet(lo, hi int) IndexSet {
+	if hi < lo {
+		hi = lo
+	}
+	s := make(IndexSet, hi-lo)
+	for i := range s {
+		s[i] = lo + i
+	}
+	return s
+}
+
+// RanksSet returns the union of the blocks owned by the given ranks under pt,
+// i.e. the paper's I_f = I_f1 u I_f2 u ... u I_fpsi.
+func RanksSet(pt Partition, ranks []int) IndexSet {
+	var total int
+	for _, r := range ranks {
+		total += pt.Size(r)
+	}
+	s := make([]int, 0, total)
+	sorted := append([]int(nil), ranks...)
+	sort.Ints(sorted)
+	for _, r := range sorted {
+		lo, hi := pt.Range(r)
+		for g := lo; g < hi; g++ {
+			s = append(s, g)
+		}
+	}
+	return NewIndexSet(s)
+}
+
+// Contains reports whether g is in the set (binary search).
+func (s IndexSet) Contains(g int) bool {
+	i := sort.SearchInts(s, g)
+	return i < len(s) && s[i] == g
+}
+
+// Position returns the position of g within the set and whether it is
+// present. Positions index the compressed representation used when a
+// submatrix A[I,J] is extracted.
+func (s IndexSet) Position(g int) (int, bool) {
+	i := sort.SearchInts(s, g)
+	if i < len(s) && s[i] == g {
+		return i, true
+	}
+	return -1, false
+}
+
+// Union returns the sorted union of s and t.
+func (s IndexSet) Union(t IndexSet) IndexSet {
+	out := make(IndexSet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Intersect returns the sorted intersection of s and t.
+func (s IndexSet) Intersect(t IndexSet) IndexSet {
+	var out IndexSet
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Minus returns the sorted set difference s \ t.
+func (s IndexSet) Minus(t IndexSet) IndexSet {
+	var out IndexSet
+	j := 0
+	for _, v := range s {
+		for j < len(t) && t[j] < v {
+			j++
+		}
+		if j < len(t) && t[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Equal reports whether s and t contain the same indices.
+func (s IndexSet) Equal(t IndexSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}

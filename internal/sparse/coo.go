@@ -1,0 +1,109 @@
+package sparse
+
+import "sort"
+
+// COO is a coordinate-format builder for assembling sparse matrices entry by
+// entry. Duplicate entries are summed when converting to CSR, matching the
+// finite-element assembly convention.
+type COO struct {
+	rows, cols int
+	i, j       []int
+	v          []float64
+}
+
+// NewCOO returns an empty COO builder for an r x c matrix.
+func NewCOO(r, c int) *COO {
+	return &COO{rows: r, cols: c}
+}
+
+// Add appends entry (i, j, v). Entries with v == 0 are kept (they become
+// explicit zeros that define the sparsity pattern), because the paper's
+// communication sets S_ik are pattern-driven.
+func (a *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
+		panic("sparse: COO.Add index out of range")
+	}
+	a.i = append(a.i, i)
+	a.j = append(a.j, j)
+	a.v = append(a.v, v)
+}
+
+// AddSym appends entry (i, j, v) and, if i != j, also (j, i, v).
+func (a *COO) AddSym(i, j int, v float64) {
+	a.Add(i, j, v)
+	if i != j {
+		a.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of accumulated (possibly duplicate) entries.
+func (a *COO) NNZ() int { return len(a.v) }
+
+// ToCSR converts the accumulated entries to CSR, summing duplicates and
+// sorting columns within each row.
+func (a *COO) ToCSR() *CSR {
+	n := len(a.v)
+	perm := make([]int, n)
+	for k := range perm {
+		perm[k] = k
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		px, py := perm[x], perm[y]
+		if a.i[px] != a.i[py] {
+			return a.i[px] < a.i[py]
+		}
+		return a.j[px] < a.j[py]
+	})
+	m := &CSR{
+		Rows:   a.rows,
+		Cols:   a.cols,
+		RowPtr: make([]int, a.rows+1),
+	}
+	lastI, lastJ := -1, -1
+	for _, k := range perm {
+		i, j, v := a.i[k], a.j[k], a.v[k]
+		if i == lastI && j == lastJ {
+			m.Val[len(m.Val)-1] += v
+			continue
+		}
+		m.Col = append(m.Col, j)
+		m.Val = append(m.Val, v)
+		m.RowPtr[i+1]++
+		lastI, lastJ = i, j
+	}
+	for i := 0; i < a.rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// FromDense builds a CSR from a dense row-major r x c matrix, dropping exact
+// zeros. Intended for tests.
+func FromDense(r, c int, d []float64) *CSR {
+	a := NewCOO(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if v := d[i*c+j]; v != 0 {
+				a.Add(i, j, v)
+			}
+		}
+	}
+	return a.ToCSR()
+}
+
+// Identity returns the n x n identity matrix in CSR form.
+func Identity(n int) *CSR {
+	m := &CSR{
+		Rows:   n,
+		Cols:   n,
+		RowPtr: make([]int, n+1),
+		Col:    make([]int, n),
+		Val:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = i + 1
+		m.Col[i] = i
+		m.Val[i] = 1
+	}
+	return m
+}

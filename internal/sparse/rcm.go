@@ -1,0 +1,99 @@
+package sparse
+
+import "sort"
+
+// RCM computes the reverse Cuthill-McKee ordering of a structurally
+// symmetric matrix: a permutation that clusters the nonzeros around the
+// diagonal. Bandwidth reduction matters directly for the ESR redundancy
+// cost (paper Sec. 5: patterns that are "not too sparse within a bandwidth
+// of ceil(phi*n/(2N)) around the diagonal" get resilience nearly for free),
+// so reordering is the natural preprocessing step for scattered patterns
+// like the circuit-class matrices — and a first answer to the paper's
+// future-work item of adapting to sparsity patterns.
+//
+// The returned slice perm maps new index -> old index.
+func RCM(m *CSR) []int {
+	n := m.Rows
+	perm := make([]int, 0, n)
+	visited := make([]bool, n)
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		cols, _ := m.Row(i)
+		deg[i] = len(cols)
+	}
+	// Process every connected component, seeding each from a minimum-degree
+	// unvisited vertex (a cheap pseudo-peripheral heuristic).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return deg[order[a]] < deg[order[b]] })
+
+	var queue []int
+	scratch := make([]int, 0, 32)
+	for _, seed := range order {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			perm = append(perm, v)
+			cols, _ := m.Row(v)
+			scratch = scratch[:0]
+			for _, w := range cols {
+				if w != v && !visited[w] {
+					visited[w] = true
+					scratch = append(scratch, w)
+				}
+			}
+			sort.Slice(scratch, func(a, b int) bool { return deg[scratch[a]] < deg[scratch[b]] })
+			queue = append(queue, scratch...)
+		}
+	}
+	// Reverse (the "R" in RCM).
+	for i, j := 0, len(perm)-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Permute returns P A P^T for the permutation perm (new index -> old index):
+// the symmetric reordering that preserves SPD-ness.
+func (m *CSR) Permute(perm []int) *CSR {
+	if len(perm) != m.Rows || m.Rows != m.Cols {
+		panic("sparse: Permute needs a full permutation of a square matrix")
+	}
+	inv := make([]int, len(perm))
+	for newI, oldI := range perm {
+		inv[oldI] = newI
+	}
+	coo := NewCOO(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for t, j := range cols {
+			coo.Add(inv[i], inv[j], vals[t])
+		}
+	}
+	return coo.ToCSR()
+}
+
+// PermuteVec applies the permutation to a vector: out[new] = x[perm[new]].
+func PermuteVec(perm []int, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for newI, oldI := range perm {
+		out[newI] = x[oldI]
+	}
+	return out
+}
+
+// UnpermuteVec inverts PermuteVec: out[perm[new]] = x[new].
+func UnpermuteVec(perm []int, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for newI, oldI := range perm {
+		out[oldI] = x[newI]
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shuffle a banded matrix's indices, then check RCM recovers a small
+// bandwidth.
+func TestRCMReducesBandwidth(t *testing.T) {
+	n := 200
+	// Tridiagonal base, then scramble with a random permutation.
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4)
+		if i > 0 {
+			coo.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			coo.Add(i, i+1, -1)
+		}
+	}
+	base := coo.ToCSR()
+	rng := rand.New(rand.NewSource(5))
+	scramble := rng.Perm(n)
+	scrambled := base.Permute(scramble)
+	if scrambled.Bandwidth() <= 2 {
+		t.Fatal("scramble did not grow the bandwidth; test is vacuous")
+	}
+	perm := RCM(scrambled)
+	restored := scrambled.Permute(perm)
+	if bw := restored.Bandwidth(); bw > 2 {
+		t.Fatalf("RCM bandwidth %d, want <= 2 for a path graph", bw)
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		coo := NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			coo.Add(i, i, 1)
+		}
+		for e := 0; e < 2*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				coo.Add(u, v, -0.1)
+				coo.Add(v, u, -0.1)
+			}
+		}
+		m := coo.ToCSR()
+		perm := RCM(m)
+		if len(perm) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCMHandlesDisconnectedComponents(t *testing.T) {
+	// Two disjoint 3-cliques plus an isolated vertex.
+	coo := NewCOO(7, 7)
+	cl := func(a, b, c int) {
+		for _, p := range [][2]int{{a, b}, {a, c}, {b, c}} {
+			coo.Add(p[0], p[1], -1)
+			coo.Add(p[1], p[0], -1)
+		}
+		for _, v := range []int{a, b, c} {
+			coo.Add(v, v, 3)
+		}
+	}
+	cl(0, 1, 2)
+	cl(3, 4, 5)
+	coo.Add(6, 6, 1)
+	m := coo.ToCSR()
+	perm := RCM(m)
+	if len(perm) != 7 {
+		t.Fatalf("perm covers %d of 7", len(perm))
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 30
+	d := randDense(rng, n, n, 0.3)
+	// Symmetrise so Permute's SPD contract is honoured.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			d[i*n+j] = d[j*n+i]
+		}
+	}
+	m := FromDense(n, n, d)
+	perm := rng.Perm(n)
+	pm := m.Permute(perm)
+	// Check P A P^T entries: pm[newI, newJ] == m[perm[newI], perm[newJ]].
+	for newI := 0; newI < n; newI++ {
+		for newJ := 0; newJ < n; newJ++ {
+			if pm.At(newI, newJ) != m.At(perm[newI], perm[newJ]) {
+				t.Fatalf("permute mismatch at (%d,%d)", newI, newJ)
+			}
+		}
+	}
+	// Vector permutation round trip.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	px := PermuteVec(perm, x)
+	back := UnpermuteVec(perm, px)
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatal("vector permutation round trip failed")
+		}
+	}
+	// Solving the permuted system gives the permuted solution:
+	// (P A P^T)(P x) = P (A x).
+	ax := make([]float64, n)
+	m.MulVec(ax, x)
+	pax := make([]float64, n)
+	pm.MulVec(pax, px)
+	want := PermuteVec(perm, ax)
+	for i := range want {
+		if d := pax[i] - want[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("permuted SpMV mismatch at %d", i)
+		}
+	}
+}

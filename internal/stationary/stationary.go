@@ -1,0 +1,247 @@
+// Package stationary implements resilient block-stationary iterative
+// solvers — Jacobi, Gauss-Seidel, SOR and SSOR — with the ESR redundancy
+// protocol. The paper (Sec. 1) claims its multi-failure extension applies to
+// these methods; here the claim is implemented and tested.
+//
+// The methods iterate x(k+1) = x(k) + W^{-1} (b - A x(k)) where W is the
+// splitting operator, applied block-locally (the distributed "hybrid"
+// variant standard on block-row partitions: Jacobi uses W = D globally;
+// Gauss-Seidel/SOR/SSOR sweep within each rank's block and couple across
+// blocks Jacobi-style).
+//
+// The entire dynamic solver state is x itself, which is also the SpMV input
+// of every iteration — so the retention store holds redundant copies of the
+// most recent x, and recovery is a pure copy gather followed by a redone
+// SpMV: the simplest instance of the ESR family (no subsystem solve needed).
+package stationary
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// Method selects the stationary iteration's splitting.
+type Method int
+
+const (
+	// Jacobi uses W = D (diagonal).
+	Jacobi Method = iota
+	// GaussSeidel uses the block-local D + L sweep.
+	GaussSeidel
+	// SOR uses the block-local D/omega + L sweep.
+	SOR
+	// SSOR uses the block-local symmetric sweep.
+	SSOR
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Jacobi:
+		return "jacobi"
+	case GaussSeidel:
+		return "gauss-seidel"
+	case SOR:
+		return "sor"
+	case SSOR:
+		return "ssor"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options configures a stationary solve.
+type Options struct {
+	// Tol is the relative residual reduction target (default 1e-8).
+	Tol float64
+	// MaxIter bounds the iterations (default 100 n).
+	MaxIter int
+	// Omega is the relaxation factor for SOR/SSOR (defaults 1.0 / 1.2).
+	Omega float64
+}
+
+// Splitting builds the block-local splitting operator W for a method from
+// the rank's diagonal block.
+func Splitting(method Method, block *sparse.CSR, omega float64) (precond.Preconditioner, error) {
+	switch method {
+	case Jacobi:
+		return precond.NewJacobi(block.Diag())
+	case GaussSeidel:
+		return precond.NewGaussSeidel(block)
+	case SOR:
+		if omega == 0 {
+			omega = 1.0
+		}
+		return precond.NewSOR(block, omega)
+	case SSOR:
+		if omega == 0 {
+			omega = 1.2
+		}
+		return precond.NewSSOR(block, omega)
+	}
+	return nil, fmt.Errorf("stationary: unknown method %v", method)
+}
+
+// Solve runs the resilient stationary iteration on A x = b. The matrix must
+// be resilience-enabled (phi >= 1) when the schedule is non-empty; on
+// failure, the lost x blocks are reconstructed exactly from the redundant
+// copies distributed with the most recent SpMV.
+func Solve(method Method, e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, opts Options, sched *faults.Schedule) (core.Result, error) {
+	if err := sched.Validate(e.Size()); err != nil {
+		return core.Result{}, err
+	}
+	if !sched.Empty() && a.Ret == nil {
+		return core.Result{}, fmt.Errorf("stationary: resilience-enabled matrix (phi >= 1) required for a failure schedule")
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-8
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 100 * a.P.N()
+	}
+	w, err := Splitting(method, a.OwnBlock(), opts.Omega)
+	if err != nil {
+		return core.Result{}, err
+	}
+	start := time.Now()
+
+	r := distmat.NewVector(a.P, e.Pos)
+	z := distmat.NewVector(a.P, e.Pos)
+	ax := distmat.NewVector(a.P, e.Pos)
+
+	res := core.Result{}
+	r0 := 0.0
+	for k := 0; k < opts.MaxIter; k++ {
+		// ax = A x(k): the SpMV distributing redundant copies of x(k).
+		if err := a.MatVec(e, ax, x, k); err != nil {
+			return res, err
+		}
+		// Poll point.
+		if victims := sched.AtIteration(k); len(victims) > 0 {
+			rec, err := recoverX(e, a, x, k, victims, sched, &r0)
+			if err != nil {
+				return res, err
+			}
+			res.Reconstructions = append(res.Reconstructions, rec)
+			res.ReconstructTime += rec.Duration
+			if err := a.MatVec(e, ax, x, k); err != nil { // redo
+				return res, err
+			}
+		}
+		vec.Sub(r.Local, b.Local, ax.Local) // r = b - A x
+		rn, err := distmat.Norm2(e, r)
+		if err != nil {
+			return res, err
+		}
+		if k == 0 {
+			r0 = rn
+			res.InitialResidual = rn
+		}
+		res.Iterations = k
+		res.FinalResidual = rn
+		if rn <= opts.Tol*r0 {
+			res.Converged = true
+			break
+		}
+		w.ApplyInv(z.Local, r.Local) // z = W^{-1} r, block-local
+		vec.Axpy(1, z.Local, x.Local)
+	}
+	res.InitialResidual = r0
+	res.WorkIterations = res.Iterations
+
+	// The recurrence and true residual coincide here (the residual is
+	// recomputed from scratch each iteration), but report both like the
+	// Krylov solvers do.
+	if err := a.Residual(e, r, b, x, -1); err != nil {
+		return res, err
+	}
+	tn, err := distmat.Norm2(e, r)
+	if err != nil {
+		return res, err
+	}
+	res.TrueResidual = tn
+	if tn > 0 {
+		res.Delta = (res.FinalResidual - tn) / tn
+	}
+	res.SolveTime = time.Since(start)
+	return res, nil
+}
+
+// recoverX reconstructs the lost x blocks from the redundant copies of the
+// most recent SpMV input — the whole dynamic state of a stationary method —
+// and restores the replicated stopping reference r0.
+func recoverX(e *distmat.Env, a *distmat.Matrix, x distmat.Vector, k int, victims []int, sched *faults.Schedule, r0 *float64) (core.Reconstruction, error) {
+	startT := time.Now()
+	rec := core.Reconstruction{Iteration: k}
+	failed := map[int]bool{}
+	wipeNew := func(ranks []int) {
+		for _, f := range ranks {
+			if !failed[f] {
+				failed[f] = true
+				if f == e.Pos {
+					vec.Fill(x.Local, math.NaN())
+					*r0 = math.NaN()
+					if a.Ret != nil {
+						a.Ret.Wipe()
+					}
+				}
+			}
+		}
+	}
+	wipeNew(victims)
+
+restart:
+	failedList := sorted(failed)
+	rec.FailedRanks = failedList
+	// Overlapping failures: the stationary recovery has a single gather
+	// phase; poll before it (phase 2, matching the PCG phase numbering).
+	if more := sched.AtRecoveryPhase(k, 2); len(more) > 0 {
+		fresh := false
+		for _, f := range more {
+			if !failed[f] {
+				fresh = true
+			}
+		}
+		if fresh {
+			wipeNew(more)
+			rec.Restarts++
+			goto restart
+		}
+	}
+	if err := core.RecoverBlocks(e, a, k, failed, failedList, []int{k}, [][]float64{x.Local}); err != nil {
+		return rec, err
+	}
+	// r0 is replicated on survivors; a NaN-safe max-allreduce restores it.
+	v := *r0
+	if math.IsNaN(v) {
+		v = math.Inf(-1)
+	}
+	mx, err := e.Grp.AllreduceScalar(cluster.OpMax, v)
+	if err != nil {
+		return rec, err
+	}
+	*r0 = mx
+	rec.Duration = time.Since(startT)
+	return rec, nil
+}
+
+func sorted(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

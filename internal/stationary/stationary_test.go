@@ -1,0 +1,213 @@
+package stationary
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/localsolve"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func run(t *testing.T, method Method, a *sparse.CSR, ranks, phi int, sched *faults.Schedule, opts Options) (core.Result, []float64, error) {
+	t.Helper()
+	rt := cluster.New(ranks)
+	p := partition.NewBlockRow(a.Rows, ranks)
+	var mu sync.Mutex
+	var res core.Result
+	var xFull []float64
+	err := rt.Run(func(c *cluster.Comm) error {
+		e := distmat.WorldEnv(c)
+		lo, hi := p.Range(e.Pos)
+		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, phi, 0)
+		if err != nil {
+			return err
+		}
+		b := distmat.NewVector(p, e.Pos)
+		for i := range b.Local {
+			b.Local[i] = 1 + 0.3*math.Sin(float64(lo+i)*0.4)
+		}
+		x := distmat.NewVector(p, e.Pos)
+		r, err := Solve(method, e, m, x, b, opts, sched)
+		if err != nil {
+			return err
+		}
+		full, err := distmat.Gather(e, x)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			res, xFull = r, full
+			mu.Unlock()
+		}
+		return nil
+	})
+	return res, xFull, err
+}
+
+func reference(t *testing.T, a *sparse.CSR) []float64 {
+	t.Helper()
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + 0.3*math.Sin(float64(i)*0.4)
+	}
+	x := make([]float64, n)
+	r := localsolve.CG(a, x, b, nil, 1e-13, 20*n)
+	if !r.Converged {
+		t.Fatal("reference CG failed")
+	}
+	return x
+}
+
+// Diagonally dominant test matrix: all four stationary methods converge.
+func testMatrix() *sparse.CSR {
+	return matgen.BandedRandom(240, 6, 4, 11)
+}
+
+func TestAllMethodsConverge(t *testing.T) {
+	a := testMatrix()
+	want := reference(t, a)
+	for _, m := range []Method{Jacobi, GaussSeidel, SOR, SSOR} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			res, x, err := run(t, m, a, 4, 0, nil, Options{Tol: 1e-10, MaxIter: 20000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("%v did not converge (relres %g)", m, res.RelResidual())
+			}
+			if d := vec.MaxAbsDiff(x, want); d > 1e-6 {
+				t.Fatalf("solution error %g", d)
+			}
+		})
+	}
+}
+
+func TestGaussSeidelFasterThanJacobi(t *testing.T) {
+	a := testMatrix()
+	jac, _, err := run(t, Jacobi, a, 4, 0, nil, Options{Tol: 1e-8, MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, _, err := run(t, GaussSeidel, a, 4, 0, nil, Options{Tol: 1e-8, MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Iterations >= jac.Iterations {
+		t.Fatalf("GS (%d iters) not faster than Jacobi (%d iters)", gs.Iterations, jac.Iterations)
+	}
+}
+
+func TestRecoveryAllMethods(t *testing.T) {
+	a := testMatrix()
+	want := reference(t, a)
+	for _, m := range []Method{Jacobi, GaussSeidel, SOR, SSOR} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			sched := faults.NewSchedule(faults.Simultaneous(10, 1, 2))
+			res, x, err := run(t, m, a, 6, 2, sched, Options{Tol: 1e-10, MaxIter: 20000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("%v did not converge after failures", m)
+			}
+			if len(res.Reconstructions) != 1 {
+				t.Fatalf("reconstructions = %d", len(res.Reconstructions))
+			}
+			if d := vec.MaxAbsDiff(x, want); d > 1e-6 {
+				t.Fatalf("solution error %g", d)
+			}
+		})
+	}
+}
+
+// Stationary recovery is EXACT (a pure copy gather): the disturbed run's
+// iterate sequence is bit-identical to the failure-free run.
+func TestRecoveryIsBitExact(t *testing.T) {
+	a := testMatrix()
+	opts := Options{Tol: 1e-30, MaxIter: 40} // fixed iteration budget
+	_, clean, err := run(t, Jacobi, a, 6, 2, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faults.NewSchedule(faults.Simultaneous(20, 2, 3))
+	_, failed, err := run(t, Jacobi, a, 6, 2, sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if clean[i] != failed[i] {
+			t.Fatalf("iterate differs at %d: %v vs %v", i, clean[i], failed[i])
+		}
+	}
+}
+
+func TestOverlappingFailure(t *testing.T) {
+	a := testMatrix()
+	sched := faults.NewSchedule(
+		faults.Simultaneous(8, 1),
+		faults.Overlapping(8, 2, 4),
+	)
+	res, _, err := run(t, SSOR, a, 6, 2, sched, Options{Tol: 1e-8, MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Reconstructions[0].Restarts < 1 {
+		t.Fatal("expected a restart")
+	}
+	if len(res.Reconstructions[0].FailedRanks) != 2 {
+		t.Fatalf("failed ranks %v", res.Reconstructions[0].FailedRanks)
+	}
+}
+
+func TestFailureAtIterationZero(t *testing.T) {
+	a := testMatrix()
+	sched := faults.NewSchedule(faults.Simultaneous(0, 3))
+	res, _, err := run(t, GaussSeidel, a, 6, 1, sched, Options{Tol: 1e-8, MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+}
+
+func TestDataLossDetected(t *testing.T) {
+	// Narrow band, adjacent double failure, phi = 1.
+	a := matgen.BandedRandom(160, 2, 1.5, 9)
+	sched := faults.NewSchedule(faults.Simultaneous(4, 2, 3))
+	_, _, err := run(t, Jacobi, a, 8, 1, sched, Options{Tol: 1e-8, MaxIter: 20000})
+	if err == nil {
+		t.Fatal("expected data loss")
+	}
+}
+
+func TestSplittingErrors(t *testing.T) {
+	a := matgen.Poisson2D(4, 4)
+	if _, err := Splitting(Method(99), a, 0); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+	if _, err := Splitting(SOR, a, 2.5); err == nil {
+		t.Fatal("bad omega must fail")
+	}
+	for _, m := range []Method{Jacobi, GaussSeidel, SOR, SSOR} {
+		if m.String() == fmt.Sprintf("Method(%d)", int(m)) {
+			t.Fatalf("method %d missing name", int(m))
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package stats provides the summary statistics the experiment harness uses
+// to aggregate repeated measurements: mean, standard deviation, and the
+// quartile/whisker summaries of the paper's box plots (Figs. 1-4: "Boxes
+// include points in the interquartile range, and whiskers extend up to 1.5
+// times the width of the interquartile range").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty data")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Box is a five-number box-plot summary following the paper's figure
+// conventions: the box spans the interquartile range, whiskers extend to the
+// most extreme data points within 1.5 IQR of the box, and points beyond are
+// outliers.
+type Box struct {
+	// Median, Q1, Q3 are the quartiles.
+	Median, Q1, Q3 float64
+	// LoWhisker and HiWhisker are the whisker ends.
+	LoWhisker, HiWhisker float64
+	// Outliers lists the points beyond the whiskers.
+	Outliers []float64
+	// N is the sample count.
+	N int
+}
+
+// NewBox computes the box-plot summary of xs. It panics on empty input.
+func NewBox(xs []float64) Box {
+	b := Box{
+		Median: Median(xs),
+		Q1:     Quantile(xs, 0.25),
+		Q3:     Quantile(xs, 0.75),
+		N:      len(xs),
+	}
+	iqr := b.Q3 - b.Q1
+	loLim := b.Q1 - 1.5*iqr
+	hiLim := b.Q3 + 1.5*iqr
+	b.LoWhisker = math.Inf(1)
+	b.HiWhisker = math.Inf(-1)
+	for _, x := range xs {
+		if x < loLim || x > hiLim {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.LoWhisker {
+			b.LoWhisker = x
+		}
+		if x > b.HiWhisker {
+			b.HiWhisker = x
+		}
+	}
+	// All points outliers cannot happen (median is inside), but guard the
+	// degenerate single-point case.
+	if math.IsInf(b.LoWhisker, 1) {
+		b.LoWhisker = b.Median
+	}
+	if math.IsInf(b.HiWhisker, -1) {
+		b.HiWhisker = b.Median
+	}
+	return b
+}
+
+// String renders the box as "med m [q1, q3] whiskers [lo, hi] (n=N)".
+func (b Box) String() string {
+	return fmt.Sprintf("med %.4g [%.4g, %.4g] whiskers [%.4g, %.4g] (n=%d)",
+		b.Median, b.Q1, b.Q3, b.LoWhisker, b.HiWhisker, b.N)
+}
+
+// Min returns the smallest element (panics on empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty data")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element (panics on empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty data")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

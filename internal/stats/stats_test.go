@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138089935) > 1e-8 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Median(xs); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	// Interpolation between order statistics.
+	if q := Quantile([]float64{1, 2}, 0.5); q != 1.5 {
+		t.Fatalf("interp = %v", q)
+	}
+	// Input is not modified.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Fatal("Quantile sorted its input in place")
+	}
+}
+
+func TestBoxBasic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100}
+	b := NewBox(xs)
+	if b.N != 9 {
+		t.Fatalf("N = %d", b.N)
+	}
+	if b.Median != 5 {
+		t.Fatalf("median = %v", b.Median)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v", b.Outliers)
+	}
+	if b.HiWhisker != 8 || b.LoWhisker != 1 {
+		t.Fatalf("whiskers = %v..%v", b.LoWhisker, b.HiWhisker)
+	}
+	if b.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestBoxSinglePoint(t *testing.T) {
+	b := NewBox([]float64{42})
+	if b.Median != 42 || b.LoWhisker != 42 || b.HiWhisker != 42 || len(b.Outliers) != 0 {
+		t.Fatalf("single point box = %+v", b)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+// Quick properties: quartiles are ordered and whiskers bracket the box.
+func TestBoxInvariantsQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := NewBox(xs)
+		if !(b.Q1 <= b.Median && b.Median <= b.Q3) {
+			return false
+		}
+		if !(b.LoWhisker <= b.Q1+1e-12 && b.Q3 <= b.HiWhisker+1e-12) {
+			// For tiny samples the whiskers equal data points inside the
+			// box range; allow equality.
+			if !(b.LoWhisker <= b.Median && b.Median <= b.HiWhisker) {
+				return false
+			}
+		}
+		// Outliers plus in-whisker points account for all samples.
+		inRange := 0
+		for _, x := range xs {
+			if x >= b.LoWhisker-1e-12 && x <= b.HiWhisker+1e-12 {
+				inRange++
+			}
+		}
+		return inRange+len(b.Outliers) >= len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMatchesSortedExtremes(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return Quantile(xs, 0) == s[0] && Quantile(xs, 1) == s[len(s)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package vec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parThreshold is the minimum slice length for which the parallel variants
+// fan out to multiple goroutines; below it the sequential kernel is faster.
+const parThreshold = 1 << 15
+
+// chunks splits [0,n) into at most p nearly equal ranges and invokes f for
+// each of them concurrently, waiting for completion.
+func chunks(n, p int, f func(lo, hi int)) {
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	q, r := n/p, n%p
+	lo := 0
+	for i := 0; i < p; i++ {
+		hi := lo + q
+		if i < r {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ParDot returns x'y, splitting the work across GOMAXPROCS goroutines for
+// large vectors. Deterministic for a fixed split: each chunk accumulates
+// locally and the partials are summed in index order.
+func ParDot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: ParDot length mismatch")
+	}
+	n := len(x)
+	if n < parThreshold {
+		return Dot(x, y)
+	}
+	p := runtime.GOMAXPROCS(0)
+	partial := make([]float64, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	q, r := n/p, n%p
+	lo := 0
+	for i := 0; i < p; i++ {
+		hi := lo + q
+		if i < r {
+			hi++
+		}
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			partial[i] = Dot(x[lo:hi], y[lo:hi])
+		}(i, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	var s float64
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+// ParAxpy computes y += a*x using multiple goroutines for large vectors.
+func ParAxpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vec: ParAxpy length mismatch")
+	}
+	n := len(x)
+	if n < parThreshold {
+		Axpy(a, x, y)
+		return
+	}
+	chunks(n, runtime.GOMAXPROCS(0), func(lo, hi int) {
+		Axpy(a, x[lo:hi], y[lo:hi])
+	})
+}
