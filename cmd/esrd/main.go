@@ -1,0 +1,73 @@
+// Command esrd is the solve-service daemon: it runs the resilient-PCG job
+// engine behind a small HTTP/JSON API.
+//
+// Usage:
+//
+//	esrd [-addr :8080] [-workers 4] [-queue 256]
+//
+// Submit a job (a 64x64 Poisson system, phi=2, two ranks failing at
+// iteration 10), then follow its progress:
+//
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "matrix": {"generator": "poisson2d", "params": {"nx": 64}},
+//	  "config": {"ranks": 8, "phi": 2,
+//	             "schedule": [{"iteration": 10, "ranks": [2, 3]}]}
+//	}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -sN localhost:8080/v1/jobs/job-000001/events
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
+//
+// See README.md for the full API walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "solve worker pool size")
+	queueCap := flag.Int("queue", 256, "job queue capacity")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{Workers: *workers, QueueCap: *queueCap})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Println("esrd: shutting down")
+		// Close the engine first: it cancels every job, which terminates the
+		// open NDJSON event streams, so the HTTP drain below can finish
+		// instead of waiting out its timeout behind infinite streams.
+		eng.Close()
+		shutdownCtx, done := context.WithTimeout(context.Background(), 10*time.Second)
+		defer done()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("esrd: listening on %s (%d workers, queue %d)", *addr, *workers, *queueCap)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown begins; wait for the drain
+	// and engine teardown to actually finish before exiting.
+	<-shutdownDone
+}

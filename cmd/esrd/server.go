@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// server exposes the job engine over HTTP:
+//
+//	POST   /v1/jobs             submit a JobSpec, returns {"id": ...}
+//	GET    /v1/jobs             list job statuses
+//	GET    /v1/jobs/{id}        job status snapshot
+//	GET    /v1/jobs/{id}/events NDJSON event stream (follows until terminal;
+//	                            ?from=N resumes after sequence number N-1)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/healthz          liveness
+type server struct {
+	eng *engine.Engine
+}
+
+// newMux routes the API onto a fresh ServeMux.
+func newMux(eng *engine.Engine) *http.ServeMux {
+	s := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	return mux
+}
+
+// apiError is the uniform JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Encode before writing the header: values containing NaN/Inf floats
+	// (e.g. a diverged solve's residuals) are unencodable, and the failure
+	// must surface as a 500 error envelope, not an empty 200 body.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", "encoding response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// statusFor maps engine errors to HTTP codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, engine.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrTerminal):
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec engine.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	id, err := s.eng.Submit(spec)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.List())
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	st, err := s.eng.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.eng.Cancel(id); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	// Report the job's actual state: a queued job is already cancelled, a
+	// running one goes terminal when the worker observes the abort.
+	st, err := s.eng.Get(id)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(st.State)})
+}
+
+// events streams the job's event log as NDJSON, flushing per event, until
+// the job reaches a terminal state (or the client goes away).
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from parameter %q", q))
+			return
+		}
+		from = v
+	}
+	ch, stop, err := s.eng.Watch(r.PathValue("id"), from)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	defer stop()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				// An unencodable event (NaN residual) must not silently
+				// truncate the stream: emit an error line, then stop.
+				fmt.Fprintf(w, "{\"error\":%q}\n", "encoding event: "+err.Error())
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":   true,
+		"time": time.Now().UTC().Format(time.RFC3339Nano),
+		"jobs": s.eng.Count(),
+	})
+}

@@ -1,0 +1,392 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+)
+
+// newTestServer wires a fresh engine behind an httptest server.
+func newTestServer(t *testing.T, workers int) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.Options{Workers: workers, QueueCap: 64})
+	ts := httptest.NewServer(newMux(eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return ts, eng
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec engine.JobSpec) string {
+	t.Helper()
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("submit returned empty id")
+	}
+	return out.ID
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) engine.JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get %s: status %d", id, resp.StatusCode)
+	}
+	var st engine.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) engine.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := getStatus(t, ts, id)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// readEvents drains the NDJSON stream for a job.
+func readEvents(t *testing.T, ts *httptest.Server, id string, from int) []engine.Event {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", ts.URL, id, from))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events %s: status %d", id, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var events []engine.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev engine.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestQuickHealthz is the CI smoke test for the daemon wiring.
+func TestQuickHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := out["ok"].(bool); !ok {
+		t.Fatalf("healthz = %v", out)
+	}
+}
+
+// TestEndToEnd is the acceptance scenario: >= 8 concurrent jobs (mixed
+// failure-free, simultaneous-failure, and overlapping-failure schedules)
+// against a pool of 4 workers. All must reach terminal states, streamed
+// events must show monotone iterations and finite relative residuals, and a
+// job cancelled mid-run must terminate promptly without leaking goroutines.
+func TestEndToEnd(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	eng := engine.New(engine.Options{Workers: 4, QueueCap: 64})
+	ts := httptest.NewServer(newMux(eng))
+
+	poisson := func(nx int) engine.MatrixSpec {
+		return engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": float64(nx)}}
+	}
+	specs := []engine.JobSpec{
+		// Failure-free, assorted generators and preconditioners.
+		{Matrix: poisson(16), Config: engine.Config{Ranks: 4}},
+		{Matrix: engine.MatrixSpec{Generator: "circuit", Params: map[string]float64{"n": 600}},
+			Config: engine.Config{Ranks: 4, Preconditioner: engine.PrecondJacobi}},
+		{Matrix: engine.MatrixSpec{Generator: "M1", Params: map[string]float64{"scale": 0}},
+			Config: engine.Config{Ranks: 4}},
+		{Matrix: poisson(20), Config: engine.Config{Ranks: 4, Preconditioner: engine.PrecondSSOR}},
+		// Simultaneous multi-node failures.
+		{Matrix: poisson(16), Config: engine.Config{Ranks: 4, Phi: 2,
+			Schedule: faults.NewSchedule(faults.Simultaneous(5, 1, 2))}},
+		{Matrix: engine.MatrixSpec{Generator: "elasticity3d",
+			Params: map[string]float64{"nx": 5, "ny": 5, "nz": 4, "seed": 3}},
+			Config: engine.Config{Ranks: 8, Phi: 3,
+				Schedule: faults.NewSchedule(faults.Simultaneous(4, 1, 2, 3))}},
+		// Overlapping failure during a reconstruction.
+		{Matrix: engine.MatrixSpec{Generator: "poisson3d", Params: map[string]float64{"nx": 8}},
+			Config: engine.Config{Ranks: 8, Phi: 2,
+				Schedule: faults.NewSchedule(faults.Simultaneous(3, 2), faults.Overlapping(3, 3, 5))}},
+		{Matrix: poisson(24), Config: engine.Config{Ranks: 4, Phi: 1,
+			Schedule: faults.NewSchedule(faults.Simultaneous(8, 3))}},
+	}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		ids[i] = postJob(t, ts, spec)
+	}
+	// Plus one long-running job to cancel mid-solve.
+	cancelID := postJob(t, ts, engine.JobSpec{
+		Matrix: poisson(180),
+		Config: engine.Config{Ranks: 4, Preconditioner: engine.PrecondIdentity, Tol: 1e-12},
+	})
+
+	// Wait for the cancel victim to be mid-solve (running, progress logged),
+	// then cancel it over HTTP and require prompt termination.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getStatus(t, ts, cancelID)
+		if st.State == engine.StateRunning && st.Events > 3 {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("cancel victim finished early: %s (%s)", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancel victim never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+cancelID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelStart := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"state"`) {
+		t.Fatalf("cancel response lacks actual state: %s", body)
+	}
+	st := waitState(t, ts, cancelID, 10*time.Second)
+	if st.State != engine.StateCancelled {
+		t.Fatalf("cancelled job state = %s (err %q)", st.State, st.Error)
+	}
+	if took := time.Since(cancelStart); took > 5*time.Second {
+		t.Fatalf("cancellation took %v", took)
+	}
+
+	// Every other job must reach done, converged.
+	for i, id := range ids {
+		st := waitState(t, ts, id, 60*time.Second)
+		if st.State != engine.StateDone {
+			t.Fatalf("job %d (%s): %s (%s)", i, id, st.State, st.Error)
+		}
+		if st.Result == nil || !st.Result.Result.Converged {
+			t.Fatalf("job %d (%s): unconverged result", i, id)
+		}
+	}
+
+	// Streamed events: full lifecycle, monotone iterations, finite relative
+	// residuals, failures' reconstruction episodes present.
+	for i, id := range ids {
+		events := readEvents(t, ts, id, 0)
+		if len(events) < 3 {
+			t.Fatalf("job %d: only %d events", i, len(events))
+		}
+		if events[0].State != engine.StateQueued || events[len(events)-1].State != engine.StateDone {
+			t.Fatalf("job %d: lifecycle %v ... %v", i, events[0], events[len(events)-1])
+		}
+		lastIter, progress, recs := 0, 0, 0
+		for _, ev := range events {
+			switch ev.Kind {
+			case engine.EventProgress:
+				progress++
+				if ev.Iteration <= lastIter {
+					t.Fatalf("job %d: iteration %d after %d", i, ev.Iteration, lastIter)
+				}
+				lastIter = ev.Iteration
+				if ev.RelResidual <= 0 || math.IsNaN(ev.RelResidual) || math.IsInf(ev.RelResidual, 0) {
+					t.Fatalf("job %d: bad rel residual %g", i, ev.RelResidual)
+				}
+			case engine.EventReconstruction:
+				recs++
+				if ev.Reconstruction == nil {
+					t.Fatalf("job %d: reconstruction event without payload", i)
+				}
+			}
+		}
+		if progress == 0 {
+			t.Fatalf("job %d: no progress events", i)
+		}
+		wantRecs := !specs[i].Config.Schedule.Empty()
+		if wantRecs && recs == 0 {
+			t.Fatalf("job %d: schedule configured but no reconstruction events", i)
+		}
+		// Resuming mid-log yields the suffix.
+		tail := readEvents(t, ts, id, 2)
+		if len(tail) != len(events)-2 || tail[0].Seq != 2 {
+			t.Fatalf("job %d: resume from 2 returned %d events (seq %d)", i, len(tail), tail[0].Seq)
+		}
+	}
+
+	// The cancelled job's stream ends in the cancelled state.
+	events := readEvents(t, ts, cancelID, 0)
+	if last := events[len(events)-1]; last.State != engine.StateCancelled {
+		t.Fatalf("cancelled job last event: %+v", last)
+	}
+
+	// Tear everything down: no goroutines may leak from the aborted solve,
+	// the watchers, or the pool.
+	ts.Close()
+	eng.Close()
+	var goroutinesAfter int
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		goroutinesAfter = runtime.NumGoroutine()
+		if goroutinesAfter <= goroutinesBefore+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after", goroutinesBefore, goroutinesAfter)
+}
+
+// TestWriteJSONNaNFallback checks the defensive encode path: a value that
+// cannot be marshalled (NaN float) yields a 500 error envelope, never an
+// empty 200 body.
+func TestWriteJSONNaNFallback(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]float64{"residual": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "encoding response") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+// TestAPIErrors covers the HTTP error mapping.
+func TestAPIErrors(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"matrix": {"generator": "poisson2d"}, "bogus_field": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/v1/jobs/job-999999", "/v1/jobs/job-999999/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+
+	// Cancelling a finished job conflicts.
+	id := postJob(t, ts, engine.JobSpec{
+		Matrix: engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 12}},
+		Config: engine.Config{Ranks: 2},
+	})
+	waitState(t, ts, id, 30*time.Second)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel terminal job: %d", resp.StatusCode)
+	}
+
+	// A matrix with NaN entries (valid MatrixMarket floats) fails the job
+	// with a clear error instead of poisoning results with NaN.
+	id = postJob(t, ts, engine.JobSpec{
+		Matrix: engine.MatrixSpec{MatrixMarket: []byte(
+			"%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 nan\n2 2 1.0\n1 2 0.5\n")},
+		Config: engine.Config{Ranks: 2, Preconditioner: engine.PrecondIdentity},
+	})
+	st := waitState(t, ts, id, 30*time.Second)
+	if st.State != engine.StateFailed || !strings.Contains(st.Error, "not finite") {
+		t.Fatalf("NaN-matrix job: %s (%q)", st.State, st.Error)
+	}
+
+	// A failed job reports its error in the status.
+	id = postJob(t, ts, engine.JobSpec{
+		Matrix: engine.MatrixSpec{MatrixMarket: []byte("%%MatrixMarket matrix array real general\n2 2\n")},
+	})
+	st = waitState(t, ts, id, 30*time.Second)
+	if st.State != engine.StateFailed || st.Error == "" {
+		t.Fatalf("bad-matrix job: %s (%q)", st.State, st.Error)
+	}
+}

@@ -23,24 +23,27 @@
 //	    Schedule: esr.NewSchedule(esr.Simultaneous(10, 2, 3, 4)),
 //	})
 //
+// SolveContext adds cancellation, deadlines, and per-iteration progress
+// callbacks; it shares one code path with the internal/engine job engine, so
+// the same solve can also be submitted to the cmd/esrd HTTP daemon as a
+// queued, observable, cancellable job.
+//
 // The cmd/esrbench tool reproduces every table and figure of the paper's
-// evaluation; see DESIGN.md and EXPERIMENTS.md.
+// evaluation; see DESIGN.md and EXPERIMENTS.md. See README.md for a
+// quickstart covering the library, the daemon, and failure schedules, plus a
+// map of the internal/ packages.
 package esr
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"math"
-	"sync"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/distmat"
+	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/matgen"
 	"repro/internal/mmio"
-	"repro/internal/partition"
-	"repro/internal/precond"
 	"repro/internal/sparse"
 )
 
@@ -87,158 +90,48 @@ type Result = core.Result
 // Reconstruction records one exact-state-reconstruction episode.
 type Reconstruction = core.Reconstruction
 
+// ProgressEvent is one solver progress notification (per iteration or per
+// reconstruction episode), delivered through Config.Progress.
+type ProgressEvent = core.ProgressEvent
+
 // DataLossError reports an unrecoverable failure set (more data lost than
 // the redundancy level covers).
 type DataLossError = core.DataLossError
 
 // Preconditioner names accepted by Config.
 const (
-	PrecondIdentity        = "identity"
-	PrecondJacobi          = "jacobi"
-	PrecondBlockJacobiILU  = "block-jacobi-ilu"
-	PrecondBlockJacobiChol = "block-jacobi-cholesky"
-	PrecondSSOR            = "ssor"
+	PrecondIdentity        = engine.PrecondIdentity
+	PrecondJacobi          = engine.PrecondJacobi
+	PrecondBlockJacobiILU  = engine.PrecondBlockJacobiILU
+	PrecondBlockJacobiChol = engine.PrecondBlockJacobiChol
+	PrecondSSOR            = engine.PrecondSSOR
 )
 
-// Config controls a Solve run.
-type Config struct {
-	// Ranks is the number of simulated compute nodes (default 8).
-	Ranks int
-	// Phi is the number of simultaneous node failures to tolerate
-	// (default 0: plain PCG without redundancy).
-	Phi int
-	// Preconditioner selects the node-local block preconditioner; see the
-	// Precond* constants (default block-jacobi-ilu).
-	Preconditioner string
-	// Tol is the relative residual reduction target (default 1e-8, as in
-	// the paper).
-	Tol float64
-	// MaxIter bounds the PCG iterations (default 10 n).
-	MaxIter int
-	// LocalTol is the reconstruction subsystem tolerance (default 1e-14).
-	LocalTol float64
-	// SSOROmega is the relaxation factor when Preconditioner is "ssor"
-	// (default 1.2).
-	SSOROmega float64
-	// Schedule injects node failures (nil for a failure-free run).
-	Schedule *Schedule
-}
-
-func (c Config) withDefaults() Config {
-	if c.Ranks <= 0 {
-		c.Ranks = 8
-	}
-	if c.Preconditioner == "" {
-		c.Preconditioner = PrecondBlockJacobiILU
-	}
-	if c.SSOROmega == 0 {
-		c.SSOROmega = 1.2
-	}
-	return c
-}
+// Config controls a Solve run. The zero value selects the paper's
+// experimental setup; zero-valued numerical fields (Tol, MaxIter, LocalTol)
+// defer to the solver-layer defaults in internal/core (Tol 1e-8, MaxIter
+// 10 n, LocalTol 1e-14), which are the single source of truth.
+type Config = engine.Config
 
 // Solution is the outcome of a Solve call.
-type Solution struct {
-	// X is the computed solution vector.
-	X []float64
-	// Result carries convergence and reconstruction statistics.
-	Result Result
-}
+type Solution = engine.Solution
 
 // Solve distributes the SPD system A x = b over an in-process cluster and
 // runs the resilient PCG solver, injecting the configured failures. It is
 // the high-level entry point; packages under internal/ expose the full
 // distributed API for embedding.
 func Solve(a *Matrix, b []float64, cfg Config) (Solution, error) {
-	cfg = cfg.withDefaults()
-	if a.Rows != a.Cols {
-		return Solution{}, fmt.Errorf("esr: matrix must be square, got %dx%d", a.Rows, a.Cols)
-	}
-	if len(b) != a.Rows {
-		return Solution{}, fmt.Errorf("esr: rhs length %d != %d", len(b), a.Rows)
-	}
-	if cfg.Ranks > a.Rows {
-		cfg.Ranks = a.Rows
-	}
-	if cfg.Phi < 0 || cfg.Phi >= cfg.Ranks {
-		return Solution{}, fmt.Errorf("esr: phi %d out of range [0, %d)", cfg.Phi, cfg.Ranks)
-	}
-
-	rt := cluster.New(cfg.Ranks)
-	p := partition.NewBlockRow(a.Rows, cfg.Ranks)
-	var mu sync.Mutex
-	sol := Solution{X: make([]float64, a.Rows)}
-	err := rt.Run(func(c *cluster.Comm) error {
-		e := distmat.WorldEnv(c)
-		lo, hi := p.Range(e.Pos)
-		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, cfg.Phi, 0)
-		if err != nil {
-			return err
-		}
-		prec, err := buildPrecond(cfg, m)
-		if err != nil {
-			return err
-		}
-		bv := distmat.Vector{P: p, Pos: e.Pos, Local: append([]float64(nil), b[lo:hi]...)}
-		x := distmat.NewVector(p, e.Pos)
-		opts := core.Options{Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol}
-		var res Result
-		if cfg.Phi == 0 && cfg.Schedule.Empty() {
-			res, err = core.PCG(e, m, x, bv, prec, opts)
-		} else {
-			res, err = core.ESRPCG(e, m, x, bv, prec, opts, cfg.Schedule)
-		}
-		if err != nil {
-			return err
-		}
-		full, err := distmat.Gather(e, x)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			mu.Lock()
-			copy(sol.X, full)
-			sol.Result = res
-			mu.Unlock()
-		}
-		return nil
-	})
-	if err != nil {
-		return Solution{}, err
-	}
-	return sol, nil
+	return SolveContext(context.Background(), a, b, cfg)
 }
 
-func buildPrecond(cfg Config, m *distmat.Matrix) (core.Precond, error) {
-	switch cfg.Preconditioner {
-	case PrecondIdentity:
-		return core.IdentityPrecond(), nil
-	case PrecondJacobi:
-		j, err := precond.NewJacobi(m.Diag())
-		if err != nil {
-			return nil, err
-		}
-		return core.LocalPrecond{P: j}, nil
-	case PrecondBlockJacobiILU:
-		f, err := precond.NewBlockJacobiILU(m.OwnBlock())
-		if err != nil {
-			return nil, err
-		}
-		return core.LocalPrecond{P: f}, nil
-	case PrecondBlockJacobiChol:
-		ch, err := precond.NewBlockJacobiChol(m.OwnBlock())
-		if err != nil {
-			return nil, err
-		}
-		return core.LocalPrecond{P: ch}, nil
-	case PrecondSSOR:
-		s, err := precond.NewSSOR(m.OwnBlock(), cfg.SSOROmega)
-		if err != nil {
-			return nil, err
-		}
-		return core.LocalPrecond{P: s}, nil
-	}
-	return nil, fmt.Errorf("esr: unknown preconditioner %q", cfg.Preconditioner)
+// SolveContext is Solve with lifecycle control: cancelling ctx (or hitting
+// its deadline) aborts the in-process cluster — ranks blocked in
+// communication are woken — and returns the context's cause error. Progress
+// can be observed per iteration via Config.Progress. SolveContext is the
+// same single-job code path the internal job engine and the cmd/esrd daemon
+// execute.
+func SolveContext(ctx context.Context, a *Matrix, b []float64, cfg Config) (Solution, error) {
+	return engine.SolveSystem(ctx, a, b, cfg)
 }
 
 // ResidualNorm returns ||b - A x||_2, for verifying solutions.

@@ -18,8 +18,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -65,6 +67,10 @@ type Runtime struct {
 	mu       sync.Mutex
 	nodes    []*node
 	counters Counters
+
+	abort      chan struct{} // closed by Abort
+	abortOnce  sync.Once
+	abortCause error // set before abort closes; read only after <-abort
 }
 
 // New creates a runtime with the given number of rank slots.
@@ -72,7 +78,7 @@ func New(size int) *Runtime {
 	if size <= 0 {
 		panic("cluster: non-positive size")
 	}
-	rt := &Runtime{size: size, nodes: make([]*node, size)}
+	rt := &Runtime{size: size, nodes: make([]*node, size), abort: make(chan struct{})}
 	for i := range rt.nodes {
 		rt.nodes[i] = rt.freshNode(i)
 	}
@@ -99,6 +105,31 @@ func (rt *Runtime) nodeAt(rank int) *node {
 	defer rt.mu.Unlock()
 	return rt.nodes[rank]
 }
+
+// Abort tears the whole runtime down: every pending and future communication
+// operation on every rank fails with an AbortError wrapping cause. Unlike
+// Kill, which models the fail-stop loss of one node, Abort models an
+// administrative shutdown (job cancellation, deadline): no recovery runs and
+// Runtime.Run filters the resulting per-rank errors as expected termination.
+// Safe to call from any goroutine; only the first call's cause is kept.
+func (rt *Runtime) Abort(cause error) {
+	rt.abortOnce.Do(func() {
+		rt.abortCause = cause
+		close(rt.abort)
+	})
+}
+
+// Aborted reports whether the runtime has been aborted, and the cause.
+func (rt *Runtime) Aborted() (error, bool) {
+	select {
+	case <-rt.abort:
+		return rt.abortCause, true
+	default:
+		return nil, false
+	}
+}
+
+func (rt *Runtime) abortErr() error { return &AbortError{Cause: rt.abortCause} }
 
 // Kill fails the node currently occupying the slot: its memory is considered
 // lost and all communication involving it reports RankFailedError. Safe to
@@ -131,17 +162,65 @@ func (rt *Runtime) Run(fn func(c *Comm) error) error {
 		c := &Comm{rt: rt, rank: r, node: rt.nodeAt(r), pending: map[msgKey][]Msg{}}
 		go func(r int, c *Comm) {
 			defer wg.Done()
+			defer func() {
+				// A panicking rank must not take the whole process down
+				// (the runtime may be embedded in a long-lived service).
+				// Abort the run so peers blocked on this rank's
+				// communication unwind instead of deadlocking.
+				if p := recover(); p != nil {
+					// Keep the stack: with the process surviving, this
+					// error is the only diagnostic of the crash site.
+					err := fmt.Errorf("cluster: rank %d panicked: %v\n%s", r, p, debug.Stack())
+					errs[r] = err
+					rt.Abort(err)
+				}
+			}()
 			errs[r] = fn(c)
 		}(r, c)
 	}
 	wg.Wait()
 	var agg []error
 	for r, err := range errs {
-		if err != nil && !errors.Is(err, ErrKilled) {
+		if err != nil && !errors.Is(err, ErrKilled) && !errors.Is(err, ErrAborted) {
 			agg = append(agg, fmt.Errorf("rank %d: %w", r, err))
 		}
 	}
 	return errors.Join(agg...)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled before the SPMD
+// program completes, the runtime is aborted (all blocked communication wakes
+// with an AbortError) and RunContext returns the context's cause. Ranks still
+// observe the abort through their communication calls and must unwind; a
+// rank that ignores errors can still stall the return, so SPMD programs
+// should propagate communication errors promptly.
+func (rt *Runtime) RunContext(ctx context.Context, fn func(c *Comm) error) error {
+	if ctx == nil {
+		return rt.Run(fn)
+	}
+	watcherDone := make(chan struct{})
+	ranksDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			rt.Abort(context.Cause(ctx))
+		case <-ranksDone:
+		}
+	}()
+	err := rt.Run(fn)
+	close(ranksDone)
+	<-watcherDone
+	if cause, ok := rt.Aborted(); ok && cause != nil {
+		return cause
+	}
+	if ctx.Err() != nil {
+		// Ranks may all have observed the context themselves (e.g. via a
+		// solver's poll) and unwound before the watcher aborted the runtime;
+		// return the clean cause rather than a join of per-rank errors.
+		return context.Cause(ctx)
+	}
+	return err
 }
 
 // Comm is a per-rank communicator handle. It must only be used from the
@@ -163,9 +242,13 @@ func (c *Comm) Size() int { return c.rt.size }
 // tests and harnesses).
 func (c *Comm) Runtime() *Runtime { return c.rt }
 
-// Check returns ErrKilled if this rank has been killed. SPMD programs call
-// it at cancellation points (top of iterations).
+// Check returns ErrKilled if this rank has been killed and an AbortError if
+// the runtime has been aborted. SPMD programs call it at cancellation points
+// (top of iterations).
 func (c *Comm) Check() error {
+	if _, ok := c.rt.Aborted(); ok {
+		return c.rt.abortErr()
+	}
 	if c.node.isDead() {
 		return ErrKilled
 	}
@@ -208,6 +291,8 @@ func (c *Comm) Send(cat Category, to, tag int, f []float64, ints []int) error {
 		return &RankFailedError{Rank: to}
 	case <-c.node.dead:
 		return ErrKilled
+	case <-c.rt.abort:
+		return c.rt.abortErr()
 	}
 }
 
@@ -251,6 +336,8 @@ func (c *Comm) Recv(from, tag int) (Msg, error) {
 			c.pending[k] = append(c.pending[k], m)
 		case <-c.node.dead:
 			return Msg{}, ErrKilled
+		case <-c.rt.abort:
+			return Msg{}, c.rt.abortErr()
 		case <-src.dead:
 			// The source died; drain any message it managed to send first.
 			for {
@@ -303,6 +390,8 @@ func (c *Comm) SendOwned(cat Category, to, tag int, f []float64, ints []int) err
 		return &RankFailedError{Rank: to}
 	case <-c.node.dead:
 		return ErrKilled
+	case <-c.rt.abort:
+		return c.rt.abortErr()
 	}
 }
 

@@ -100,6 +100,9 @@ func seqSolution(t *testing.T, a *sparse.CSR) []float64 {
 }
 
 func TestPCGSolvesCatalogue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalogue sweep")
+	}
 	for _, entry := range matgen.Catalogue() {
 		entry := entry
 		t.Run(entry.ID, func(t *testing.T) {

@@ -74,6 +74,9 @@ func ESRPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, o
 	target := func() float64 { return opts.Tol * st.r0 }
 
 	for j := 0; j < opts.MaxIter; j++ {
+		if err := opts.poll(); err != nil {
+			return res, err
+		}
 		// u = A p(j): the SpMV that distributes the redundant copies of
 		// p(j) and retains generation j.
 		if err := a.MatVec(e, st.u, st.p, j); err != nil {
@@ -88,6 +91,11 @@ func ESRPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, o
 			}
 			res.Reconstructions = append(res.Reconstructions, rec)
 			res.ReconstructTime += rec.Duration
+			recCopy := rec
+			opts.notify(ProgressEvent{
+				Iteration: j, Residual: res.FinalResidual,
+				RelResidual: relTo(res.FinalResidual, st.r0), Reconstruction: &recCopy,
+			})
 			// Redo the SpMV of iteration j: recomputes u everywhere and
 			// re-establishes the redundancy copies on the replacements.
 			if err := a.MatVec(e, st.u, st.p, j); err != nil {
@@ -104,7 +112,8 @@ func ESRPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, o
 		if err != nil {
 			return res, err
 		}
-		if pu <= 0 {
+		// Negated comparison so NaN also trips the breakdown (see PCG).
+		if !(pu > 0) {
 			return res, fmt.Errorf("core: ESR-PCG breakdown, p'Ap = %g at iteration %d", pu, j)
 		}
 		alpha := st.rz / pu
@@ -121,6 +130,10 @@ func ESRPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, o
 		rzNew := norms[1]
 		res.Iterations = j + 1
 		res.FinalResidual = rn
+		if math.IsNaN(rn) || math.IsInf(rn, 0) {
+			return res, fmt.Errorf("core: ESR-PCG diverged, ||r|| = %g at iteration %d", rn, j)
+		}
+		opts.notify(ProgressEvent{Iteration: j + 1, Residual: rn, RelResidual: relTo(rn, st.r0)})
 		if rn <= target() {
 			res.Converged = true
 			break

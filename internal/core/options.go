@@ -7,12 +7,38 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/distmat"
 	"repro/internal/precond"
 )
+
+// ProgressEvent is one solver progress notification, emitted at the end of
+// an iteration or after a reconstruction episode.
+type ProgressEvent struct {
+	// Iteration is the 1-based number of completed PCG iterations. For
+	// reconstruction events it is instead the 0-based iteration whose state
+	// was rebuilt (matching Reconstruction.Iteration): the episode happens
+	// mid-iteration, before that iteration completes.
+	Iteration int
+	// Residual is the recurrence residual norm ||r|| after the completed
+	// iteration. For reconstruction events it is the residual of the last
+	// completed iteration (||r0|| when the failure struck iteration 0).
+	Residual float64
+	// RelResidual is Residual / ||r0|| (0 when ||r0|| was already zero).
+	RelResidual float64
+	// Reconstruction is non-nil when the event reports a completed recovery
+	// episode rather than a converging iteration.
+	Reconstruction *Reconstruction
+}
+
+// ProgressFunc observes solver progress. It is called synchronously from the
+// solver loop of the rank it was installed on, so it must be cheap and must
+// not block; expensive consumers should hand the event off to a channel or
+// goroutine of their own.
+type ProgressFunc func(ProgressEvent)
 
 // Options configures a solver run.
 type Options struct {
@@ -27,6 +53,44 @@ type Options struct {
 	// LocalMaxIter bounds the reconstruction subsystem iterations; <= 0
 	// selects 40 * subsystem size.
 	LocalMaxIter int
+	// Ctx, when non-nil, cancels the solve: the solver polls it at the top
+	// of every iteration and returns the context's cause error. Pair it with
+	// cluster.Runtime.RunContext so ranks blocked in communication are woken
+	// as well; polling alone only reaches ranks between operations.
+	Ctx context.Context
+	// Progress, when non-nil, is called after every completed iteration and
+	// after every reconstruction episode, on whichever ranks it is installed
+	// on. Install it on a single rank (conventionally rank 0) to observe a
+	// solve exactly once.
+	Progress ProgressFunc
+}
+
+// poll returns the context's cause when Options.Ctx has been cancelled.
+func (o Options) poll() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return context.Cause(o.Ctx)
+	default:
+		return nil
+	}
+}
+
+// notify emits a progress event if a callback is installed.
+func (o Options) notify(ev ProgressEvent) {
+	if o.Progress != nil {
+		o.Progress(ev)
+	}
+}
+
+// relTo returns num/den guarding against a zero denominator.
+func relTo(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // withDefaults fills unset options with the paper's experimental defaults.

@@ -53,6 +53,9 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 	target := opts.Tol * r0
 
 	for j := 0; j < opts.MaxIter; j++ {
+		if err := opts.poll(); err != nil {
+			return res, err
+		}
 		// u = A p(j) (lines 3/5 share the product).
 		if err := a.MatVec(e, u, p, j); err != nil {
 			return Result{}, err
@@ -61,7 +64,9 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 		if err != nil {
 			return Result{}, err
 		}
-		if pu <= 0 {
+		// Negated comparison so NaN (from an overflowed iterate) also trips
+		// the breakdown instead of spinning NaN arithmetic to MaxIter.
+		if !(pu > 0) {
 			return res, fmt.Errorf("core: PCG breakdown, p'Ap = %g at iteration %d", pu, j)
 		}
 		alpha := rz / pu
@@ -78,6 +83,10 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 		rzNew := norms[1]
 		res.Iterations = j + 1
 		res.FinalResidual = rn
+		if math.IsNaN(rn) || math.IsInf(rn, 0) {
+			return res, fmt.Errorf("core: PCG diverged, ||r|| = %g at iteration %d", rn, j)
+		}
+		opts.notify(ProgressEvent{Iteration: j + 1, Residual: rn, RelResidual: relTo(rn, r0)})
 		if rn <= target {
 			res.Converged = true
 			break

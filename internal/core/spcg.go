@@ -72,6 +72,9 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 	}
 
 	for j := 0; j < opts.MaxIter; j++ {
+		if err := opts.poll(); err != nil {
+			return res, err
+		}
 		if err := a.MatVec(e, st.u, st.p, j); err != nil {
 			return res, err
 		}
@@ -82,6 +85,11 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 			}
 			res.Reconstructions = append(res.Reconstructions, rec)
 			res.ReconstructTime += rec.Duration
+			recCopy := rec
+			opts.notify(ProgressEvent{
+				Iteration: j, Residual: res.FinalResidual,
+				RelResidual: relTo(res.FinalResidual, st.r0), Reconstruction: &recCopy,
+			})
 			if err := a.MatVec(e, st.u, st.p, j); err != nil {
 				return res, err
 			}
@@ -95,7 +103,8 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 		if err != nil {
 			return res, err
 		}
-		if pu <= 0 {
+		// Negated comparison so NaN also trips the breakdown (see PCG).
+		if !(pu > 0) {
 			return res, fmt.Errorf("core: SPCG breakdown, p'Ap = %g at iteration %d", pu, j)
 		}
 		alpha := st.rho / pu
@@ -113,6 +122,10 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 		rhoNew := norms[1]
 		res.Iterations = j + 1
 		res.FinalResidual = rn
+		if math.IsNaN(rn) || math.IsInf(rn, 0) {
+			return res, fmt.Errorf("core: SPCG diverged, ||r|| = %g at iteration %d", rn, j)
+		}
+		opts.notify(ProgressEvent{Iteration: j + 1, Residual: rn, RelResidual: relTo(rn, st.r0)})
 		if rn <= opts.Tol*st.r0 {
 			res.Converged = true
 			break

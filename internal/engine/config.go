@@ -1,0 +1,75 @@
+// Package engine is the concurrent solve-job subsystem: a typed JobSpec
+// (matrix source, right-hand side, solver configuration), a bounded worker
+// pool with a FIFO queue, per-job context cancellation and deadlines, a
+// progress-event stream, and an in-memory result store with job lifecycle
+// states (queued -> running -> done|failed|cancelled).
+//
+// The package also owns the single-job solve path (SolveSystem): the public
+// esr.Solve / esr.SolveContext entry points and the engine's workers share
+// this one code path, so a job submitted to the cmd/esrd daemon runs exactly
+// the library call.
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// Preconditioner names accepted by Config.
+const (
+	PrecondIdentity        = "identity"
+	PrecondJacobi          = "jacobi"
+	PrecondBlockJacobiILU  = "block-jacobi-ilu"
+	PrecondBlockJacobiChol = "block-jacobi-cholesky"
+	PrecondSSOR            = "ssor"
+)
+
+// Config controls a solve. The zero value selects the paper's experimental
+// setup. Numerical defaults (Tol, MaxIter, LocalTol) are NOT filled in here:
+// their single source of truth is core.Options.withDefaults, which resolves
+// zero values against the paper's Sec. 7.1 settings (Tol 1e-8, MaxIter 10 n,
+// LocalTol 1e-14) at solve time. Config only normalizes the fields that the
+// solver layer cannot default (Ranks, Preconditioner, SSOROmega).
+type Config struct {
+	// Ranks is the number of simulated compute nodes (default 8).
+	Ranks int `json:"ranks,omitempty"`
+	// Phi is the number of simultaneous node failures to tolerate
+	// (default 0: plain PCG without redundancy).
+	Phi int `json:"phi,omitempty"`
+	// Preconditioner selects the node-local block preconditioner; see the
+	// Precond* constants (default block-jacobi-ilu).
+	Preconditioner string `json:"preconditioner,omitempty"`
+	// Tol is the relative residual reduction target; <= 0 selects the
+	// core.Options default (1e-8, as in the paper).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter bounds the PCG iterations; <= 0 selects the core.Options
+	// default (10 n).
+	MaxIter int `json:"max_iter,omitempty"`
+	// LocalTol is the reconstruction subsystem tolerance; <= 0 selects the
+	// core.Options default (1e-14).
+	LocalTol float64 `json:"local_tol,omitempty"`
+	// SSOROmega is the relaxation factor when Preconditioner is "ssor"
+	// (default 1.2).
+	SSOROmega float64 `json:"ssor_omega,omitempty"`
+	// Schedule injects node failures (nil for a failure-free run).
+	Schedule *faults.Schedule `json:"schedule,omitempty"`
+	// Progress, when non-nil, observes the solve from rank 0: one event per
+	// iteration plus one per reconstruction episode. Not serialized; jobs
+	// submitted over the wire stream the same events through the engine.
+	Progress core.ProgressFunc `json:"-"`
+}
+
+// WithDefaults normalizes the runtime-level fields (see the type doc for why
+// the numerical tolerances are left to core.Options).
+func (c Config) WithDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 8
+	}
+	if c.Preconditioner == "" {
+		c.Preconditioner = PrecondBlockJacobiILU
+	}
+	if c.SSOROmega == 0 {
+		c.SSOROmega = 1.2
+	}
+	return c
+}

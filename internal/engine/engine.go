@@ -1,0 +1,549 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// State is a job lifecycle state. Transitions are
+// queued -> running -> done|failed|cancelled, with the extra shortcut
+// queued -> cancelled for jobs cancelled before a worker picks them up.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// EventKind discriminates stream events.
+type EventKind string
+
+const (
+	// EventState reports a lifecycle transition (Event.State).
+	EventState EventKind = "state"
+	// EventProgress reports one solver iteration (Iteration, Residual,
+	// RelResidual).
+	EventProgress EventKind = "progress"
+	// EventReconstruction reports a completed recovery episode.
+	EventReconstruction EventKind = "reconstruction"
+)
+
+// Event is one entry of a job's progress stream. Seq is the event's index
+// in the job's log, so clients can resume a stream idempotently.
+type Event struct {
+	Seq   int       `json:"seq"`
+	JobID string    `json:"job_id"`
+	Time  time.Time `json:"time"`
+	Kind  EventKind `json:"kind"`
+
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// The telemetry fields are NOT omitempty: iteration 0 (a reconstruction
+	// at the first iteration) and an exactly-zero residual are meaningful
+	// values a stream consumer must be able to distinguish from absence.
+	Iteration      int                  `json:"iteration"`
+	Residual       float64              `json:"residual"`
+	RelResidual    float64              `json:"rel_residual"`
+	Reconstruction *core.Reconstruction `json:"reconstruction,omitempty"`
+}
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Spec is the job as submitted, minus the bulk payloads: uploaded
+	// MatrixMarket bytes and an explicit RHS are replaced by nil in
+	// snapshots (and released from the store once the job is terminal) so
+	// the in-memory result store and status responses stay small.
+	Spec JobSpec `json:"spec"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is set once the job is done. X is retained only when the spec
+	// asked for it (KeepSolution).
+	Result *Solution `json:"result,omitempty"`
+	// Events is the number of stream events logged so far.
+	Events     int        `json:"events"`
+	EnqueuedAt time.Time  `json:"enqueued_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// maxProgressEventsPerJob caps the retained progress events of one job's
+// log: a near-maxGenRows job can run tens of millions of iterations, and
+// the log is kept in memory for Watch replay. Once the cap is reached,
+// further progress events are dropped (state and reconstruction events are
+// always kept). A var so tests can lower it.
+var maxProgressEventsPerJob = 100_000
+
+// maxPendingPayloadBytes bounds the uploaded payload bytes (MatrixMarket +
+// explicit RHS) held by jobs that have not finished yet, so a deep queue of
+// maximum-size uploads cannot pin queueCap * bodyLimit memory. A var so
+// tests can lower it.
+var maxPendingPayloadBytes int64 = 256 << 20
+
+// Errors returned by the engine's control surface.
+var (
+	// ErrQueueFull reports that the FIFO queue is at capacity, or that the
+	// pending jobs' uploaded payloads exceed the engine's memory budget.
+	ErrQueueFull = errors.New("engine: job queue is full")
+	// ErrClosed reports a submission to a closed engine.
+	ErrClosed = errors.New("engine: engine is closed")
+	// ErrNotFound reports an unknown job id.
+	ErrNotFound = errors.New("engine: no such job")
+	// ErrTerminal reports a cancel of an already-terminal job.
+	ErrTerminal = errors.New("engine: job already in a terminal state")
+)
+
+// job is the engine-side record of one solve.
+type job struct {
+	id     string
+	spec   JobSpec
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	// payloadBytes is this job's share of the engine's pending-payload
+	// budget; zeroed (and returned to the budget) by Engine.finishPayloads.
+	payloadBytes int64
+
+	mu       sync.Mutex
+	state    State
+	events   []Event
+	updated  chan struct{} // closed and replaced on every publish
+	errMsg   string
+	result   *Solution
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// appendEventLocked stamps ev (sequence number, job id, time), appends it
+// to the log, and wakes all streamers. j.mu must be held.
+func (j *job) appendEventLocked(ev Event) {
+	ev.Seq = len(j.events)
+	ev.JobID = j.id
+	ev.Time = time.Now()
+	j.events = append(j.events, ev)
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// publish appends an event to the log and wakes all streamers. Callers must
+// not hold j.mu.
+func (j *job) publish(ev Event) {
+	j.mu.Lock()
+	j.appendEventLocked(ev)
+	j.mu.Unlock()
+}
+
+// transition moves the job to a new state and logs it. The ok return is
+// false when the job was already terminal (transition lost a race).
+func (j *job) transition(s State, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.transitionLocked(s, errMsg)
+}
+
+// transitionLocked is transition with j.mu already held.
+func (j *job) transitionLocked(s State, errMsg string) bool {
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = s
+	now := time.Now()
+	switch s {
+	case StateRunning:
+		j.started = now
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = now
+		j.errMsg = errMsg
+	}
+	j.appendEventLocked(Event{Kind: EventState, State: s, Error: errMsg})
+	return true
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	spec := j.spec
+	spec.Matrix.MatrixMarket = nil
+	spec.RHS = nil
+	st := JobStatus{
+		ID: j.id, State: j.state, Spec: spec, Error: j.errMsg,
+		Result: j.result, Events: len(j.events), EnqueuedAt: j.enqueued,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Options sizes an Engine.
+type Options struct {
+	// Workers is the size of the worker pool (default 2). Each worker runs
+	// one job at a time; a job itself spawns Config.Ranks goroutine ranks.
+	Workers int
+	// QueueCap bounds the FIFO queue of jobs waiting for a worker
+	// (default 64). Submissions beyond it fail with ErrQueueFull.
+	QueueCap int
+}
+
+// Engine is a bounded worker pool draining a FIFO queue of solve jobs, with
+// an in-memory store of every job it has ever accepted.
+type Engine struct {
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu           sync.Mutex
+	jobs         map[string]*job
+	order        []*job // submission order, for List
+	seq          int
+	closed       bool
+	payloadBytes int64 // uploaded payload bytes held by unfinished jobs
+}
+
+// New starts an engine with the given pool size and queue capacity.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 64
+	}
+	e := &Engine{
+		queue: make(chan *job, opts.QueueCap),
+		jobs:  map[string]*job{},
+	}
+	e.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the engine: no new submissions are accepted, every
+// non-terminal job is cancelled, and Close blocks until the workers have
+// drained. Idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	jobs := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	// Cancel every context before the queue closes: a worker that dequeues
+	// a job after this point must observe the cancellation up front, not
+	// start an uncancellable matrix build during shutdown.
+	for _, j := range jobs {
+		j.cancel(context.Canceled)
+	}
+	close(e.queue)
+	e.mu.Unlock()
+	e.wg.Wait()
+	for _, j := range jobs {
+		// Jobs still queued when the queue closed never reach a worker;
+		// finalize them here (transition is a no-op for terminal jobs).
+		j.transition(StateCancelled, "engine closed")
+		e.finishPayloads(j)
+	}
+}
+
+// Submit validates and enqueues a job, returning its id. The queue is FIFO:
+// workers pick jobs up in submission order.
+func (e *Engine) Submit(spec JobSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j := &job{
+		spec: spec, ctx: ctx, cancel: cancel,
+		state: StateQueued, updated: make(chan struct{}), enqueued: time.Now(),
+		payloadBytes: int64(len(spec.Matrix.MatrixMarket)) + 8*int64(len(spec.RHS)),
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel(ErrClosed)
+		return "", ErrClosed
+	}
+	if e.payloadBytes+j.payloadBytes > maxPendingPayloadBytes {
+		e.mu.Unlock()
+		cancel(ErrQueueFull)
+		return "", fmt.Errorf("%w: pending uploaded payloads exceed %d bytes", ErrQueueFull, maxPendingPayloadBytes)
+	}
+	e.seq++
+	j.id = fmt.Sprintf("job-%06d", e.seq)
+	// Log the queued event and account the payload budget before the job is
+	// reachable by a worker: the event stream must open with queued (seq 0)
+	// even if a worker logs running immediately, and a worker finishing fast
+	// must not release budget that was never charged.
+	j.publish(Event{Kind: EventState, State: StateQueued})
+	e.payloadBytes += j.payloadBytes
+	select {
+	case e.queue <- j:
+	default:
+		e.payloadBytes -= j.payloadBytes
+		e.mu.Unlock()
+		cancel(ErrQueueFull)
+		return "", ErrQueueFull
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j)
+	e.mu.Unlock()
+	return j.id, nil
+}
+
+// Get returns a snapshot of the job.
+func (e *Engine) Get(id string) (JobStatus, error) {
+	j, err := e.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.status(), nil
+}
+
+// List returns a snapshot of every job, in submission order.
+func (e *Engine) List() []JobStatus {
+	e.mu.Lock()
+	jobs := append([]*job(nil), e.order...)
+	e.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Count returns the number of jobs the engine has accepted.
+func (e *Engine) Count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.jobs)
+}
+
+// Cancel requests cancellation. Queued jobs go terminal immediately; running
+// jobs are aborted through their context (the cluster runtime wakes blocked
+// ranks) and go terminal when the worker observes the abort.
+func (e *Engine) Cancel(id string) error {
+	j, err := e.lookup(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return ErrTerminal
+	}
+	wasQueued := j.state == StateQueued
+	if wasQueued {
+		// Atomically with the state check, so a worker dequeuing the job
+		// concurrently either sees the terminal state and skips, or has
+		// already moved it to running and we fall through to the context
+		// cancellation below. The worker that eventually dequeues a
+		// cancelled-while-queued job skips it.
+		j.transitionLocked(StateCancelled, "")
+	}
+	j.mu.Unlock()
+	j.cancel(context.Canceled)
+	if wasQueued {
+		// No worker will materialize this job; return its uploaded payload
+		// bytes to the budget now rather than when it is eventually
+		// dequeued and skipped.
+		e.finishPayloads(j)
+	}
+	return nil
+}
+
+// Watch streams the job's events starting at sequence number from (0 replays
+// the full log). The channel is closed once the job is terminal and all
+// logged events have been delivered. The returned stop function releases the
+// stream's goroutine; it is safe to call multiple times.
+func (e *Engine) Watch(id string, from int) (<-chan Event, func(), error) {
+	j, err := e.lookup(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := make(chan Event, 16)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopFn := func() { stopOnce.Do(func() { close(stop) }) }
+	go func() {
+		defer close(ch)
+		idx := from
+		if idx < 0 {
+			idx = 0
+		}
+		// Replay in bounded chunks: copying a huge log in one piece would
+		// hold j.mu long enough to stall the solver's synchronous progress
+		// publishes.
+		const chunk = 1024
+		for {
+			j.mu.Lock()
+			if idx > len(j.events) {
+				// Resuming past the end of the log: wait for future events.
+				idx = len(j.events)
+			}
+			end := len(j.events)
+			if end-idx > chunk {
+				end = idx + chunk
+			}
+			pending := make([]Event, end-idx)
+			copy(pending, j.events[idx:end])
+			caughtUp := end == len(j.events)
+			terminal := j.state.Terminal()
+			updated := j.updated
+			j.mu.Unlock()
+			idx = end
+			for _, ev := range pending {
+				select {
+				case ch <- ev:
+				case <-stop:
+					return
+				}
+			}
+			if !caughtUp {
+				continue
+			}
+			if terminal {
+				return
+			}
+			select {
+			case <-updated:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return ch, stopFn, nil
+}
+
+func (e *Engine) lookup(id string) (*job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// worker drains the FIFO queue until the engine closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.run(j)
+	}
+}
+
+// finishPayloads drops the job's bulk request payloads once they can no
+// longer be needed — so the forever-retained job record stays small — and
+// returns their bytes to the engine's pending-payload budget. Idempotent.
+func (e *Engine) finishPayloads(j *job) {
+	j.mu.Lock()
+	j.spec.Matrix.MatrixMarket = nil
+	j.spec.RHS = nil
+	pb := j.payloadBytes
+	j.payloadBytes = 0
+	j.mu.Unlock()
+	if pb > 0 {
+		e.mu.Lock()
+		e.payloadBytes -= pb
+		e.mu.Unlock()
+	}
+}
+
+// run executes one job end to end: materialize, solve, finalize.
+func (e *Engine) run(j *job) {
+	defer e.finishPayloads(j)
+	defer func() {
+		// A panicking generator or solver (e.g. degenerate parameters that
+		// slipped past validation) must fail the job, not kill the daemon.
+		// Keep the stack: it is the only diagnostic left of the crash site.
+		if r := recover(); r != nil {
+			j.transition(StateFailed, fmt.Sprintf("panic: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	if j.ctx.Err() != nil {
+		// Cancelled while queued; Cancel (or Close) already finalized it.
+		j.transition(StateCancelled, "")
+		return
+	}
+	if !j.transition(StateRunning, "") {
+		return
+	}
+
+	ctx := j.ctx
+	cancelTimeout := context.CancelFunc(func() {})
+	if j.spec.TimeoutMillis > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, time.Duration(j.spec.TimeoutMillis)*time.Millisecond)
+	}
+	defer cancelTimeout()
+
+	a, b, err := j.spec.Materialize()
+	if err != nil {
+		j.transition(StateFailed, err.Error())
+		return
+	}
+
+	cfg := j.spec.Config
+	progressCount := 0
+	cfg.Progress = func(ev core.ProgressEvent) {
+		kind := EventProgress
+		if ev.Reconstruction != nil {
+			kind = EventReconstruction
+		} else {
+			// Cap the retained per-iteration events so a huge solve cannot
+			// grow the in-memory log without bound; lifecycle and
+			// reconstruction events are always kept.
+			if progressCount >= maxProgressEventsPerJob {
+				return
+			}
+			progressCount++
+		}
+		j.publish(Event{
+			Kind: kind, Iteration: ev.Iteration, Residual: ev.Residual,
+			RelResidual: ev.RelResidual, Reconstruction: ev.Reconstruction,
+		})
+	}
+
+	sol, err := SolveSystem(ctx, a, b, cfg)
+	switch {
+	case err == nil:
+		if !j.spec.KeepSolution {
+			sol.X = nil
+		}
+		j.mu.Lock()
+		j.result = &sol
+		j.mu.Unlock()
+		j.transition(StateDone, "")
+	case errors.Is(err, context.Canceled):
+		j.transition(StateCancelled, "")
+	case errors.Is(err, context.DeadlineExceeded):
+		j.transition(StateFailed, "deadline exceeded")
+	default:
+		j.transition(StateFailed, err.Error())
+	}
+}

@@ -9,6 +9,8 @@
 package faults
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 )
@@ -20,11 +22,11 @@ import (
 // modelling failures that overlap with the recovery.
 type Event struct {
 	// Iteration is the 0-based solver iteration of the poll point.
-	Iteration int
+	Iteration int `json:"iteration"`
 	// Phase selects the poll point within the iteration (see type doc).
-	Phase int
+	Phase int `json:"phase,omitempty"`
 	// Ranks are the victims.
-	Ranks []int
+	Ranks []int `json:"ranks"`
 }
 
 // Schedule is a deterministic collection of failure events. All ranks
@@ -127,8 +129,18 @@ func (s *Schedule) Validate(ranks int) error {
 		return nil
 	}
 	for _, e := range s.events {
+		if e.Iteration < 0 {
+			// A negative iteration never fires: a silent no-op failure
+			// event that would make an experiment measure the wrong thing.
+			return fmt.Errorf("faults: negative iteration in event %+v", e)
+		}
 		if e.Phase < 0 {
 			return fmt.Errorf("faults: negative phase in event %+v", e)
+		}
+		if len(e.Ranks) == 0 {
+			// An event with no victims never fires — the same silent no-op
+			// class as a negative iteration.
+			return fmt.Errorf("faults: event %+v has no ranks", e)
 		}
 		for _, r := range e.Ranks {
 			if r < 0 || r >= ranks {
@@ -174,6 +186,31 @@ func IterationAtProgress(fraction float64, expectedIters int) int {
 		it = expectedIters - 1
 	}
 	return it
+}
+
+// MarshalJSON encodes the schedule as its event array, so schedules can
+// travel inside job specifications (e.g. the esrd daemon's JSON API). A nil
+// schedule encodes as null.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(s.events)
+}
+
+// UnmarshalJSON decodes an event array (or null) produced by MarshalJSON.
+// Unknown fields are rejected: a misspelled "ranks" key would otherwise
+// decode to a no-op failure event and silently change what an experiment
+// measures.
+func (s *Schedule) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var events []Event
+	if err := dec.Decode(&events); err != nil {
+		return fmt.Errorf("faults: decoding schedule: %w", err)
+	}
+	s.events = events
+	return nil
 }
 
 // Simultaneous is a convenience constructor for a single batch of

@@ -60,6 +60,12 @@ func TestValidate(t *testing.T) {
 	if err := NewSchedule(Event{Iteration: 0, Phase: -1, Ranks: []int{0}}).Validate(4); err == nil {
 		t.Fatal("negative phase must fail")
 	}
+	if err := NewSchedule(Event{Iteration: -1, Ranks: []int{0}}).Validate(4); err == nil {
+		t.Fatal("negative iteration must fail")
+	}
+	if err := NewSchedule(Event{Iteration: 1}).Validate(4); err == nil {
+		t.Fatal("event without ranks must fail")
+	}
 	if err := NewSchedule(Simultaneous(0, 0, 1, 2, 3)).Validate(4); err == nil {
 		t.Fatal("killing every rank must fail")
 	}

@@ -17,55 +17,91 @@ import (
 // header is the mandatory first line of a MatrixMarket file.
 const header = "%%MatrixMarket"
 
-// ReadCSR parses a MatrixMarket coordinate stream into a CSR matrix.
-// Symmetric storage is expanded to full storage (both triangles), matching
-// how the solvers in this repository consume matrices.
-func ReadCSR(r io.Reader) (*sparse.CSR, error) {
+// newScanner wraps r with the buffer sizing shared by all readers here.
+func newScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("mmio: empty input")
-	}
-	head := strings.Fields(sc.Text())
+	return sc
+}
+
+// parseBanner validates the mandatory first line and returns the value type
+// and symmetry qualifiers.
+func parseBanner(line string) (valType, symmetry string, err error) {
+	head := strings.Fields(line)
 	if len(head) < 4 || head[0] != header {
-		return nil, fmt.Errorf("mmio: missing %s header", header)
+		return "", "", fmt.Errorf("mmio: missing %s header", header)
 	}
 	if strings.ToLower(head[1]) != "matrix" || strings.ToLower(head[2]) != "coordinate" {
-		return nil, fmt.Errorf("mmio: only 'matrix coordinate' objects are supported")
+		return "", "", fmt.Errorf("mmio: only 'matrix coordinate' objects are supported")
 	}
-	valType := strings.ToLower(head[3])
+	valType = strings.ToLower(head[3])
 	switch valType {
 	case "real", "integer", "pattern":
 	default:
-		return nil, fmt.Errorf("mmio: unsupported value type %q", valType)
+		return "", "", fmt.Errorf("mmio: unsupported value type %q", valType)
 	}
-	symmetry := "general"
+	symmetry = "general"
 	if len(head) >= 5 {
 		symmetry = strings.ToLower(head[4])
 	}
 	switch symmetry {
 	case "general", "symmetric":
 	default:
-		return nil, fmt.Errorf("mmio: unsupported symmetry %q", symmetry)
+		return "", "", fmt.Errorf("mmio: unsupported symmetry %q", symmetry)
 	}
+	return valType, symmetry, nil
+}
 
-	// Skip comments, read the size line.
-	var rows, cols, nnz int
+// readSizeLine skips comments and parses the size line.
+func readSizeLine(sc *bufio.Scanner) (rows, cols, nnz int, err error) {
 	for {
 		if !sc.Scan() {
-			return nil, fmt.Errorf("mmio: missing size line")
+			return 0, 0, 0, fmt.Errorf("mmio: missing size line")
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
 		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("mmio: bad size line %q: %v", line, err)
+			return 0, 0, 0, fmt.Errorf("mmio: bad size line %q: %v", line, err)
 		}
 		break
 	}
 	if rows < 0 || cols < 0 || nnz < 0 {
-		return nil, fmt.Errorf("mmio: negative dimensions")
+		return 0, 0, 0, fmt.Errorf("mmio: negative dimensions")
+	}
+	return rows, cols, nnz, nil
+}
+
+// ReadDims parses only the banner and size line of a MatrixMarket stream.
+// Callers use it to bound allocations (ReadCSR allocates O(rows)) before
+// committing to a full parse.
+func ReadDims(r io.Reader) (rows, cols, nnz int, err error) {
+	sc := newScanner(r)
+	if !sc.Scan() {
+		return 0, 0, 0, fmt.Errorf("mmio: empty input")
+	}
+	if _, _, err := parseBanner(sc.Text()); err != nil {
+		return 0, 0, 0, err
+	}
+	return readSizeLine(sc)
+}
+
+// ReadCSR parses a MatrixMarket coordinate stream into a CSR matrix.
+// Symmetric storage is expanded to full storage (both triangles), matching
+// how the solvers in this repository consume matrices.
+func ReadCSR(r io.Reader) (*sparse.CSR, error) {
+	sc := newScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	valType, symmetry, err := parseBanner(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+	rows, cols, nnz, err := readSizeLine(sc)
+	if err != nil {
+		return nil, err
 	}
 
 	coo := sparse.NewCOO(rows, cols)

@@ -1,0 +1,145 @@
+package mmio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// randomCSR builds a random sparse matrix; when symmetric is set, the
+// pattern and values are mirrored so the matrix is exactly symmetric.
+func randomCSR(rng *rand.Rand, rows, cols int, density float64, symmetric bool) *sparse.CSR {
+	coo := sparse.NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		jMax := cols
+		if symmetric {
+			jMax = i + 1 // fill the lower triangle, mirror the strict part
+		}
+		for j := 0; j < jMax; j++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			// Adversarial values: full float64 range, subnormals, negatives.
+			v := math.Ldexp(rng.NormFloat64(), rng.Intn(60)-30)
+			if v == 0 {
+				v = 1
+			}
+			coo.Add(i, j, v)
+			if symmetric && j < i {
+				coo.Add(j, i, v)
+			}
+		}
+	}
+	// Guarantee at least one entry so the matrix is non-trivial.
+	coo.Add(0, 0, 4.25)
+	if symmetric && rows > 1 {
+		coo.Add(rows-1, rows-1, 2.5)
+	}
+	return coo.ToCSR()
+}
+
+// TestQuickRoundTripProperty is the property test: for many random shapes,
+// densities, and value distributions, write -> read reproduces the matrix
+// bit-exactly, in both general and symmetric storage.
+func TestQuickRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20190807)) // ICPP 2019 vintage
+	for trial := 0; trial < 40; trial++ {
+		symmetric := trial%2 == 1
+		rows := 1 + rng.Intn(40)
+		cols := rows
+		if !symmetric {
+			cols = 1 + rng.Intn(40)
+		}
+		density := []float64{0.02, 0.15, 0.6}[trial%3]
+		orig := randomCSR(rng, rows, cols, density, symmetric)
+
+		var buf bytes.Buffer
+		if err := WriteCSR(&buf, orig, symmetric); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		text := buf.String()
+		back, err := ReadCSR(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("trial %d: read back: %v\n%s", trial, err, text)
+		}
+		assertEqualCSR(t, orig, back)
+
+		// Symmetric storage must actually halve the strict off-diagonal
+		// entries on disk (write only emits the lower triangle).
+		if symmetric {
+			wantLines := 0
+			for i := 0; i < orig.Rows; i++ {
+				colsI, _ := orig.Row(i)
+				for _, j := range colsI {
+					if j <= i {
+						wantLines++
+					}
+				}
+			}
+			gotLines := strings.Count(text, "\n") - 2 // header + size line
+			if gotLines != wantLines {
+				t.Fatalf("trial %d: symmetric file has %d entries, want %d", trial, gotLines, wantLines)
+			}
+		}
+	}
+}
+
+// TestMalformedHeaders covers header-level rejection paths with the precise
+// failure reason asserted via substring.
+func TestMalformedHeaders(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "empty input"},
+		{"missing banner", "MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n", "missing %%MatrixMarket"},
+		{"truncated banner fields", "%%MatrixMarket matrix\n1 1 1\n", "missing %%MatrixMarket"},
+		{"wrong object", "%%MatrixMarket vector coordinate real general\n1 1 1\n", "matrix coordinate"},
+		{"array format", "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n", "matrix coordinate"},
+		{"complex values", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", "unsupported value type"},
+		{"hermitian", "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n", "unsupported symmetry"},
+		{"skew-symmetric", "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 1\n", "unsupported symmetry"},
+		{"no size line", "%%MatrixMarket matrix coordinate real general\n% only comments\n", "missing size line"},
+		{"bad size line", "%%MatrixMarket matrix coordinate real general\ntwo by two\n", "bad size line"},
+		{"negative dims", "%%MatrixMarket matrix coordinate real general\n-2 2 1\n1 1 1\n", "negative dimensions"},
+	}
+	for _, tc := range cases {
+		_, err := ReadCSR(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted malformed input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestMalformedEntries covers body-level rejections.
+func TestMalformedEntries(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"bad row index", "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n", "bad row index"},
+		{"bad col index", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 y 1.0\n", "bad column index"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zero\n", "bad value"},
+		{"missing value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n", "missing value"},
+		{"short line", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n", "bad entry line"},
+		{"row out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n", "out of range"},
+		{"zero index", "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n", "out of range"},
+		{"truncated body", "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n", "expected 3 entries"},
+	}
+	for _, tc := range cases {
+		_, err := ReadCSR(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted malformed input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
