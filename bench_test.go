@@ -6,7 +6,9 @@
 package esr
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/commmodel"
@@ -204,6 +206,59 @@ func BenchmarkAblationBackupStrategy(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkPreparedVsOneShot measures repeated-right-hand-side throughput of
+// a prepared Solver session against the one-shot esr.Solve path on the same
+// Poisson2D system: one iteration serves 8 right-hand sides either through
+// one NewSolver session (setup paid once) or through 8 independent Solve
+// calls (setup — partitioning, symbolic exchange, and the paper's exact
+// block factorization — paid per call). The session is expected to deliver
+// >= 2x the one-shot throughput; see the verify notes.
+func BenchmarkPreparedVsOneShot(b *testing.B) {
+	a := Poisson2D(64, 64)
+	const numRHS = 8
+	rhs := make([][]float64, numRHS)
+	for k := range rhs {
+		v := make([]float64, a.Rows)
+		for i := range v {
+			v[i] = 1 + 0.5*math.Sin(float64(k+1)*float64(i+1))
+		}
+		rhs[k] = v
+	}
+	// The paper's configuration: exact block solves (dense Cholesky), the
+	// setup cost a session amortizes.
+	cfg := Config{Ranks: 4, Preconditioner: PrecondBlockJacobiChol}
+
+	b.Run("oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range rhs {
+				if _, err := Solve(a, v, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(numRHS)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+	})
+	b.Run("prepared", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			// The session build is inside the measured region: one prepare
+			// plus numRHS solves versus numRHS one-shot prepare+solve pairs.
+			s, err := NewSolver(a, FromConfig(cfg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range rhs {
+				if _, err := s.Solve(ctx, v); err != nil {
+					s.Close()
+					b.Fatal(err)
+				}
+			}
+			s.Close()
+		}
+		b.ReportMetric(float64(numRHS)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+	})
 }
 
 // BenchmarkEndToEndSolve measures one resilient solve with three

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	esrd [-addr :8080] [-workers 4] [-queue 256]
+//	esrd [-addr :8080] [-workers 4] [-queue 256] [-max-jobs 4096]
+//	     [-job-ttl 0] [-prep-cache 8] [-prep-ttl 10m] [-max-matrices 64]
 //
 // Submit a job (a 64x64 Poisson system, phi=2, two ranks failing at
 // iteration 10), then follow its progress:
@@ -16,6 +17,13 @@
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -sN localhost:8080/v1/jobs/job-000001/events
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
+//
+// Serving many solves on one system? Register the matrix once and reference
+// it by id — the daemon materializes it once and reuses the prepared solver
+// session (partition + preconditioner factorization) across the jobs:
+//
+//	curl -s localhost:8080/v1/matrices -d '{"generator": "poisson2d", "params": {"nx": 64}}'
+//	curl -s localhost:8080/v1/jobs -d '{"matrix_id": "mat-000001", "config": {"ranks": 8}}'
 //
 // See README.md for the full API walkthrough.
 package main
@@ -38,9 +46,19 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "solve worker pool size")
 	queueCap := flag.Int("queue", 256, "job queue capacity")
+	maxJobs := flag.Int("max-jobs", 4096, "retained job records (terminal records evicted LRU beyond this)")
+	jobTTL := flag.Duration("job-ttl", 0, "evict terminal job records this long after they finish (0 keeps until -max-jobs)")
+	prepCache := flag.Int("prep-cache", 8, "cached prepared solver sessions")
+	prepTTL := flag.Duration("prep-ttl", 10*time.Minute, "evict idle prepared sessions after this long")
+	maxMatrices := flag.Int("max-matrices", 64, "registered matrix capacity")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers, QueueCap: *queueCap})
+	eng := engine.New(engine.Options{
+		Workers: *workers, QueueCap: *queueCap,
+		MaxJobs: *maxJobs, JobTTL: *jobTTL,
+		PrepCacheSize: *prepCache, PrepCacheTTL: *prepTTL,
+		MaxMatrices: *maxMatrices,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newMux(eng),

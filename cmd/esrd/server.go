@@ -19,8 +19,14 @@ import (
 //	GET    /v1/jobs/{id}        job status snapshot
 //	GET    /v1/jobs/{id}/events NDJSON event stream (follows until terminal;
 //	                            ?from=N resumes after sequence number N-1)
-//	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/healthz          liveness
+//	DELETE /v1/jobs/{id}        cancel a queued/running job; remove the
+//	                            record of a terminal one
+//	POST   /v1/matrices         register a MatrixSpec once, returns the
+//	                            record whose id jobs reference as matrix_id
+//	GET    /v1/matrices         list registered matrices
+//	GET    /v1/matrices/{id}    matrix record
+//	DELETE /v1/matrices/{id}    unregister
+//	GET    /v1/healthz          liveness + job/matrix/prep-cache gauges
 type server struct {
 	eng *engine.Engine
 }
@@ -33,7 +39,11 @@ func newMux(eng *engine.Engine) *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs", s.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
+	mux.HandleFunc("POST /v1/matrices", s.putMatrix)
+	mux.HandleFunc("GET /v1/matrices", s.listMatrices)
+	mux.HandleFunc("GET /v1/matrices/{id}", s.getMatrix)
+	mux.HandleFunc("DELETE /v1/matrices/{id}", s.deleteMatrix)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	return mux
 }
@@ -68,9 +78,9 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 // statusFor maps engine errors to HTTP codes.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, engine.ErrNotFound):
+	case errors.Is(err, engine.ErrNotFound), errors.Is(err, engine.ErrMatrixNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, engine.ErrQueueFull):
+	case errors.Is(err, engine.ErrQueueFull), errors.Is(err, engine.ErrMatrixStoreFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, engine.ErrClosed):
 		return http.StatusServiceUnavailable
@@ -109,10 +119,19 @@ func (s *server) get(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+// deleteJob cancels a queued/running job, or removes the stored record of a
+// terminal one. A client that wants a job gone entirely issues DELETE until
+// {"deleted": true}: the first call cancels, the second removes the
+// now-terminal record.
+func (s *server) deleteJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.eng.Cancel(id); err != nil {
+	removed, err := s.eng.Delete(id)
+	if err != nil {
 		writeErr(w, statusFor(err), err)
+		return
+	}
+	if removed {
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
 		return
 	}
 	// Report the job's actual state: a queued job is already cancelled, a
@@ -123,6 +142,48 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(st.State)})
+}
+
+// putMatrix registers a system matrix once for reuse by many jobs. The body
+// is a MatrixSpec (generator or MatrixMarket bytes); the response record's
+// id is referenced by JobSpec.MatrixID. Re-uploading identical content
+// returns the existing record.
+func (s *server) putMatrix(w http.ResponseWriter, r *http.Request) {
+	var spec engine.MatrixSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding matrix spec: %w", err))
+		return
+	}
+	rec, err := s.eng.PutMatrix(spec)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, rec)
+}
+
+func (s *server) listMatrices(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.ListMatrices())
+}
+
+func (s *server) getMatrix(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.eng.GetMatrix(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *server) deleteMatrix(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.eng.DeleteMatrix(id); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
 }
 
 // events streams the job's event log as NDJSON, flushing per event, until
@@ -173,8 +234,10 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":   true,
-		"time": time.Now().UTC().Format(time.RFC3339Nano),
-		"jobs": s.eng.Count(),
+		"ok":         true,
+		"time":       time.Now().UTC().Format(time.RFC3339Nano),
+		"jobs":       s.eng.Count(),
+		"matrices":   s.eng.MatrixCount(),
+		"prep_cache": s.eng.CacheStats(),
 	})
 }

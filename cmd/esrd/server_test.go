@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/matgen"
 )
 
 // newTestServer wires a fresh engine behind an httptest server.
@@ -350,7 +351,7 @@ func TestAPIErrors(t *testing.T) {
 		}
 	}
 
-	// Cancelling a finished job conflicts.
+	// Deleting a finished job removes its record; the id then 404s.
 	id := postJob(t, ts, engine.JobSpec{
 		Matrix: engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 12}},
 		Config: engine.Config{Ranks: 2},
@@ -364,9 +365,23 @@ func TestAPIErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var del struct {
+		Deleted bool `json:"deleted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&del); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("cancel terminal job: %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK || !del.Deleted {
+		t.Fatalf("delete terminal job: %d deleted=%v", resp.StatusCode, del.Deleted)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get deleted job: %d", resp.StatusCode)
 	}
 
 	// A matrix with NaN entries (valid MatrixMarket floats) fails the job
@@ -388,5 +403,157 @@ func TestAPIErrors(t *testing.T) {
 	st = waitState(t, ts, id, 30*time.Second)
 	if st.State != engine.StateFailed || st.Error == "" {
 		t.Fatalf("bad-matrix job: %s (%q)", st.State, st.Error)
+	}
+}
+
+// TestMatrixUploadE2E is the register-once/solve-many end-to-end flow: one
+// matrix registered via POST /v1/matrices, then several jobs referencing its
+// id (plain, resilient with a failure schedule, alternative preconditioner,
+// explicit RHS), each verified against the locally rebuilt system.
+func TestMatrixUploadE2E(t *testing.T) {
+	ts, eng := newTestServer(t, 4)
+
+	// Register the system once.
+	const nx = 20
+	resp, err := http.Post(ts.URL+"/v1/matrices", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"generator": "poisson2d", "params": {"nx": %d}}`, nx)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec engine.MatrixRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || rec.ID == "" || rec.Rows != nx*nx {
+		t.Fatalf("register: %d %+v", resp.StatusCode, rec)
+	}
+
+	// The same system, rebuilt locally for residual verification.
+	a := matgen.Poisson2D(nx, nx)
+	n := a.Rows
+	customRHS := make([]float64, n)
+	for i := range customRHS {
+		customRHS[i] = 1 + 0.25*math.Sin(float64(i))
+	}
+
+	jobs := []struct {
+		name string
+		spec engine.JobSpec
+		rhs  []float64 // nil means the default all-ones
+	}{
+		{"plain", engine.JobSpec{
+			MatrixID: rec.ID, KeepSolution: true,
+			Config: engine.Config{Ranks: 4},
+		}, nil},
+		{"resilient", engine.JobSpec{
+			MatrixID: rec.ID, KeepSolution: true,
+			Config: engine.Config{Ranks: 4, Phi: 2,
+				Schedule: faults.NewSchedule(faults.Simultaneous(3, 1, 2))},
+		}, nil},
+		{"jacobi", engine.JobSpec{
+			MatrixID: rec.ID, KeepSolution: true,
+			Config: engine.Config{Ranks: 6, Preconditioner: engine.PrecondJacobi},
+		}, nil},
+		{"custom-rhs", engine.JobSpec{
+			MatrixID: rec.ID, KeepSolution: true, RHS: customRHS,
+			Config: engine.Config{Ranks: 4},
+		}, customRHS},
+		{"spcg", engine.JobSpec{
+			MatrixID: rec.ID, KeepSolution: true,
+			Config: engine.Config{Ranks: 4, Phi: 1, Method: engine.MethodSPCG,
+				Schedule: faults.NewSchedule(faults.Simultaneous(4, 2))},
+		}, nil},
+	}
+
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = postJob(t, ts, j.spec)
+	}
+	for i, j := range jobs {
+		st := waitState(t, ts, ids[i], 60*time.Second)
+		if st.State != engine.StateDone {
+			t.Fatalf("%s: state %s (%q)", j.name, st.State, st.Error)
+		}
+		if !st.Result.Result.Converged {
+			t.Fatalf("%s: did not converge", j.name)
+		}
+		b := j.rhs
+		if b == nil {
+			b = make([]float64, n)
+			for k := range b {
+				b[k] = 1
+			}
+		}
+		var nb, rr float64
+		r := make([]float64, n)
+		a.MulVec(r, st.Result.X)
+		for k := range r {
+			d := b[k] - r[k]
+			rr += d * d
+			nb += b[k] * b[k]
+		}
+		if res := math.Sqrt(rr); res > 1e-6*math.Sqrt(nb) {
+			t.Fatalf("%s: residual %g", j.name, res)
+		}
+		wantRecs := 0
+		if !j.spec.Config.Schedule.Empty() {
+			wantRecs = 1
+		}
+		if got := len(st.Result.Result.Reconstructions); got != wantRecs {
+			t.Fatalf("%s: %d reconstructions, want %d", j.name, got, wantRecs)
+		}
+	}
+
+	// The record counts its referencing jobs; the prepared-solver cache
+	// served the repeated (matrix, prep-config) pairs without rebuilding.
+	resp, err = http.Get(ts.URL + "/v1/matrices/" + rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rec.Jobs != len(jobs) {
+		t.Fatalf("record jobs = %d, want %d", rec.Jobs, len(jobs))
+	}
+	if cs := eng.CacheStats(); cs.Hits < 1 {
+		t.Fatalf("prep cache saw no hits: %+v", cs)
+	}
+
+	// Matrix list + deletion; jobs referencing a deleted id are rejected.
+	resp, err = http.Get(ts.URL + "/v1/matrices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []engine.MatrixRecord
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 {
+		t.Fatalf("list: %d records", len(list))
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/matrices/"+rec.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete matrix: %d", resp.StatusCode)
+	}
+	raw, _ := json.Marshal(engine.JobSpec{MatrixID: rec.ID, Config: engine.Config{Ranks: 4}})
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("job on deleted matrix: %d", resp.StatusCode)
 	}
 }

@@ -12,7 +12,7 @@
 // exact solver state can be reconstructed after up to phi simultaneous or
 // overlapping node failures — without checkpointing.
 //
-// Quick start:
+// Quick start (one-shot):
 //
 //	a := esr.Poisson2D(64, 64)                 // SPD test matrix
 //	b := make([]float64, a.Rows)
@@ -23,10 +23,30 @@
 //	    Schedule: esr.NewSchedule(esr.Simultaneous(10, 2, 3, 4)),
 //	})
 //
-// SolveContext adds cancellation, deadlines, and per-iteration progress
-// callbacks; it shares one code path with the internal/engine job engine, so
-// the same solve can also be submitted to the cmd/esrd HTTP daemon as a
-// queued, observable, cancellable job.
+// # Sessions vs one-shot
+//
+// Solve and SolveContext are one-shot: every call re-partitions the matrix,
+// re-runs the distributed symbolic phase and re-factors the block
+// preconditioner before iterating. When serving many right-hand sides on
+// one system, hold a Solver session instead — it prepares that state once
+// and serves any number of concurrent Solve/SolveBatch calls against it:
+//
+//	s, err := esr.NewSolver(a,
+//	    esr.WithRanks(8),
+//	    esr.WithPhi(3),
+//	    esr.WithPreconditioner(esr.BlockJacobiChol),
+//	)
+//	defer s.Close()
+//	sol, err := s.Solve(ctx, b)
+//	sols, err := s.SolveBatch(ctx, manyRHS)
+//
+// Sessions are configured with typed functional options (WithRanks, WithPhi,
+// WithPreconditioner, WithMethod, WithTolerance, WithSchedule, ...); the
+// JSON Config remains the wire format and lowers onto the same options via
+// FromConfig. Solve/SolveContext are thin wrappers over a one-shot session,
+// and the same prepared path backs the internal/engine job engine and the
+// cmd/esrd HTTP daemon, where a matrix uploaded once via POST /v1/matrices
+// can be referenced by many jobs (JobSpec.MatrixID).
 //
 // The cmd/esrbench tool reproduces every table and figure of the paper's
 // evaluation; see DESIGN.md and EXPERIMENTS.md. See README.md for a
@@ -94,17 +114,25 @@ type Reconstruction = core.Reconstruction
 // reconstruction episode), delivered through Config.Progress.
 type ProgressEvent = core.ProgressEvent
 
+// ProgressFunc observes solver progress (see WithProgress and
+// Config.Progress). It is called synchronously from the solver loop, so it
+// must be cheap and must not block.
+type ProgressFunc = core.ProgressFunc
+
 // DataLossError reports an unrecoverable failure set (more data lost than
 // the redundancy level covers).
 type DataLossError = core.DataLossError
 
-// Preconditioner names accepted by Config.
+// Preconditioner names accepted by Config (the wire format). The typed
+// Preconditioner constants in options.go (Identity, Jacobi, ...) are the
+// session-API equivalents.
 const (
 	PrecondIdentity        = engine.PrecondIdentity
 	PrecondJacobi          = engine.PrecondJacobi
 	PrecondBlockJacobiILU  = engine.PrecondBlockJacobiILU
 	PrecondBlockJacobiChol = engine.PrecondBlockJacobiChol
 	PrecondSSOR            = engine.PrecondSSOR
+	PrecondIC0             = engine.PrecondIC0
 )
 
 // Config controls a Solve run. The zero value selects the paper's
@@ -118,8 +146,9 @@ type Solution = engine.Solution
 
 // Solve distributes the SPD system A x = b over an in-process cluster and
 // runs the resilient PCG solver, injecting the configured failures. It is
-// the high-level entry point; packages under internal/ expose the full
-// distributed API for embedding.
+// the one-shot entry point: a Solver session prepared, used once, and torn
+// down. Callers with many right-hand sides on the same system should hold a
+// NewSolver session instead and amortize the setup.
 func Solve(a *Matrix, b []float64, cfg Config) (Solution, error) {
 	return SolveContext(context.Background(), a, b, cfg)
 }
@@ -127,8 +156,8 @@ func Solve(a *Matrix, b []float64, cfg Config) (Solution, error) {
 // SolveContext is Solve with lifecycle control: cancelling ctx (or hitting
 // its deadline) aborts the in-process cluster — ranks blocked in
 // communication are woken — and returns the context's cause error. Progress
-// can be observed per iteration via Config.Progress. SolveContext is the
-// same single-job code path the internal job engine and the cmd/esrd daemon
+// can be observed per iteration via Config.Progress. SolveContext runs the
+// same prepared solve path the internal job engine and the cmd/esrd daemon
 // execute.
 func SolveContext(ctx context.Context, a *Matrix, b []float64, cfg Config) (Solution, error) {
 	return engine.SolveSystem(ctx, a, b, cfg)

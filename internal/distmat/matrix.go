@@ -205,6 +205,25 @@ func (m *Matrix) localize() {
 // GhostCount returns the number of external vector elements the SpMV needs.
 func (m *Matrix) GhostCount() int { return len(m.ghost) }
 
+// Fork returns a new Matrix sharing all of m's static state — the row block,
+// the halo plan, the redundancy protocol, the localised CSR and the
+// send/receive lists, all of which are immutable after construction — with
+// fresh per-solve mutable state: its own SpMV scratch buffer and, for
+// resilience-enabled matrices, its own empty retention store.
+//
+// Fork is the prepare-once/solve-many primitive: one symbolic build
+// (NewMatrix, which requires collective communication) can serve many
+// concurrent solves, each on its own runtime, as long as every solve works
+// on its own fork. The receiver itself may be one of the concurrent users.
+func (m *Matrix) Fork() *Matrix {
+	n := *m
+	n.xbuf = make([]float64, len(m.xbuf))
+	if m.Ret != nil {
+		n.Ret = commplan.NewRetention(m.recvLists)
+	}
+	return &n
+}
+
 // MatVec computes y = A x with the halo exchange, sending merged
 // halo+redundancy payloads (piggybacking, Sec. 4.2) and, when resilience is
 // enabled, retaining the received generation under the iteration number

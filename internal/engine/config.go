@@ -11,6 +11,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/faults"
 )
@@ -22,6 +24,17 @@ const (
 	PrecondBlockJacobiILU  = "block-jacobi-ilu"
 	PrecondBlockJacobiChol = "block-jacobi-cholesky"
 	PrecondSSOR            = "ssor"
+	PrecondIC0             = "ic0"
+)
+
+// Method names accepted by Config. The empty string selects automatically:
+// plain PCG for failure-free runs without redundancy (phi 0, no schedule),
+// the resilient ESR-PCG otherwise.
+const (
+	MethodAuto   = ""
+	MethodPCG    = "pcg"
+	MethodESRPCG = "esrpcg"
+	MethodSPCG   = "spcg"
 )
 
 // Config controls a solve. The zero value selects the paper's experimental
@@ -49,8 +62,15 @@ type Config struct {
 	// core.Options default (1e-14).
 	LocalTol float64 `json:"local_tol,omitempty"`
 	// SSOROmega is the relaxation factor when Preconditioner is "ssor"
-	// (default 1.2).
+	// (default 1.2). SSOR diverges outside 0 < omega < 2; values outside
+	// that range are rejected with an *InvalidOmegaError by Validate.
 	SSOROmega float64 `json:"ssor_omega,omitempty"`
+	// Method selects the solver: MethodPCG (reference, no failure
+	// tolerance), MethodESRPCG (the paper's resilient solver), MethodSPCG
+	// (the split-preconditioner variant, requires Preconditioner "ic0"), or
+	// MethodAuto ("") which picks PCG for failure-free runs without
+	// redundancy and ESRPCG otherwise.
+	Method string `json:"method,omitempty"`
 	// Schedule injects node failures (nil for a failure-free run).
 	Schedule *faults.Schedule `json:"schedule,omitempty"`
 	// Progress, when non-nil, observes the solve from rank 0: one event per
@@ -60,16 +80,74 @@ type Config struct {
 }
 
 // WithDefaults normalizes the runtime-level fields (see the type doc for why
-// the numerical tolerances are left to core.Options).
+// the numerical tolerances are left to core.Options). It only fills zero
+// values; it never repairs invalid ones — an out-of-range SSOROmega passes
+// through unchanged so that Validate can reject it with a typed error
+// instead of the solver silently diverging with it.
 func (c Config) WithDefaults() Config {
 	if c.Ranks <= 0 {
 		c.Ranks = 8
 	}
 	if c.Preconditioner == "" {
-		c.Preconditioner = PrecondBlockJacobiILU
+		if c.Method == MethodSPCG {
+			// SPCG iterates on the transformed residual L^{-1} r and needs
+			// the explicit M = L L^T split; IC(0) is the only split-capable
+			// preconditioner.
+			c.Preconditioner = PrecondIC0
+		} else {
+			c.Preconditioner = PrecondBlockJacobiILU
+		}
 	}
 	if c.SSOROmega == 0 {
 		c.SSOROmega = 1.2
 	}
 	return c
+}
+
+// InvalidOmegaError reports an SSOR relaxation factor outside the open
+// interval (0, 2), for which the SSOR sweep diverges.
+type InvalidOmegaError struct {
+	// Omega is the rejected relaxation factor.
+	Omega float64
+}
+
+// Error implements the error interface.
+func (e *InvalidOmegaError) Error() string {
+	return fmt.Sprintf("engine: SSOR omega %g outside (0, 2)", e.Omega)
+}
+
+// Validate checks the configuration after WithDefaults normalization:
+// preconditioner and method names must be known, the SSOR relaxation factor
+// must satisfy 0 < omega < 2 (rejected with *InvalidOmegaError otherwise),
+// phi must lie in [0, ranks), and SPCG requires the split-capable "ic0"
+// preconditioner. It is called at job submission and at session preparation,
+// so invalid configurations are rejected at the door rather than failing
+// (or silently diverging) mid-solve.
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	switch c.Preconditioner {
+	case PrecondIdentity, PrecondJacobi, PrecondBlockJacobiILU, PrecondBlockJacobiChol, PrecondSSOR, PrecondIC0:
+	default:
+		return fmt.Errorf("engine: unknown preconditioner %q", c.Preconditioner)
+	}
+	if c.Preconditioner == PrecondSSOR && (c.SSOROmega <= 0 || c.SSOROmega >= 2) {
+		return &InvalidOmegaError{Omega: c.SSOROmega}
+	}
+	switch c.Method {
+	case MethodAuto, MethodPCG, MethodESRPCG, MethodSPCG:
+	default:
+		return fmt.Errorf("engine: unknown method %q", c.Method)
+	}
+	if c.Method == MethodSPCG && c.Preconditioner != PrecondIC0 {
+		return fmt.Errorf("engine: method %q needs the split preconditioner %q, got %q",
+			MethodSPCG, PrecondIC0, c.Preconditioner)
+	}
+	if c.Method == MethodPCG && !c.Schedule.Empty() {
+		return fmt.Errorf("engine: method %q cannot honour a failure schedule (use %q)",
+			MethodPCG, MethodESRPCG)
+	}
+	if c.Phi < 0 || c.Phi >= c.Ranks {
+		return fmt.Errorf("engine: phi %d out of range [0, %d)", c.Phi, c.Ranks)
+	}
+	return nil
 }

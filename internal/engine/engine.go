@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sparse"
 )
 
 // State is a job lifecycle state. Transitions are
@@ -114,6 +116,12 @@ type job struct {
 	spec   JobSpec
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+	// mat is the pinned system matrix for jobs referencing the matrix store
+	// (spec.MatrixID); nil for inline specs, which materialize on demand.
+	mat *sparse.CSR
+	// matHash is the canonical content hash of the system matrix, keying the
+	// prepared-solver cache.
+	matHash string
 	// payloadBytes is this job's share of the engine's pending-payload
 	// budget; zeroed (and returned to the budget) by Engine.finishPayloads.
 	payloadBytes int64
@@ -203,13 +211,38 @@ type Options struct {
 	// QueueCap bounds the FIFO queue of jobs waiting for a worker
 	// (default 64). Submissions beyond it fail with ErrQueueFull.
 	QueueCap int
+	// MaxJobs caps the retained job records (default 4096, <0 disables).
+	// When the store exceeds it, the oldest-finished terminal records are
+	// evicted; non-terminal jobs are never evicted.
+	MaxJobs int
+	// JobTTL, when > 0, evicts terminal job records this long after they
+	// finish (default 0: records are kept until MaxJobs evicts them).
+	JobTTL time.Duration
+	// PrepCacheSize caps the prepared-solver cache (default 8, <0 disables
+	// caching entirely: every job prepares and closes its own session).
+	PrepCacheSize int
+	// PrepCacheTTL evicts prepared sessions idle this long (default 10m,
+	// <0 disables the TTL).
+	PrepCacheTTL time.Duration
+	// MaxMatrices caps the matrix store (default 64, <0 unbounded).
+	MaxMatrices int
 }
 
 // Engine is a bounded worker pool draining a FIFO queue of solve jobs, with
-// an in-memory store of every job it has ever accepted.
+// a bounded in-memory job-record store, a registry of uploaded system
+// matrices, and an LRU cache of prepared solver sessions so repeated jobs on
+// the same system skip the partitioning/factorization setup.
 type Engine struct {
 	queue chan *job
 	wg    sync.WaitGroup
+
+	maxJobs  int
+	jobTTL   time.Duration
+	prep     *prepCache
+	matrices *matrixStore
+
+	janitorQuit chan struct{}
+	janitorDone chan struct{}
 
 	mu           sync.Mutex
 	jobs         map[string]*job
@@ -219,6 +252,10 @@ type Engine struct {
 	payloadBytes int64 // uploaded payload bytes held by unfinished jobs
 }
 
+// janitorInterval paces the background TTL sweeps. A var so tests can lower
+// it.
+var janitorInterval = 30 * time.Second
+
 // New starts an engine with the given pool size and queue capacity.
 func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
@@ -227,15 +264,106 @@ func New(opts Options) *Engine {
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = 64
 	}
+	if opts.MaxJobs == 0 {
+		opts.MaxJobs = 4096
+	}
+	if opts.PrepCacheSize == 0 {
+		opts.PrepCacheSize = 8
+	}
+	if opts.PrepCacheTTL == 0 {
+		opts.PrepCacheTTL = 10 * time.Minute
+	}
+	if opts.MaxMatrices == 0 {
+		opts.MaxMatrices = 64
+	}
 	e := &Engine{
-		queue: make(chan *job, opts.QueueCap),
-		jobs:  map[string]*job{},
+		queue:       make(chan *job, opts.QueueCap),
+		jobs:        map[string]*job{},
+		maxJobs:     opts.MaxJobs,
+		jobTTL:      opts.JobTTL,
+		prep:        newPrepCache(opts.PrepCacheSize, opts.PrepCacheTTL),
+		matrices:    newMatrixStore(opts.MaxMatrices),
+		janitorQuit: make(chan struct{}),
+		janitorDone: make(chan struct{}),
 	}
 	e.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go e.worker()
 	}
+	go e.janitor()
 	return e
+}
+
+// janitor periodically evicts expired job records and idle prepared
+// sessions, so a long-lived daemon with no submissions still honours the
+// TTLs.
+func (e *Engine) janitor() {
+	defer close(e.janitorDone)
+	t := time.NewTicker(janitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			e.mu.Lock()
+			e.sweepJobsLocked(now)
+			e.mu.Unlock()
+			e.prep.sweep(now)
+		case <-e.janitorQuit:
+			return
+		}
+	}
+}
+
+// sweepJobsLocked enforces JobTTL and MaxJobs on the job-record store.
+// Only terminal jobs are evicted, oldest-finished first; queued and running
+// jobs are never touched. e.mu must be held.
+func (e *Engine) sweepJobsLocked(now time.Time) {
+	var removed bool
+	if e.jobTTL > 0 {
+		for id, j := range e.jobs {
+			j.mu.Lock()
+			expired := j.state.Terminal() && !j.finished.IsZero() && now.Sub(j.finished) > e.jobTTL
+			j.mu.Unlock()
+			if expired {
+				delete(e.jobs, id)
+				removed = true
+			}
+		}
+	}
+	if e.maxJobs > 0 && len(e.jobs) > e.maxJobs {
+		type done struct {
+			j        *job
+			finished time.Time
+		}
+		var terminal []done
+		for _, j := range e.jobs {
+			j.mu.Lock()
+			if j.state.Terminal() {
+				terminal = append(terminal, done{j, j.finished})
+			}
+			j.mu.Unlock()
+		}
+		sort.Slice(terminal, func(i, k int) bool { return terminal[i].finished.Before(terminal[k].finished) })
+		for _, d := range terminal {
+			if len(e.jobs) <= e.maxJobs {
+				break
+			}
+			delete(e.jobs, d.j.id)
+			removed = true
+		}
+	}
+	if removed {
+		kept := e.order[:0]
+		for _, j := range e.order {
+			if _, ok := e.jobs[j.id]; ok {
+				kept = append(kept, j)
+			}
+		}
+		for i := len(kept); i < len(e.order); i++ {
+			e.order[i] = nil // release evicted records to the GC
+		}
+		e.order = kept
+	}
 }
 
 // Close stops the engine: no new submissions are accepted, every
@@ -261,13 +389,18 @@ func (e *Engine) Close() {
 	}
 	close(e.queue)
 	e.mu.Unlock()
+	close(e.janitorQuit)
 	e.wg.Wait()
+	<-e.janitorDone
 	for _, j := range jobs {
 		// Jobs still queued when the queue closed never reach a worker;
 		// finalize them here (transition is a no-op for terminal jobs).
 		j.transition(StateCancelled, "engine closed")
 		e.finishPayloads(j)
 	}
+	// With the workers drained, no prepared session has in-flight solves;
+	// tear the cache down.
+	e.prep.closeAll()
 }
 
 // Submit validates and enqueues a job, returning its id. The queue is FIFO:
@@ -281,6 +414,21 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 		spec: spec, ctx: ctx, cancel: cancel,
 		state: StateQueued, updated: make(chan struct{}), enqueued: time.Now(),
 		payloadBytes: int64(len(spec.Matrix.MatrixMarket)) + 8*int64(len(spec.RHS)),
+	}
+	if spec.MatrixID != "" {
+		a, rec, err := e.matrices.resolve(spec.MatrixID)
+		if err != nil {
+			cancel(err)
+			return "", err
+		}
+		if len(spec.RHS) > 0 && len(spec.RHS) != rec.Rows {
+			err := fmt.Errorf("engine: rhs length %d != matrix %s rows %d", len(spec.RHS), rec.ID, rec.Rows)
+			cancel(err)
+			return "", err
+		}
+		j.mat, j.matHash = a, rec.Hash
+	} else {
+		j.matHash = spec.Matrix.contentHash()
 	}
 
 	e.mu.Lock()
@@ -312,9 +460,83 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j)
+	e.sweepJobsLocked(time.Now())
 	e.mu.Unlock()
+	if spec.MatrixID != "" {
+		// Count the reference only once the job is actually accepted.
+		e.matrices.noteJob(spec.MatrixID)
+	}
 	return j.id, nil
 }
+
+// Delete removes the record of a terminal job (removed = true), or cancels
+// a queued/running one (removed = false; the record goes terminal and can
+// be deleted with a second call). This is the DELETE /v1/jobs/{id}
+// semantics: cancel first, remove once there is nothing left to cancel.
+func (e *Engine) Delete(id string) (removed bool, err error) {
+	j, err := e.lookup(id)
+	if err != nil {
+		return false, err
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if !terminal {
+		// Not terminal a moment ago: cancel. Cancel returns ErrTerminal if
+		// the job won the race and finished in between; treat that as a
+		// delete request on a terminal job.
+		if err := e.Cancel(id); err == nil || !errors.Is(err, ErrTerminal) {
+			return false, err
+		}
+	}
+	e.mu.Lock()
+	if _, ok := e.jobs[id]; ok {
+		delete(e.jobs, id)
+		kept := e.order[:0]
+		for _, o := range e.order {
+			if o.id != id {
+				kept = append(kept, o)
+			}
+		}
+		if len(kept) < len(e.order) {
+			e.order[len(e.order)-1] = nil
+		}
+		e.order = kept
+	}
+	e.mu.Unlock()
+	return true, nil
+}
+
+// PutMatrix registers a system matrix for reuse across jobs: the spec is
+// validated and materialized once, and the returned record's ID can be
+// referenced by any number of JobSpec.MatrixID submissions. Uploads with
+// content identical to an existing record return that record (idempotent).
+func (e *Engine) PutMatrix(spec MatrixSpec) (MatrixRecord, error) {
+	if spec.Generator != "" && len(spec.MatrixMarket) > 0 {
+		return MatrixRecord{}, fmt.Errorf("engine: matrix spec sets both generator and matrix_market")
+	}
+	if err := spec.checkBounds(); err != nil {
+		return MatrixRecord{}, err
+	}
+	return e.matrices.put(spec)
+}
+
+// GetMatrix returns the record of a registered matrix.
+func (e *Engine) GetMatrix(id string) (MatrixRecord, error) { return e.matrices.get(id) }
+
+// DeleteMatrix removes a registered matrix. Jobs already submitted against
+// it finish normally; new submissions referencing the id fail.
+func (e *Engine) DeleteMatrix(id string) error { return e.matrices.delete(id) }
+
+// ListMatrices returns all registered matrices, oldest first.
+func (e *Engine) ListMatrices() []MatrixRecord { return e.matrices.list() }
+
+// MatrixCount returns the number of registered matrices (a cheap gauge for
+// liveness endpoints; List materializes full records).
+func (e *Engine) MatrixCount() int { return e.matrices.count() }
+
+// CacheStats reports the prepared-solver cache's size and hit/miss counts.
+func (e *Engine) CacheStats() PrepCacheStats { return e.prep.stats() }
 
 // Get returns a snapshot of the job.
 func (e *Engine) Get(id string) (JobStatus, error) {
@@ -459,12 +681,16 @@ func (e *Engine) worker() {
 }
 
 // finishPayloads drops the job's bulk request payloads once they can no
-// longer be needed — so the forever-retained job record stays small — and
-// returns their bytes to the engine's pending-payload budget. Idempotent.
+// longer be needed — so the retained job record stays small — and returns
+// their bytes to the engine's pending-payload budget. The pinned registry
+// CSR is released too: without this, a terminal record would keep a
+// (possibly deleted) registered matrix reachable for the record's whole
+// retention. Idempotent.
 func (e *Engine) finishPayloads(j *job) {
 	j.mu.Lock()
 	j.spec.Matrix.MatrixMarket = nil
 	j.spec.RHS = nil
+	j.mat = nil
 	pb := j.payloadBytes
 	j.payloadBytes = 0
 	j.mu.Unlock()
@@ -502,15 +728,91 @@ func (e *Engine) run(j *job) {
 	}
 	defer cancelTimeout()
 
-	a, b, err := j.spec.Materialize()
+	cfg := j.spec.Config
+	// Acquire the prepared session for (matrix content, preparation config)
+	// from the cache: repeated jobs on the same system skip partitioning,
+	// the distributed symbolic phase, and preconditioner factorization. On a
+	// miss the build materializes the matrix (pinned store CSR or inline
+	// spec) and prepares it — under this job's context, so cancelling the
+	// job aborts its setup too; on a hit the matrix is not even rebuilt.
+	//
+	// The session is built method-free: prepKey deliberately excludes
+	// Method (it only shapes preparation through the preconditioner, which
+	// WithDefaults resolves first), so a cached session is shared by jobs
+	// with different methods and must not bake the builder's method in as
+	// the fallback for method-auto jobs. Each job passes its own method via
+	// SolveOpts.
+	prepCfg := cfg.WithDefaults()
+	prepCfg.Method = MethodAuto
+	build := func() (*Prepared, error) {
+		a := j.mat
+		if a == nil {
+			var err error
+			if a, err = j.spec.Matrix.Build(); err != nil {
+				return nil, err
+			}
+		}
+		// Network-submitted jobs must not reach the dense Cholesky
+		// factorization with an oversized block: the kernel is O(block^3)
+		// and unabortable once started. Trusted in-process library callers
+		// (esr.NewSolver) are not subject to this cap.
+		if prepCfg.Preconditioner == PrecondBlockJacobiChol {
+			ranks := prepCfg.Ranks
+			if ranks > a.Rows {
+				ranks = a.Rows
+			}
+			if bs := (a.Rows + ranks - 1) / ranks; bs > maxCholBlock {
+				return nil, fmt.Errorf(
+					"engine: block-jacobi-cholesky block size %d exceeds %d (dense factorization); use %q or more ranks",
+					bs, maxCholBlock, PrecondBlockJacobiILU)
+			}
+		}
+		return PrepareContext(ctx, a, prepCfg)
+	}
+	var (
+		prep    *Prepared
+		release func()
+		err     error
+	)
+	for {
+		prep, release, err = e.prep.acquire(ctx, prepKey(j.matHash, cfg), build)
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// A concurrent job sharing this prep key was cancelled (or timed
+			// out) while it was the builder, poisoning the shared build with
+			// its termination. This job is still live: rebuild (the cache
+			// does not keep failed builds, so the retry becomes the builder).
+			continue
+		}
+		break
+	}
 	if err != nil {
-		j.transition(StateFailed, err.Error())
+		switch {
+		case errors.Is(err, context.Canceled):
+			j.transition(StateCancelled, "")
+		case errors.Is(err, context.DeadlineExceeded):
+			j.transition(StateFailed, "deadline exceeded")
+		default:
+			j.transition(StateFailed, err.Error())
+		}
+		return
+	}
+	defer release()
+
+	b := j.spec.RHS
+	if b == nil {
+		b = make([]float64, prep.N())
+		for i := range b {
+			b[i] = 1
+		}
+	} else if len(b) != prep.N() {
+		j.transition(StateFailed, fmt.Sprintf("engine: rhs length %d != matrix rows %d", len(b), prep.N()))
 		return
 	}
 
-	cfg := j.spec.Config
+	opts := solveOpts(cfg)
 	progressCount := 0
-	cfg.Progress = func(ev core.ProgressEvent) {
+	opts.Progress = func(ev core.ProgressEvent) {
 		kind := EventProgress
 		if ev.Reconstruction != nil {
 			kind = EventReconstruction
@@ -529,7 +831,7 @@ func (e *Engine) run(j *job) {
 		})
 	}
 
-	sol, err := SolveSystem(ctx, a, b, cfg)
+	sol, err := prep.Solve(ctx, b, opts)
 	switch {
 	case err == nil:
 		if !j.spec.KeepSolution {

@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+)
+
+// ErrPreparedClosed reports a Solve on (or racing with) a closed prepared
+// session.
+var ErrPreparedClosed = errors.New("engine: prepared solver session is closed")
+
+// maxCholBlock bounds the per-rank block size of the dense block-Jacobi
+// Cholesky preconditioner for network-submitted jobs (enforced by the
+// engine's job path, not by Prepare itself, so trusted in-process callers
+// stay unrestricted): 4096 caps the dense factors at 2 x 4096^2 floats
+// (256 MiB: L plus its cache-friendly transpose) per rank and the
+// factorization at ~1.1e10 flops, keeping a worker responsive. Larger
+// blocks must use the sparse ILU(0)/IC(0) factorizations.
+const maxCholBlock = 4096
+
+// SolveOpts are the per-solve parameters of a prepared session: everything
+// that does NOT affect the expensive setup (partitioning, distributed
+// symbolic phase, preconditioner factorization) and can therefore differ
+// between solves sharing one Prepared. Zero-valued tolerances defer to the
+// core.Options defaults, exactly as in Config.
+type SolveOpts struct {
+	// Tol is the relative residual reduction target (<= 0: core default).
+	Tol float64
+	// MaxIter bounds the PCG iterations (<= 0: core default).
+	MaxIter int
+	// LocalTol is the reconstruction subsystem tolerance (<= 0: core
+	// default).
+	LocalTol float64
+	// Schedule injects node failures into this solve (nil: failure-free).
+	// A non-empty schedule needs a session prepared with phi >= 1.
+	Schedule *faults.Schedule
+	// Method overrides the session's solver method for this solve ("" keeps
+	// the session's; MethodSPCG still needs the session prepared with the
+	// split-capable "ic0" preconditioner).
+	Method string
+	// Progress observes this solve from rank 0 (may be nil).
+	Progress core.ProgressFunc
+}
+
+// preparedRank is the per-rank state built once and reused by every solve:
+// the distributed matrix template (symbolic halo plan, redundancy protocol,
+// localised CSR) and the factored preconditioner. The matrix template is
+// Forked per solve; the preconditioner applications are read-only and are
+// shared by concurrent solves directly.
+type preparedRank struct {
+	m      *distmat.Matrix
+	prec   core.Precond
+	split  precond.Split // non-nil only for PrecondIC0
+	lo, hi int
+}
+
+// Prepared is a reusable solver session over one system matrix: the
+// partition, the per-rank distributed matrix state, and the factored block
+// preconditioners are built exactly once, after which any number of
+// concurrent Solve calls run against them, each on its own short-lived rank
+// runtime. Close tears the session down and aborts in-flight solves.
+type Prepared struct {
+	cfg  Config // normalized; Ranks clamped to the matrix size
+	part partition.Partition
+	n    int
+	prep []preparedRank
+
+	mu     sync.Mutex
+	closed bool
+	active map[*cluster.Runtime]struct{}
+	wg     sync.WaitGroup
+}
+
+// Prepare builds a reusable solver session for the SPD system matrix a. Only
+// the preparation-scoped fields of cfg are used (Ranks, Phi, Preconditioner,
+// SSOROmega, Method); per-solve parameters (tolerances, schedule, progress)
+// are passed to each Solve. The caller must Close the session when done.
+func Prepare(a *sparse.CSR, cfg Config) (*Prepared, error) {
+	return PrepareContext(context.Background(), a, cfg)
+}
+
+// PrepareContext is Prepare with cancellation: cancelling ctx aborts the
+// build's runtime (ranks blocked in the symbolic exchange are woken; a rank
+// inside a factorization finishes its kernel first, as in a solve) and
+// returns the context's cause.
+func PrepareContext(ctx context.Context, a *sparse.CSR, cfg Config) (*Prepared, error) {
+	cfg = cfg.WithDefaults()
+	if a == nil || a.Rows <= 0 {
+		return nil, fmt.Errorf("esr: nil or empty matrix")
+	}
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("esr: matrix must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	if cfg.Ranks > a.Rows {
+		cfg.Ranks = a.Rows
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ps := &Prepared{
+		cfg:    cfg,
+		part:   partition.NewBlockRow(a.Rows, cfg.Ranks),
+		n:      a.Rows,
+		prep:   make([]preparedRank, cfg.Ranks),
+		active: map[*cluster.Runtime]struct{}{},
+	}
+	// The symbolic phase (halo plan + redundancy protocol) is a distributed
+	// exchange, so the build itself runs as an SPMD program on a throwaway
+	// runtime; the resulting per-rank state has no reference to it.
+	rt := cluster.New(cfg.Ranks)
+	err := rt.RunContext(ctx, func(c *cluster.Comm) error {
+		e := distmat.WorldEnv(c)
+		lo, hi := ps.part.Range(e.Pos)
+		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), ps.part, cfg.Phi, 0)
+		if err != nil {
+			// Wake peers blocked in the symbolic exchange instead of
+			// deadlocking the build.
+			rt.Abort(err)
+			return err
+		}
+		// Cancellation point before the expensive factorization: a rank that
+		// already knows the build is aborted must not start an O(block^3)
+		// kernel it cannot be woken from.
+		if err := c.Check(); err != nil {
+			return err
+		}
+		prec, split, err := buildPrecond(cfg, m)
+		if err != nil {
+			rt.Abort(err)
+			return err
+		}
+		// Ranks write disjoint slots; no lock needed.
+		ps.prep[c.Rank()] = preparedRank{m: m, prec: prec, split: split, lo: lo, hi: hi}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// N returns the dimension of the prepared system.
+func (ps *Prepared) N() int { return ps.n }
+
+// Ranks returns the number of simulated compute nodes of the session.
+func (ps *Prepared) Ranks() int { return ps.cfg.Ranks }
+
+// Phi returns the redundancy level of the session.
+func (ps *Prepared) Phi() int { return ps.cfg.Phi }
+
+// Config returns the normalized preparation-scoped configuration.
+func (ps *Prepared) Config() Config { return ps.cfg }
+
+// method resolves the solver for one Solve call: a per-solve override wins
+// over the session's configured method; MethodAuto keeps the historical
+// behaviour (plain PCG when there is neither redundancy nor a schedule,
+// ESR-PCG otherwise). Errors report an unknown name, SPCG on a session
+// without the split factors, or PCG with a failure schedule.
+func (ps *Prepared) method(opts SolveOpts) (string, error) {
+	m := opts.Method
+	if m == MethodAuto {
+		m = ps.cfg.Method
+	}
+	switch m {
+	case MethodAuto:
+		if ps.cfg.Phi == 0 && opts.Schedule.Empty() {
+			return MethodPCG, nil
+		}
+		return MethodESRPCG, nil
+	case MethodPCG:
+		if !opts.Schedule.Empty() {
+			return "", fmt.Errorf("engine: method %q cannot honour a failure schedule (use %q)",
+				MethodPCG, MethodESRPCG)
+		}
+		return m, nil
+	case MethodESRPCG:
+		return m, nil
+	case MethodSPCG:
+		if ps.prep[0].split == nil {
+			return "", fmt.Errorf("engine: method %q needs a session prepared with the split preconditioner %q, got %q",
+				MethodSPCG, PrecondIC0, ps.cfg.Preconditioner)
+		}
+		return m, nil
+	}
+	return "", fmt.Errorf("engine: unknown method %q", m)
+}
+
+// Solve runs one solve of A x = b against the prepared state. It is safe to
+// call concurrently: every call forks the per-rank matrix templates (fresh
+// scratch and retention state) onto its own rank runtime, while the
+// partition and the factored preconditioners are shared read-only.
+// Cancelling ctx aborts only this solve's runtime.
+func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Solution, error) {
+	if len(b) != ps.n {
+		return Solution{}, fmt.Errorf("esr: rhs length %d != %d", len(b), ps.n)
+	}
+	if err := opts.Schedule.Validate(ps.cfg.Ranks); err != nil {
+		return Solution{}, err
+	}
+	if !opts.Schedule.Empty() && ps.cfg.Phi == 0 {
+		// Reject at the door instead of spinning up the runtime just for
+		// the solver's own resilience-enabled check to fail.
+		return Solution{}, fmt.Errorf("esr: a failure schedule needs a session prepared with phi >= 1")
+	}
+	method, err := ps.method(opts)
+	if err != nil {
+		return Solution{}, err
+	}
+
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		return Solution{}, ErrPreparedClosed
+	}
+	rt := cluster.New(ps.cfg.Ranks)
+	ps.active[rt] = struct{}{}
+	ps.wg.Add(1)
+	ps.mu.Unlock()
+	defer func() {
+		ps.mu.Lock()
+		delete(ps.active, rt)
+		ps.mu.Unlock()
+		ps.wg.Done()
+	}()
+
+	var mu sync.Mutex
+	sol := Solution{X: make([]float64, ps.n)}
+	err = rt.RunContext(ctx, func(c *cluster.Comm) error {
+		pr := ps.prep[c.Rank()]
+		e := distmat.WorldEnv(c)
+		m := pr.m.Fork()
+		bv := distmat.Vector{P: ps.part, Pos: e.Pos, Local: append([]float64(nil), b[pr.lo:pr.hi]...)}
+		x := distmat.NewVector(ps.part, e.Pos)
+		copts := core.Options{Tol: opts.Tol, MaxIter: opts.MaxIter, LocalTol: opts.LocalTol, Ctx: ctx}
+		if c.Rank() == 0 {
+			copts.Progress = opts.Progress
+		}
+		var res core.Result
+		var err error
+		switch method {
+		case MethodPCG:
+			res, err = core.PCG(e, m, x, bv, pr.prec, copts)
+		case MethodSPCG:
+			res, err = core.SPCG(e, m, x, bv, pr.split, copts, opts.Schedule)
+		default:
+			res, err = core.ESRPCG(e, m, x, bv, pr.prec, copts, opts.Schedule)
+		}
+		if err != nil {
+			return err
+		}
+		full, err := distmat.Gather(e, x)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			copy(sol.X, full)
+			sol.Result = res
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrPreparedClosed) {
+			// Close aborted this solve's runtime; surface the session error,
+			// not a wrapped per-rank abort.
+			return Solution{}, ErrPreparedClosed
+		}
+		return Solution{}, err
+	}
+	return sol, nil
+}
+
+// Close tears the session down: subsequent Solve calls fail with
+// ErrPreparedClosed, in-flight solves are aborted (their runtimes wake ranks
+// blocked in communication and the Solve calls return ErrPreparedClosed),
+// and Close blocks until they have unwound. Idempotent.
+func (ps *Prepared) Close() {
+	ps.mu.Lock()
+	if !ps.closed {
+		ps.closed = true
+		for rt := range ps.active {
+			rt.Abort(ErrPreparedClosed)
+		}
+	}
+	ps.mu.Unlock()
+	ps.wg.Wait()
+}
+
+// buildPrecond factors the node-local block preconditioner for the rank's
+// matrix. The returned Split is non-nil only for PrecondIC0 (the SPCG
+// method's requirement).
+func buildPrecond(cfg Config, m *distmat.Matrix) (core.Precond, precond.Split, error) {
+	switch cfg.Preconditioner {
+	case PrecondIdentity:
+		return core.IdentityPrecond(), nil, nil
+	case PrecondJacobi:
+		j, err := precond.NewJacobi(m.Diag())
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.LocalPrecond{P: j}, nil, nil
+	case PrecondBlockJacobiILU:
+		f, err := precond.NewBlockJacobiILU(m.OwnBlock())
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.LocalPrecond{P: f}, nil, nil
+	case PrecondBlockJacobiChol:
+		ch, err := precond.NewBlockJacobiChol(m.OwnBlock())
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.LocalPrecond{P: ch}, nil, nil
+	case PrecondSSOR:
+		s, err := precond.NewSSOR(m.OwnBlock(), cfg.SSOROmega)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.LocalPrecond{P: s}, nil, nil
+	case PrecondIC0:
+		s, err := precond.NewIC0Split(m.OwnBlock())
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.LocalPrecond{P: s}, s, nil
+	}
+	return nil, nil, fmt.Errorf("esr: unknown preconditioner %q", cfg.Preconditioner)
+}

@@ -2,14 +2,8 @@ package engine
 
 import (
 	"context"
-	"fmt"
-	"sync"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/distmat"
-	"repro/internal/partition"
-	"repro/internal/precond"
 	"repro/internal/sparse"
 )
 
@@ -21,102 +15,27 @@ type Solution struct {
 	Result core.Result `json:"result"`
 }
 
+// solveOpts extracts the per-solve parameters of a one-shot Config.
+func solveOpts(cfg Config) SolveOpts {
+	return SolveOpts{
+		Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol,
+		Schedule: cfg.Schedule, Method: cfg.Method, Progress: cfg.Progress,
+	}
+}
+
 // SolveSystem distributes the SPD system A x = b over an in-process cluster
 // and runs the resilient PCG solver, injecting the configured failures. It
-// is the single solve path shared by the public esr API and the engine's
-// workers. Cancelling ctx aborts the cluster runtime (waking ranks blocked
-// in communication) and returns the context's cause.
+// is the one-shot entry point behind esr.Solve / esr.SolveContext: a
+// prepared session (Prepare) built, used for a single Solve, and torn down.
+// Callers serving many right-hand sides on the same system should hold a
+// Prepared (or esr.Solver) instead and amortize the setup. Cancelling ctx
+// aborts the solve's runtime (waking ranks blocked in communication) and
+// returns the context's cause.
 func SolveSystem(ctx context.Context, a *sparse.CSR, b []float64, cfg Config) (Solution, error) {
-	cfg = cfg.WithDefaults()
-	if a.Rows != a.Cols {
-		return Solution{}, fmt.Errorf("esr: matrix must be square, got %dx%d", a.Rows, a.Cols)
-	}
-	if len(b) != a.Rows {
-		return Solution{}, fmt.Errorf("esr: rhs length %d != %d", len(b), a.Rows)
-	}
-	if cfg.Ranks > a.Rows {
-		cfg.Ranks = a.Rows
-	}
-	if cfg.Phi < 0 || cfg.Phi >= cfg.Ranks {
-		return Solution{}, fmt.Errorf("esr: phi %d out of range [0, %d)", cfg.Phi, cfg.Ranks)
-	}
-
-	rt := cluster.New(cfg.Ranks)
-	p := partition.NewBlockRow(a.Rows, cfg.Ranks)
-	var mu sync.Mutex
-	sol := Solution{X: make([]float64, a.Rows)}
-	err := rt.RunContext(ctx, func(c *cluster.Comm) error {
-		e := distmat.WorldEnv(c)
-		lo, hi := p.Range(e.Pos)
-		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, cfg.Phi, 0)
-		if err != nil {
-			return err
-		}
-		prec, err := buildPrecond(cfg, m)
-		if err != nil {
-			return err
-		}
-		bv := distmat.Vector{P: p, Pos: e.Pos, Local: append([]float64(nil), b[lo:hi]...)}
-		x := distmat.NewVector(p, e.Pos)
-		opts := core.Options{Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol, Ctx: ctx}
-		if c.Rank() == 0 {
-			opts.Progress = cfg.Progress
-		}
-		var res core.Result
-		if cfg.Phi == 0 && cfg.Schedule.Empty() {
-			res, err = core.PCG(e, m, x, bv, prec, opts)
-		} else {
-			res, err = core.ESRPCG(e, m, x, bv, prec, opts, cfg.Schedule)
-		}
-		if err != nil {
-			return err
-		}
-		full, err := distmat.Gather(e, x)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			mu.Lock()
-			copy(sol.X, full)
-			sol.Result = res
-			mu.Unlock()
-		}
-		return nil
-	})
+	ps, err := PrepareContext(ctx, a, cfg)
 	if err != nil {
 		return Solution{}, err
 	}
-	return sol, nil
-}
-
-func buildPrecond(cfg Config, m *distmat.Matrix) (core.Precond, error) {
-	switch cfg.Preconditioner {
-	case PrecondIdentity:
-		return core.IdentityPrecond(), nil
-	case PrecondJacobi:
-		j, err := precond.NewJacobi(m.Diag())
-		if err != nil {
-			return nil, err
-		}
-		return core.LocalPrecond{P: j}, nil
-	case PrecondBlockJacobiILU:
-		f, err := precond.NewBlockJacobiILU(m.OwnBlock())
-		if err != nil {
-			return nil, err
-		}
-		return core.LocalPrecond{P: f}, nil
-	case PrecondBlockJacobiChol:
-		ch, err := precond.NewBlockJacobiChol(m.OwnBlock())
-		if err != nil {
-			return nil, err
-		}
-		return core.LocalPrecond{P: ch}, nil
-	case PrecondSSOR:
-		s, err := precond.NewSSOR(m.OwnBlock(), cfg.SSOROmega)
-		if err != nil {
-			return nil, err
-		}
-		return core.LocalPrecond{P: s}, nil
-	}
-	return nil, fmt.Errorf("esr: unknown preconditioner %q", cfg.Preconditioner)
+	defer ps.Close()
+	return ps.Solve(ctx, b, solveOpts(cfg))
 }

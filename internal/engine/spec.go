@@ -236,8 +236,17 @@ func checkDims(m *sparse.CSR) (*sparse.CSR, error) {
 // solver configuration, and scheduling limits. It round-trips through JSON
 // for the esrd daemon.
 type JobSpec struct {
-	// Matrix names the system matrix.
+	// Matrix names the system matrix inline. Leave it zero when MatrixID is
+	// set (it then serializes as an empty object: encoding/json has no
+	// emptiness notion for structs).
 	Matrix MatrixSpec `json:"matrix"`
+	// MatrixID references a matrix previously registered with the engine's
+	// matrix store (POST /v1/matrices on the daemon): the system is
+	// materialized once at registration and reused by every job referencing
+	// it, and jobs sharing preparation-scoped config also share the
+	// prepared-solver session. Exactly one of Matrix and MatrixID must be
+	// set.
+	MatrixID string `json:"matrix_id,omitempty"`
 	// RHS is the right-hand side; nil selects the all-ones vector of
 	// matching length (the paper's b).
 	RHS []float64 `json:"rhs,omitempty"`
@@ -255,14 +264,26 @@ type JobSpec struct {
 // Validate performs the cheap structural checks done at submission time
 // (before a worker spends time materializing the matrix).
 func (s JobSpec) Validate() error {
-	if s.Matrix.Generator == "" && len(s.Matrix.MatrixMarket) == 0 {
-		return fmt.Errorf("engine: job needs a matrix (generator or matrix_market)")
+	sources := 0
+	if s.Matrix.Generator != "" {
+		sources++
 	}
-	if s.Matrix.Generator != "" && len(s.Matrix.MatrixMarket) > 0 {
-		return fmt.Errorf("engine: matrix spec sets both generator and matrix_market")
+	if len(s.Matrix.MatrixMarket) > 0 {
+		sources++
 	}
-	if err := s.Matrix.checkBounds(); err != nil {
-		return err
+	if s.MatrixID != "" {
+		sources++
+	}
+	switch {
+	case sources == 0:
+		return fmt.Errorf("engine: job needs a matrix (generator, matrix_market, or matrix_id)")
+	case sources > 1:
+		return fmt.Errorf("engine: job sets more than one matrix source (generator, matrix_market, matrix_id)")
+	}
+	if s.MatrixID == "" {
+		if err := s.Matrix.checkBounds(); err != nil {
+			return err
+		}
 	}
 	if s.TimeoutMillis < 0 {
 		return fmt.Errorf("engine: negative timeout")
@@ -275,13 +296,8 @@ func (s JobSpec) Validate() error {
 		}
 	}
 	cfg := s.Config.WithDefaults()
-	switch cfg.Preconditioner {
-	case PrecondIdentity, PrecondJacobi, PrecondBlockJacobiILU, PrecondBlockJacobiChol, PrecondSSOR:
-	default:
-		return fmt.Errorf("engine: unknown preconditioner %q", cfg.Preconditioner)
-	}
-	if cfg.Phi < 0 || cfg.Phi >= cfg.Ranks {
-		return fmt.Errorf("engine: phi %d out of range [0, %d)", cfg.Phi, cfg.Ranks)
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if err := cfg.Schedule.Validate(cfg.Ranks); err != nil {
 		return err

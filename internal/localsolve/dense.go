@@ -12,10 +12,15 @@ import (
 )
 
 // Cholesky is a dense Cholesky factorisation A = L L^T of an SPD matrix,
-// stored as the lower triangle of a row-major n x n array.
+// stored as the lower triangle of a row-major n x n array. The transpose
+// L^T is kept as well (row-major, i.e. U = L^T with its rows contiguous):
+// the backward substitution then walks memory sequentially instead of
+// striding by n, which is what makes the factor cheap to apply once per PCG
+// iteration in a prepared multi-solve session.
 type Cholesky struct {
-	n int
-	l []float64
+	n  int
+	l  []float64
+	lt []float64 // row-major L^T: lt[i*n+k] = l[k*n+i] for k >= i
 }
 
 // NewCholesky factorises the dense row-major SPD matrix a (n x n). It fails
@@ -41,7 +46,13 @@ func NewCholesky(n int, a []float64) (*Cholesky, error) {
 			}
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	lt := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := i; k < n; k++ {
+			lt[i*n+k] = l[k*n+i]
+		}
+	}
+	return &Cholesky{n: n, l: l, lt: lt}, nil
 }
 
 // N returns the dimension of the factorised matrix.
@@ -56,18 +67,20 @@ func (c *Cholesky) Solve(x, b []float64) {
 	// forward: L y = b
 	for i := 0; i < n; i++ {
 		s := b[i]
+		row := c.l[i*n : i*n+n]
 		for k := 0; k < i; k++ {
-			s -= c.l[i*n+k] * x[k]
+			s -= row[k] * x[k]
 		}
-		x[i] = s / c.l[i*n+i]
+		x[i] = s / row[i]
 	}
-	// backward: L^T x = y
+	// backward: L^T x = y, on the contiguous transposed factor
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
+		row := c.lt[i*n : i*n+n]
 		for k := i + 1; k < n; k++ {
-			s -= c.l[k*n+i] * x[k]
+			s -= row[k] * x[k]
 		}
-		x[i] = s / c.l[i*n+i]
+		x[i] = s / row[i]
 	}
 }
 
@@ -88,10 +101,11 @@ func (c *Cholesky) SolveLT(x, b []float64) {
 	n := c.n
 	for i := n - 1; i >= 0; i-- {
 		s := b[i]
+		row := c.lt[i*n : i*n+n]
 		for k := i + 1; k < n; k++ {
-			s -= c.l[k*n+i] * x[k]
+			s -= row[k] * x[k]
 		}
-		x[i] = s / c.l[i*n+i]
+		x[i] = s / row[i]
 	}
 }
 

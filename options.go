@@ -1,0 +1,203 @@
+package esr
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Preconditioner is a typed node-local block preconditioner selector for
+// WithPreconditioner. Its values are the wire names accepted by
+// Config.Preconditioner.
+type Preconditioner string
+
+// The available preconditioners.
+const (
+	// Identity disables preconditioning (plain CG).
+	Identity Preconditioner = engine.PrecondIdentity
+	// Jacobi preconditions with diag(A).
+	Jacobi Preconditioner = engine.PrecondJacobi
+	// BlockJacobiILU preconditions with an ILU(0) factorization of the
+	// rank-local diagonal block (the default).
+	BlockJacobiILU Preconditioner = engine.PrecondBlockJacobiILU
+	// BlockJacobiChol solves the rank-local diagonal block exactly via dense
+	// Cholesky — the paper's configuration; expensive to set up, which is
+	// exactly what a Solver session amortizes.
+	BlockJacobiChol Preconditioner = engine.PrecondBlockJacobiChol
+	// SSOR preconditions with symmetric successive overrelaxation of the
+	// local block (relaxation factor via WithSSOROmega).
+	SSOR Preconditioner = engine.PrecondSSOR
+	// IC0 preconditions with an incomplete Cholesky factorization M = L L^T
+	// of the local block; the only split-capable choice, required by SPCG.
+	IC0 Preconditioner = engine.PrecondIC0
+)
+
+// Method is a typed solver selector for WithMethod. Its values are the wire
+// names accepted by Config.Method.
+type Method string
+
+// The available solver methods.
+const (
+	// AutoMethod (the default) picks PCG for failure-free runs without
+	// redundancy and ESRPCG otherwise.
+	AutoMethod Method = engine.MethodAuto
+	// PCG is the reference parallel PCG (paper Alg. 1), without failure
+	// tolerance.
+	PCG Method = engine.MethodPCG
+	// ESRPCG is the paper's resilient PCG with exact state reconstruction
+	// after up to phi node failures.
+	ESRPCG Method = engine.MethodESRPCG
+	// SPCG is the split-preconditioner variant ([23, Alg. 5]); it requires
+	// the IC0 preconditioner.
+	SPCG Method = engine.MethodSPCG
+)
+
+// InvalidOmegaError reports an SSOR relaxation factor outside (0, 2).
+type InvalidOmegaError = engine.InvalidOmegaError
+
+// Option is a typed functional configuration knob for NewSolver (and, for
+// the solve-scoped subset, Solver.Solve). Options lower onto the same
+// Config that the JSON wire format uses: a Config decoded off the wire and
+// applied with FromConfig behaves identically to the equivalent Option
+// list.
+type Option func(*Config) error
+
+// WithRanks sets the number of simulated compute nodes (default 8, clamped
+// to the matrix size). Preparation-scoped.
+func WithRanks(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return fmt.Errorf("esr: ranks %d must be positive", n)
+		}
+		c.Ranks = n
+		return nil
+	}
+}
+
+// WithPhi sets the number of simultaneous node failures to tolerate: the
+// solver keeps phi redundant copies of the two most recent search
+// directions. Preparation-scoped.
+func WithPhi(phi int) Option {
+	return func(c *Config) error {
+		if phi < 0 {
+			return fmt.Errorf("esr: phi %d must be non-negative", phi)
+		}
+		c.Phi = phi
+		return nil
+	}
+}
+
+// WithPreconditioner selects the node-local block preconditioner.
+// Preparation-scoped.
+func WithPreconditioner(p Preconditioner) Option {
+	return func(c *Config) error {
+		c.Preconditioner = string(p)
+		return nil
+	}
+}
+
+// WithSSOROmega sets the SSOR relaxation factor, which must satisfy
+// 0 < omega < 2 (validated with a typed *InvalidOmegaError when the SSOR
+// preconditioner is selected). Preparation-scoped.
+func WithSSOROmega(omega float64) Option {
+	return func(c *Config) error {
+		c.SSOROmega = omega
+		return nil
+	}
+}
+
+// WithMethod selects the solver method. Allowed per-solve as long as the
+// session's preconditioner supports it (SPCG needs IC0).
+func WithMethod(m Method) Option {
+	return func(c *Config) error {
+		c.Method = string(m)
+		return nil
+	}
+}
+
+// WithTolerance sets the relative residual reduction target (default 1e-8,
+// the paper's Sec. 7.1 setting). Solve-scoped.
+func WithTolerance(tol float64) Option {
+	return func(c *Config) error {
+		if tol <= 0 {
+			return fmt.Errorf("esr: tolerance %g must be positive", tol)
+		}
+		c.Tol = tol
+		return nil
+	}
+}
+
+// WithMaxIterations bounds the PCG iterations (default 10 n). Solve-scoped.
+func WithMaxIterations(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return fmt.Errorf("esr: max iterations %d must be positive", n)
+		}
+		c.MaxIter = n
+		return nil
+	}
+}
+
+// WithLocalTolerance sets the reconstruction subsystem tolerance (default
+// 1e-14). Solve-scoped.
+func WithLocalTolerance(tol float64) Option {
+	return func(c *Config) error {
+		if tol <= 0 {
+			return fmt.Errorf("esr: local tolerance %g must be positive", tol)
+		}
+		c.LocalTol = tol
+		return nil
+	}
+}
+
+// WithSchedule injects the deterministic failure schedule into every solve
+// of the session (or into one solve when passed to Solver.Solve).
+// Solve-scoped; needs a session prepared with phi >= 1.
+func WithSchedule(s *Schedule) Option {
+	return func(c *Config) error {
+		c.Schedule = s
+		return nil
+	}
+}
+
+// WithProgress observes solves from rank 0: one event per iteration plus
+// one per reconstruction episode. With concurrent solves on one session the
+// events of all of them are delivered to the same callback; pass a per-call
+// WithProgress to Solver.Solve to observe one solve in isolation.
+// Solve-scoped.
+func WithProgress(fn ProgressFunc) Option {
+	return func(c *Config) error {
+		c.Progress = fn
+		return nil
+	}
+}
+
+// FromConfig lowers a (typically JSON-decoded) Config onto the option list:
+// the configuration built so far is replaced by cfg (options listed after
+// FromConfig still apply on top). It is the bridge from the wire format to
+// the session API — esr.Solve(a, b, cfg) is equivalent to
+// NewSolver(a, FromConfig(cfg)) followed by one Solve and a Close.
+func FromConfig(cfg Config) Option {
+	return func(c *Config) error {
+		progress := c.Progress
+		*c = cfg
+		if c.Progress == nil {
+			c.Progress = progress
+		}
+		return nil
+	}
+}
+
+// buildConfig applies opts onto a zero Config.
+func buildConfig(opts []Option) (Config, error) {
+	var cfg Config
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&cfg); err != nil {
+			return Config{}, err
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,430 @@
+package esr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// onesRHS returns the paper's all-ones right-hand side.
+func onesRHS(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}
+
+// variedRHS returns a deterministic non-trivial right-hand side distinct per
+// seed.
+func variedRHS(n, seed int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + 0.5*math.Sin(float64(seed+1)*float64(i+1))
+	}
+	return b
+}
+
+// checkResidual fails the test unless ||b - A x|| meets the default relative
+// target against ||b - A 0|| = ||b||.
+func checkResidual(t *testing.T, a *Matrix, x, b []float64) {
+	t.Helper()
+	var nb float64
+	for _, v := range b {
+		nb += v * v
+	}
+	nb = math.Sqrt(nb)
+	if r := ResidualNorm(a, x, b); r > 1e-6*nb {
+		t.Fatalf("residual %g too large (||b|| = %g)", r, nb)
+	}
+}
+
+// TestQuickSolverSession covers the prepare-once/solve-many basics: repeated
+// and sequential solves on one session agree with the one-shot path.
+func TestQuickSolverSession(t *testing.T) {
+	a := Poisson2D(24, 24)
+	s, err := NewSolver(a, WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.N() != a.Rows || s.Ranks() != 4 || s.Phi() != 0 {
+		t.Fatalf("session shape: n=%d ranks=%d phi=%d", s.N(), s.Ranks(), s.Phi())
+	}
+
+	b := onesRHS(a.Rows)
+	ref, err := Solve(a, b, Config{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for call := 0; call < 3; call++ {
+		sol, err := s.Solve(context.Background(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Result.Converged {
+			t.Fatalf("call %d did not converge", call)
+		}
+		checkResidual(t, a, sol.X, b)
+		// The runtime is deterministic and the prepared state is identical to
+		// what a one-shot solve builds, so results match bit for bit.
+		if sol.Result.Iterations != ref.Result.Iterations {
+			t.Fatalf("call %d: %d iterations, one-shot took %d",
+				call, sol.Result.Iterations, ref.Result.Iterations)
+		}
+		for i := range sol.X {
+			if sol.X[i] != ref.X[i] {
+				t.Fatalf("call %d: X[%d] = %g, one-shot %g", call, i, sol.X[i], ref.X[i])
+			}
+		}
+	}
+}
+
+// TestSolverConcurrentSolves runs overlapping solves with distinct
+// right-hand sides on one session (the -race satellite): every solve must
+// converge to its own RHS, undisturbed by its siblings.
+func TestSolverConcurrentSolves(t *testing.T) {
+	a := Poisson2D(20, 20)
+	s, err := NewSolver(a, WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const solves = 8
+	var wg sync.WaitGroup
+	errs := make([]error, solves)
+	for k := 0; k < solves; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			b := variedRHS(a.Rows, k)
+			sol, err := s.Solve(context.Background(), b)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			if !sol.Result.Converged {
+				errs[k] = fmt.Errorf("solve %d did not converge", k)
+				return
+			}
+			var nb float64
+			for _, v := range b {
+				nb += v * v
+			}
+			if r := ResidualNorm(a, sol.X, b); r > 1e-6*math.Sqrt(nb) {
+				errs[k] = fmt.Errorf("solve %d residual %g", k, r)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSolverConcurrentWithFailures overlaps resilient solves that each
+// inject node failures: the forked retention state of one solve must not
+// leak into another.
+func TestSolverConcurrentWithFailures(t *testing.T) {
+	a := Poisson2D(16, 16)
+	s, err := NewSolver(a, WithRanks(4), WithPhi(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const solves = 4
+	var wg sync.WaitGroup
+	errs := make([]error, solves)
+	for k := 0; k < solves; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			b := variedRHS(a.Rows, k)
+			sol, err := s.Solve(context.Background(), b,
+				WithSchedule(NewSchedule(Simultaneous(2+k, 1, 2))))
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			if !sol.Result.Converged || len(sol.Result.Reconstructions) != 1 {
+				errs[k] = fmt.Errorf("solve %d: converged=%v reconstructions=%d",
+					k, sol.Result.Converged, len(sol.Result.Reconstructions))
+				return
+			}
+			var nb float64
+			for _, v := range b {
+				nb += v * v
+			}
+			if r := ResidualNorm(a, sol.X, b); r > 1e-6*math.Sqrt(nb) {
+				errs[k] = fmt.Errorf("solve %d residual %g", k, r)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// slowSolveOpts makes a solve run effectively forever (unreachable
+// tolerance, huge iteration budget) and invokes cancel from the progress
+// callback after the given number of iterations.
+func slowSolveOpts(cancel context.CancelFunc, after int) []Option {
+	calls := 0
+	return []Option{
+		WithTolerance(1e-300),
+		WithMaxIterations(10_000_000),
+		WithProgress(func(ev ProgressEvent) {
+			calls++
+			if calls == after {
+				cancel()
+			}
+		}),
+	}
+}
+
+// TestSolverCancelDoesNotDisturbSiblings cancels one in-flight solve
+// mid-iteration while a sibling solve runs on the same session; the sibling
+// must complete correctly and the session must stay usable.
+func TestSolverCancelDoesNotDisturbSiblings(t *testing.T) {
+	a := Poisson2D(24, 24)
+	s, err := NewSolver(a, WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	victimErr := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(ctx, onesRHS(a.Rows), slowSolveOpts(cancel, 3)...)
+		victimErr <- err
+	}()
+
+	b := variedRHS(a.Rows, 7)
+	sol, err := s.Solve(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Result.Converged {
+		t.Fatal("sibling solve did not converge")
+	}
+	checkResidual(t, a, sol.X, b)
+
+	select {
+	case err := <-victimErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled solve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled solve did not return")
+	}
+
+	// The session is still healthy after the cancellation.
+	sol, err = s.Solve(context.Background(), b)
+	if err != nil || !sol.Result.Converged {
+		t.Fatalf("post-cancel solve: %v", err)
+	}
+}
+
+// TestSolverCloseAbortsInFlight closes the session while a solve is in
+// flight: the solve returns ErrSolverClosed, Close waits for it to unwind,
+// and later Solve calls are rejected.
+func TestSolverCloseAbortsInFlight(t *testing.T) {
+	a := Poisson2D(24, 24)
+	s, err := NewSolver(a, WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	var once sync.Once
+	solveErr := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(context.Background(), onesRHS(a.Rows),
+			WithTolerance(1e-300),
+			WithMaxIterations(10_000_000),
+			WithProgress(func(ProgressEvent) { once.Do(func() { close(started) }) }))
+		solveErr <- err
+	}()
+
+	<-started
+	s.Close() // blocks until the in-flight solve unwinds
+	select {
+	case err := <-solveErr:
+		if !errors.Is(err, ErrSolverClosed) {
+			t.Fatalf("in-flight solve returned %v, want ErrSolverClosed", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight solve did not return after Close")
+	}
+	if _, err := s.Solve(context.Background(), onesRHS(a.Rows)); !errors.Is(err, ErrSolverClosed) {
+		t.Fatalf("solve after Close returned %v, want ErrSolverClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestSolverBatch solves a batch of right-hand sides concurrently on one
+// session.
+func TestSolverBatch(t *testing.T) {
+	a := Poisson2D(20, 20)
+	s, err := NewSolver(a, WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	bs := make([][]float64, 6)
+	for k := range bs {
+		bs[k] = variedRHS(a.Rows, k)
+	}
+	sols, err := s.SolveBatch(context.Background(), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != len(bs) {
+		t.Fatalf("got %d solutions for %d rhs", len(sols), len(bs))
+	}
+	for k, sol := range sols {
+		if !sol.Result.Converged {
+			t.Fatalf("batch entry %d did not converge", k)
+		}
+		checkResidual(t, a, sol.X, bs[k])
+	}
+}
+
+// TestSolverMethodsAndOptions exercises the typed options: SPCG with its
+// implied IC0 split preconditioner, FromConfig lowering, and the typed
+// rejection of invalid configurations.
+func TestSolverMethodsAndOptions(t *testing.T) {
+	a := Poisson2D(16, 16)
+	b := onesRHS(a.Rows)
+
+	// SPCG defaults its preconditioner to IC0 and solves.
+	s, err := NewSolver(a, WithRanks(4), WithPhi(1), WithMethod(SPCG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Solve(context.Background(), b,
+		WithSchedule(NewSchedule(Simultaneous(2, 1))))
+	s.Close()
+	if err != nil || !sol.Result.Converged || len(sol.Result.Reconstructions) != 1 {
+		t.Fatalf("spcg: err=%v converged=%v reconstructions=%d",
+			err, sol.Result.Converged, len(sol.Result.Reconstructions))
+	}
+	checkResidual(t, a, sol.X, b)
+
+	// FromConfig lowers the wire format onto the session.
+	s, err = NewSolver(a, FromConfig(Config{Ranks: 3, Phi: 1, Preconditioner: PrecondJacobi}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ranks() != 3 || s.Phi() != 1 || s.Config().Preconditioner != PrecondJacobi {
+		t.Fatalf("FromConfig: ranks=%d phi=%d prec=%q", s.Ranks(), s.Phi(), s.Config().Preconditioner)
+	}
+	sol, err = s.Solve(context.Background(), b)
+	s.Close()
+	if err != nil || !sol.Result.Converged {
+		t.Fatalf("FromConfig solve: %v", err)
+	}
+
+	// An out-of-range SSOR omega is rejected with the typed error.
+	var omegaErr *InvalidOmegaError
+	_, err = NewSolver(a, WithPreconditioner(SSOR), WithSSOROmega(2.5))
+	if !errors.As(err, &omegaErr) || omegaErr.Omega != 2.5 {
+		t.Fatalf("omega 2.5: got %v, want *InvalidOmegaError", err)
+	}
+	if _, err = NewSolver(a, WithPreconditioner(SSOR), WithSSOROmega(-1)); !errors.As(err, &omegaErr) {
+		t.Fatalf("omega -1: got %v, want *InvalidOmegaError", err)
+	}
+	// ... but a valid omega solves.
+	s, err = NewSolver(a, WithRanks(4), WithPreconditioner(SSOR), WithSSOROmega(1.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err = s.Solve(context.Background(), b)
+	s.Close()
+	if err != nil || !sol.Result.Converged {
+		t.Fatalf("ssor solve: %v", err)
+	}
+
+	// Bad option values fail at construction.
+	if _, err := NewSolver(a, WithRanks(-2)); err == nil {
+		t.Fatal("WithRanks(-2) accepted")
+	}
+	if _, err := NewSolver(a, WithMethod(Method("bogus"))); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	// SPCG needs the split-capable IC0.
+	if _, err := NewSolver(a, WithMethod(SPCG), WithPreconditioner(Jacobi)); err == nil {
+		t.Fatal("SPCG with non-split preconditioner accepted")
+	}
+
+	// Per-call method overrides actually reach the solver: PCG cannot
+	// honour a schedule, so overriding to it on a resilient session must be
+	// rejected (were the override ignored, the auto-resolved ESRPCG would
+	// happily solve).
+	s, err = NewSolver(a, WithRanks(4), WithPhi(1), WithPreconditioner(IC0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), b,
+		WithMethod(PCG), WithSchedule(NewSchedule(Simultaneous(2, 1)))); err == nil {
+		t.Fatal("per-call PCG with a schedule accepted")
+	}
+	// ... and a per-call SPCG on this IC0 session works, failures included.
+	sol, err = s.Solve(context.Background(), b,
+		WithMethod(SPCG), WithSchedule(NewSchedule(Simultaneous(2, 1))))
+	if err != nil || !sol.Result.Converged || len(sol.Result.Reconstructions) != 1 {
+		t.Fatalf("per-call spcg: err=%v converged=%v", err, sol.Result.Converged)
+	}
+	s.Close()
+	// A per-call SPCG on a session prepared without the split factors is
+	// rejected.
+	s, err = NewSolver(a, WithRanks(4), WithPreconditioner(Jacobi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background(), b, WithMethod(SPCG)); err == nil {
+		t.Fatal("per-call SPCG without split factors accepted")
+	}
+	s.Close()
+
+	// Preparation-scoped options are rejected per solve.
+	s, err = NewSolver(a, WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Solve(context.Background(), b, WithRanks(8)); err == nil {
+		t.Fatal("per-solve WithRanks accepted")
+	}
+	if _, err := s.Solve(context.Background(), b, WithPhi(1)); err == nil {
+		t.Fatal("per-solve WithPhi accepted")
+	}
+	// Solve-scoped overrides are fine.
+	if _, err := s.Solve(context.Background(), b, WithTolerance(1e-6), WithMaxIterations(5000)); err != nil {
+		t.Fatalf("per-solve tolerance override: %v", err)
+	}
+	// A per-call FromConfig that changes only solve-scoped fields is fine
+	// too: the zero-valued prep fields it resets default back to the
+	// session's values.
+	if _, err := s.Solve(context.Background(), b, FromConfig(Config{Ranks: 4, Tol: 1e-6})); err != nil {
+		t.Fatalf("per-solve FromConfig: %v", err)
+	}
+	// A schedule needs phi >= 1 on this phi-0 session.
+	if _, err := s.Solve(context.Background(), b, WithSchedule(NewSchedule(Simultaneous(1, 1)))); err == nil {
+		t.Fatal("schedule on phi-0 session accepted")
+	}
+}
