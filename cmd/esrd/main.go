@@ -5,6 +5,7 @@
 //
 //	esrd [-addr :8080] [-workers 4] [-queue 256] [-max-jobs 4096]
 //	     [-job-ttl 0] [-prep-cache 8] [-prep-ttl 10m] [-max-matrices 64]
+//	     [-transport chan|fast|chaos]
 //
 // Submit a job (a 64x64 Poisson system, phi=2, two ranks failing at
 // iteration 10), then follow its progress:
@@ -51,13 +52,21 @@ func main() {
 	prepCache := flag.Int("prep-cache", 8, "cached prepared solver sessions")
 	prepTTL := flag.Duration("prep-ttl", 10*time.Minute, "evict idle prepared sessions after this long")
 	maxMatrices := flag.Int("max-matrices", 64, "registered matrix capacity")
+	transport := flag.String("transport", engine.TransportChan,
+		"default communication fabric for jobs that do not pick one (chan|fast|chaos)")
 	flag.Parse()
+
+	// Reuse the engine's validation so the flag and the wire format accept
+	// exactly the same transport names.
+	if err := (engine.Config{Transport: *transport}).Validate(); err != nil {
+		log.Fatalf("esrd: bad -transport: %v", err)
+	}
 
 	eng := engine.New(engine.Options{
 		Workers: *workers, QueueCap: *queueCap,
 		MaxJobs: *maxJobs, JobTTL: *jobTTL,
 		PrepCacheSize: *prepCache, PrepCacheTTL: *prepTTL,
-		MaxMatrices: *maxMatrices,
+		MaxMatrices: *maxMatrices, DefaultTransport: *transport,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -239,5 +239,8 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 		"jobs":       s.eng.Count(),
 		"matrices":   s.eng.MatrixCount(),
 		"prep_cache": s.eng.CacheStats(),
+		// Per-fabric delivery/recycler gauges: one entry per transport that
+		// has run at least one preparation or solve.
+		"transports": s.eng.TransportStats(),
 	})
 }

@@ -139,6 +139,52 @@ func TestQuickHealthz(t *testing.T) {
 	if ok, _ := out["ok"].(bool); !ok {
 		t.Fatalf("healthz = %v", out)
 	}
+	if _, ok := out["transports"]; !ok {
+		t.Fatalf("healthz missing transports gauges: %v", out)
+	}
+}
+
+// TestQuickTransportJob: a job can pick its communication fabric over the
+// wire, and the healthz transport gauges reflect the runs.
+func TestQuickTransportJob(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	id := postJob(t, ts, engine.JobSpec{
+		Matrix: engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 12}},
+		Config: engine.Config{Ranks: 4, Transport: engine.TransportFast},
+	})
+	st := waitState(t, ts, id, 30*time.Second)
+	if st.State != engine.StateDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Transports map[string]engine.TransportUsage `json:"transports"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	u, ok := out.Transports[engine.TransportFast]
+	if !ok || u.Runs < 2 || u.Stats.Delivered == 0 {
+		t.Fatalf("healthz transport gauges = %+v", out.Transports)
+	}
+
+	// An unknown fabric is rejected at submission time.
+	body, _ := json.Marshal(engine.JobSpec{
+		Matrix: engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 8}},
+		Config: engine.Config{Transport: "bogus"},
+	})
+	resp2, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown transport: status %d, want 400", resp2.StatusCode)
+	}
 }
 
 // TestEndToEnd is the acceptance scenario: >= 8 concurrent jobs (mixed

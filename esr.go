@@ -135,6 +135,15 @@ const (
 	PrecondIC0             = engine.PrecondIC0
 )
 
+// Transport names accepted by Config (the wire format). The typed Transport
+// constants in options.go (ChanTransport, FastTransport, ChaosTransport)
+// are the session-API equivalents.
+const (
+	TransportChan  = engine.TransportChan
+	TransportFast  = engine.TransportFast
+	TransportChaos = engine.TransportChaos
+)
+
 // Config controls a Solve run. The zero value selects the paper's
 // experimental setup; zero-valued numerical fields (Tol, MaxIter, LocalTol)
 // defer to the solver-layer defaults in internal/core (Tol 1e-8, MaxIter

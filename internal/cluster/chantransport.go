@@ -1,0 +1,40 @@
+package cluster
+
+// ChanTransport is the default delivery fabric: the historical behaviour of
+// the runtime, extracted behind the Transport seam. Payload buffers are
+// plainly allocated (no recycler) and copy-semantics sends copy, so every
+// received slice is an ordinary garbage-collected allocation with no
+// ownership bookkeeping to get wrong. Use it whenever allocation pressure
+// is not the bottleneck.
+type ChanTransport struct {
+	ct transportCounters
+}
+
+// NewChanTransport returns the default copy-on-send transport.
+func NewChanTransport() *ChanTransport { return &ChanTransport{} }
+
+// Name implements Transport.
+func (t *ChanTransport) Name() string { return TransportChan }
+
+// GetFloats implements Transport: a plain allocation.
+func (t *ChanTransport) GetFloats(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	return make([]float64, n)
+}
+
+// PutFloats implements Transport: a no-op (the GC reclaims buffers).
+func (t *ChanTransport) PutFloats([]float64) {}
+
+// Deliver implements Transport.
+func (t *ChanTransport) Deliver(rt *Runtime, sender, dst *node, m Msg, own bool) error {
+	return deliverInbox(rt, &t.ct, t, sender, dst, m, own)
+}
+
+// NotifyKill implements Transport: peers observe the death immediately
+// (faithful fail-stop notification, as ULFM's error propagation models).
+func (t *ChanTransport) NotifyKill(nd *node) { nd.notifyPeers() }
+
+// Stats implements Transport.
+func (t *ChanTransport) Stats() TransportStats { return t.ct.snapshot() }

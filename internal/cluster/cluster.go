@@ -15,6 +15,14 @@
 // The message layer is deterministic for deterministic SPMD programs:
 // matching is FIFO per (source, tag) pair and reductions use a fixed tree
 // order, so repeated runs produce bit-identical floating-point results.
+//
+// Delivery itself is pluggable: every rank-to-rank hand-off flows through
+// the runtime's Transport (WithTransport). ChanTransport is the default
+// copy-on-send fabric, FastTransport the zero-copy pooled fabric for
+// nearly allocation-free steady-state solves, and ChaosTransport a seeded
+// latency/notification-lag wire for stressing the resilience protocol.
+// Matching lives above the transport, so all fabrics share the determinism
+// guarantee.
 package cluster
 
 import (
@@ -26,9 +34,18 @@ import (
 )
 
 // Msg is a message exchanged between ranks. Payloads are a float64 slice
-// and/or an int slice; receivers must not retain references past use if the
-// sender reuses buffers (the runtime copies payloads on Send, so this only
-// matters for zero-copy extensions).
+// and/or an int slice. Ownership follows the send variant used:
+//
+//   - Send copies payloads (on every transport), so the sender may reuse
+//     its buffers immediately, and the receiver exclusively owns the
+//     slices it gets.
+//   - SendOwned transfers ownership: the sender must not touch the slices
+//     after the call (success or error), and the receiver owns them.
+//
+// Either way the receiver is the exclusive owner of a received message's
+// payloads; once it is done with them (and does not retain them, e.g. in
+// the SpMV retention store) it may hand them back to the transport's
+// buffer recycler with Comm.Recycle — a no-op on transports without one.
 type Msg struct {
 	From int
 	Tag  int
@@ -40,16 +57,24 @@ type msgKey struct {
 	from, tag int
 }
 
-// node is the runtime-side state of one rank slot.
+// node is the runtime-side state of one rank slot. It carries two views of
+// its death: dead is the truth, observed immediately by the node's own
+// operations, while peerDead is the failure notification seen by everyone
+// else — the transport closes it (immediately for faithful fail-stop
+// semantics, lagged by the chaos transport).
 type node struct {
-	rank  int
-	inbox chan Msg
-	dead  chan struct{} // closed when the node fails
-	once  sync.Once
+	rank     int
+	inbox    chan Msg
+	dead     chan struct{} // closed when the node fails
+	peerDead chan struct{} // closed when peers are notified of the failure
+	once     sync.Once
+	peerOnce sync.Once
 }
 
-func (nd *node) kill() {
-	nd.once.Do(func() { close(nd.dead) })
+// notifyPeers publishes the node's death to its peers. Called by the
+// runtime's transport, which controls the timing.
+func (nd *node) notifyPeers() {
+	nd.peerOnce.Do(func() { close(nd.peerDead) })
 }
 
 func (nd *node) isDead() bool {
@@ -61,24 +86,58 @@ func (nd *node) isDead() bool {
 	}
 }
 
+// peerSeesDead reports whether the node's failure notification has reached
+// its peers.
+func (nd *node) peerSeesDead() bool {
+	select {
+	case <-nd.peerDead:
+		return true
+	default:
+		return false
+	}
+}
+
 // Runtime owns the rank slots of a simulated distributed-memory machine.
+// All rank-to-rank delivery flows through its Transport (the chan fabric by
+// default; see WithTransport).
 type Runtime struct {
-	size     int
-	mu       sync.Mutex
-	nodes    []*node
-	counters Counters
+	size      int
+	transport Transport
+	mu        sync.Mutex
+	nodes     []*node
+	counters  Counters
 
 	abort      chan struct{} // closed by Abort
 	abortOnce  sync.Once
 	abortCause error // set before abort closes; read only after <-abort
 }
 
+// Option configures a Runtime at construction.
+type Option func(*Runtime)
+
+// WithTransport selects the communication fabric. The transport instance
+// must be dedicated to this runtime (transports carry per-runtime state);
+// nil keeps the default. Use NewTransport to build one by name.
+func WithTransport(t Transport) Option {
+	return func(rt *Runtime) {
+		if t != nil {
+			rt.transport = t
+		}
+	}
+}
+
 // New creates a runtime with the given number of rank slots.
-func New(size int) *Runtime {
+func New(size int, opts ...Option) *Runtime {
 	if size <= 0 {
 		panic("cluster: non-positive size")
 	}
 	rt := &Runtime{size: size, nodes: make([]*node, size), abort: make(chan struct{})}
+	for _, opt := range opts {
+		opt(rt)
+	}
+	if rt.transport == nil {
+		rt.transport = NewChanTransport()
+	}
 	for i := range rt.nodes {
 		rt.nodes[i] = rt.freshNode(i)
 	}
@@ -87,14 +146,18 @@ func New(size int) *Runtime {
 
 func (rt *Runtime) freshNode(rank int) *node {
 	return &node{
-		rank:  rank,
-		inbox: make(chan Msg, 8*rt.size+64),
-		dead:  make(chan struct{}),
+		rank:     rank,
+		inbox:    make(chan Msg, 8*rt.size+64),
+		dead:     make(chan struct{}),
+		peerDead: make(chan struct{}),
 	}
 }
 
 // Size returns the number of rank slots.
 func (rt *Runtime) Size() int { return rt.size }
+
+// Transport returns the runtime's communication fabric.
+func (rt *Runtime) Transport() Transport { return rt.transport }
 
 // Counters returns the global communication counters.
 func (rt *Runtime) Counters() *Counters { return &rt.counters }
@@ -132,10 +195,16 @@ func (rt *Runtime) Aborted() (error, bool) {
 func (rt *Runtime) abortErr() error { return &AbortError{Cause: rt.abortCause} }
 
 // Kill fails the node currently occupying the slot: its memory is considered
-// lost and all communication involving it reports RankFailedError. Safe to
-// call from any goroutine.
+// lost and all communication involving it reports RankFailedError. The node
+// itself observes the death immediately; peers observe it when the
+// transport publishes the notification (immediately on the default fabric,
+// after a lag on the chaos fabric). Safe to call from any goroutine.
 func (rt *Runtime) Kill(rank int) {
-	rt.nodeAt(rank).kill()
+	nd := rt.nodeAt(rank)
+	nd.once.Do(func() {
+		close(nd.dead)
+		rt.transport.NotifyKill(nd)
+	})
 }
 
 // Revive installs a fresh (replacement) node in the slot of a failed rank
@@ -255,17 +324,35 @@ func (c *Comm) Check() error {
 	return nil
 }
 
-// Alive reports whether the slot of the given rank currently holds a live
-// node. This is the ULFM-style failure-notification primitive.
+// Alive reports whether the slot of the given rank currently holds a node
+// this rank has not (yet) been notified is dead. This is the ULFM-style
+// failure-notification primitive; on the chaos transport the notification
+// lags the actual death.
 func (c *Comm) Alive(rank int) bool {
-	return !c.rt.nodeAt(rank).isDead()
+	return !c.rt.nodeAt(rank).peerSeesDead()
 }
 
-// Send delivers a message to rank `to` with the given tag, accounting it
-// under category cat. Payload slices are copied, so the caller may reuse its
-// buffers immediately. Send fails with RankFailedError if the destination is
-// dead and ErrKilled if the sender itself has been killed.
-func (c *Comm) Send(cat Category, to, tag int, f []float64, ints []int) error {
+// GetFloats returns a payload buffer of length n from the transport's
+// recycler (a plain allocation on transports without one). Intended for
+// building payloads that are then handed off with SendOwned.
+func (c *Comm) GetFloats(n int) []float64 { return c.rt.transport.GetFloats(n) }
+
+// PutFloats returns a buffer to the transport's recycler. Only the
+// exclusive owner may call it, and must not touch the buffer afterwards.
+func (c *Comm) PutFloats(buf []float64) { c.rt.transport.PutFloats(buf) }
+
+// Recycle returns a received message's float payload to the transport's
+// recycler. Only the exclusive owner of the message may call it, and only
+// when nothing retains references into the payload.
+func (c *Comm) Recycle(m Msg) {
+	if m.F != nil {
+		c.rt.transport.PutFloats(m.F)
+	}
+}
+
+// send is the shared path of Send/SendOwned: validate, then hand off to the
+// runtime's transport.
+func (c *Comm) send(cat Category, to, tag int, f []float64, ints []int, own bool) error {
 	if to < 0 || to >= c.rt.size {
 		return fmt.Errorf("cluster: Send to invalid rank %d", to)
 	}
@@ -273,27 +360,23 @@ func (c *Comm) Send(cat Category, to, tag int, f []float64, ints []int) error {
 		return err
 	}
 	dst := c.rt.nodeAt(to)
-	if dst.isDead() {
+	if dst.peerSeesDead() {
 		return &RankFailedError{Rank: to}
 	}
-	m := Msg{From: c.rank, Tag: tag}
-	if len(f) > 0 {
-		m.F = append(make([]float64, 0, len(f)), f...)
+	if err := c.rt.transport.Deliver(c.rt, c.node, dst, Msg{From: c.rank, Tag: tag, F: f, I: ints}, own); err != nil {
+		return err
 	}
-	if len(ints) > 0 {
-		m.I = append(make([]int, 0, len(ints)), ints...)
-	}
-	select {
-	case dst.inbox <- m:
-		c.rt.counters.record(cat, 1, len(f), len(ints))
-		return nil
-	case <-dst.dead:
-		return &RankFailedError{Rank: to}
-	case <-c.node.dead:
-		return ErrKilled
-	case <-c.rt.abort:
-		return c.rt.abortErr()
-	}
+	c.rt.counters.record(cat, 1, len(f), len(ints))
+	return nil
+}
+
+// Send delivers a message to rank `to` with the given tag, accounting it
+// under category cat. Payload slices are copied (on every transport), so
+// the caller may reuse its buffers immediately. Send fails with
+// RankFailedError if the destination is known to be dead and ErrKilled if
+// the sender itself has been killed.
+func (c *Comm) Send(cat Category, to, tag int, f []float64, ints []int) error {
+	return c.send(cat, to, tag, f, ints, false)
 }
 
 // Recv blocks until a message from rank `from` with the given tag is
@@ -338,7 +421,7 @@ func (c *Comm) Recv(from, tag int) (Msg, error) {
 			return Msg{}, ErrKilled
 		case <-c.rt.abort:
 			return Msg{}, c.rt.abortErr()
-		case <-src.dead:
+		case <-src.peerDead:
 			// The source died; drain any message it managed to send first.
 			for {
 				select {
@@ -369,30 +452,12 @@ func (c *Comm) Recv(from, tag int) (Msg, error) {
 
 // SendOwned is Send without the defensive payload copy: the caller
 // relinquishes ownership of the slices (it must not read or write them
-// afterwards). The hot SpMV path uses it for its freshly built payloads.
+// afterwards, whether or not the call succeeds). The hot SpMV and
+// collective paths use it for freshly built payloads — combined with
+// GetFloats/Recycle on a pooled transport, the steady-state loop sends
+// without allocating.
 func (c *Comm) SendOwned(cat Category, to, tag int, f []float64, ints []int) error {
-	if to < 0 || to >= c.rt.size {
-		return fmt.Errorf("cluster: Send to invalid rank %d", to)
-	}
-	if err := c.Check(); err != nil {
-		return err
-	}
-	dst := c.rt.nodeAt(to)
-	if dst.isDead() {
-		return &RankFailedError{Rank: to}
-	}
-	m := Msg{From: c.rank, Tag: tag, F: f, I: ints}
-	select {
-	case dst.inbox <- m:
-		c.rt.counters.record(cat, 1, len(f), len(ints))
-		return nil
-	case <-dst.dead:
-		return &RankFailedError{Rank: to}
-	case <-c.node.dead:
-		return ErrKilled
-	case <-c.rt.abort:
-		return c.rt.abortErr()
-	}
+	return c.send(cat, to, tag, f, ints, true)
 }
 
 // SendFloats is shorthand for Send with only a float payload.

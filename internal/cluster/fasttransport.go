@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"math/bits"
+	"sync"
+	"unsafe"
+)
+
+// FastTransport is the zero-copy in-proc fabric: delivery semantics are
+// identical to ChanTransport (same inbox hand-off, same fail-stop and abort
+// unwinding, so SPMD programs produce bit-identical results), but payload
+// buffers come from a process-wide sync.Pool-backed recycler. Owned sends
+// (SendOwned, the SpMV halo exchange, the collectives' reduction hops)
+// transfer pooled buffers straight to the receiver, and receivers recycle
+// them once consumed (Comm.Recycle, or on retention eviction), so the
+// steady-state MatVec/Allreduce loop of a PCG iteration runs nearly
+// allocation-free (the pool refills itself only after GC drains it).
+//
+// The recycler only guarantees reuse for buffers whose capacity is an exact
+// power of two — which is what GetFloats hands out; foreign buffers passed
+// to PutFloats with other capacities are simply dropped to the GC.
+type FastTransport struct {
+	ct transportCounters
+}
+
+// NewFastTransport returns the pooled zero-copy transport.
+func NewFastTransport() *FastTransport { return &FastTransport{} }
+
+// floatPools recycles payload buffers by power-of-two capacity class:
+// class c holds buffers with capacity exactly 1<<c. The pools are shared by
+// every FastTransport in the process, so prepared sessions serving many
+// solves keep reusing one working set. Elements are stored as a *float64 to
+// the backing array's first element — a single word, so Put does not box a
+// slice header — and the slice is rebuilt from the class capacity on Get.
+var floatPools [floatPoolClasses]sync.Pool
+
+// floatPoolClasses caps the pooled capacity at 1<<(classes-1) floats
+// (512 MiB); larger buffers fall through to the allocator.
+const floatPoolClasses = 27
+
+// GetFloats implements Transport: a recycled buffer of length n (capacity
+// rounded up to the next power of two).
+func (t *FastTransport) GetFloats(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	t.ct.poolGets.Add(1)
+	c := bits.Len(uint(n - 1))
+	if c >= floatPoolClasses {
+		t.ct.poolNew.Add(1)
+		return make([]float64, n)
+	}
+	if p, ok := floatPools[c].Get().(*float64); ok {
+		return unsafe.Slice(p, 1<<c)[:n]
+	}
+	t.ct.poolNew.Add(1)
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloats implements Transport: recycle buf for a future GetFloats. Only
+// exact power-of-two capacities (the recycler's own buffers) are kept.
+func (t *FastTransport) PutFloats(buf []float64) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	if cls >= floatPoolClasses {
+		return
+	}
+	t.ct.poolPuts.Add(1)
+	buf = buf[:1]
+	floatPools[cls].Put(&buf[0])
+}
+
+// Name implements Transport.
+func (t *FastTransport) Name() string { return TransportFast }
+
+// Deliver implements Transport: same synchronous hand-off as ChanTransport;
+// the copy made for copy-semantics sends comes from the recycler.
+func (t *FastTransport) Deliver(rt *Runtime, sender, dst *node, m Msg, own bool) error {
+	return deliverInbox(rt, &t.ct, t, sender, dst, m, own)
+}
+
+// NotifyKill implements Transport: immediate, like ChanTransport.
+func (t *FastTransport) NotifyKill(nd *node) { nd.notifyPeers() }
+
+// Stats implements Transport.
+func (t *FastTransport) Stats() TransportStats { return t.ct.snapshot() }

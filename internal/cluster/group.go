@@ -120,15 +120,18 @@ func (g *Group) Pos() int { return g.pos }
 // Reduce combines vals element-wise across the group with a fixed binomial
 // tree; the member at position 0 receives the result (other members receive
 // nil). The combination order is deterministic, so results are bit-identical
-// across repeated runs.
+// across repeated runs. The returned slice comes from the transport's
+// buffer recycler: the caller owns it and may hand it back with Recycle.
 func (g *Group) Reduce(op Op, vals []float64) ([]float64, error) {
 	n := len(g.members)
-	acc := append([]float64(nil), vals...)
+	acc := g.c.GetFloats(len(vals))
+	copy(acc, vals)
 	tag := g.tagBase + opReduce
 	for mask := 1; mask < n; mask <<= 1 {
 		if g.pos&mask != 0 {
 			peer := g.members[g.pos-mask]
-			if err := g.c.SendFloats(CatCollective, peer, tag, acc); err != nil {
+			// The accumulator's ownership transfers to the parent.
+			if err := g.c.SendOwned(CatCollective, peer, tag, acc, nil); err != nil {
 				return nil, err
 			}
 			return nil, nil
@@ -143,6 +146,7 @@ func (g *Group) Reduce(op Op, vals []float64) ([]float64, error) {
 				return nil, fmt.Errorf("cluster: Reduce length mismatch (%d vs %d)", len(in), len(acc))
 			}
 			op.combine(acc, in)
+			g.c.PutFloats(in)
 		}
 	}
 	if g.pos == 0 {
@@ -179,20 +183,31 @@ func (g *Group) Bcast(rootPos int, rootVals []float64) ([]float64, error) {
 		}
 	}
 	if rel == 0 {
-		// Root returns a copy so callers can mutate it freely.
-		return append([]float64(nil), rootVals...), nil
+		// Root returns a copy so callers can mutate it freely (rootVals may
+		// still be aliased by the caller).
+		out := g.c.GetFloats(len(rootVals))
+		copy(out, rootVals)
+		return out, nil
 	}
 	return buf, nil
 }
 
 // Allreduce combines vals across the group and returns the combined result
-// on every member (reduce to position 0 followed by broadcast).
+// on every member (reduce to position 0 followed by broadcast). The
+// returned slice comes from the transport's buffer recycler: the caller
+// owns it exclusively and may hand it back with Recycle once read.
 func (g *Group) Allreduce(op Op, vals []float64) ([]float64, error) {
 	red, err := g.Reduce(op, vals)
 	if err != nil {
 		return nil, err
 	}
-	return g.Bcast(0, red)
+	out, err := g.Bcast(0, red)
+	if red != nil {
+		// Only the root holds a reduction result; Bcast returned it to the
+		// root as a fresh copy, so the accumulator can be recycled.
+		g.c.PutFloats(red)
+	}
+	return out, err
 }
 
 // AllreduceScalar is Allreduce for a single value.
@@ -201,8 +216,15 @@ func (g *Group) AllreduceScalar(op Op, v float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return out[0], nil
+	s := out[0]
+	g.c.PutFloats(out)
+	return s, nil
 }
+
+// Recycle returns a slice obtained from this group's collectives (Reduce,
+// Bcast, Allreduce, Allgatherv) to the transport's buffer recycler. Only
+// the exclusive owner may call it; a no-op on transports without one.
+func (g *Group) Recycle(buf []float64) { g.c.PutFloats(buf) }
 
 // Barrier blocks until every member has entered it.
 func (g *Group) Barrier() error {

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Transport names accepted by NewTransport (and, one layer up, by
+// engine.Config.Transport and the esrd -transport flag).
+const (
+	// TransportChan is the default fabric: per-rank inbox channels with
+	// copy-on-Send payload semantics.
+	TransportChan = "chan"
+	// TransportFast is the zero-copy fabric: identical delivery semantics,
+	// but payload buffers come from a sync.Pool-backed recycler so the
+	// steady-state halo-exchange and collective hot loops allocate nothing.
+	TransportFast = "fast"
+	// TransportChaos wraps the chan fabric with deterministic, seeded
+	// message delay (reordering messages across distinct (source, tag)
+	// pairs while preserving per-pair FIFO) and lagged failure
+	// notification, for testing the resilience protocol's ordering
+	// assumptions.
+	TransportChaos = "chaos"
+)
+
+// TransportNames lists the built-in transport names.
+func TransportNames() []string {
+	return []string{TransportChan, TransportFast, TransportChaos}
+}
+
+// Transport is the pluggable rank-to-rank delivery fabric of a Runtime: it
+// owns message hand-off between nodes, the payload-buffer recycler, and the
+// peers' view of node failures. The matching logic (FIFO per (source, tag),
+// selective receive) lives above it in Comm and is identical for every
+// transport, which is what makes deterministic SPMD programs produce
+// bit-identical results on all of them.
+//
+// A Transport instance belongs to exactly one Runtime (cluster.New creates
+// one per runtime via the factory it is given); its buffer recycler may be
+// shared process-wide behind the scenes.
+type Transport interface {
+	// Name identifies the transport (one of the Transport* constants).
+	Name() string
+
+	// GetFloats returns a payload buffer of length n owned by the caller.
+	// Pool-backed transports serve it from the recycler; the contents are
+	// unspecified and must be fully overwritten.
+	GetFloats(n int) []float64
+
+	// PutFloats returns a buffer to the recycler. Only the exclusive owner
+	// of the buffer may call it, and must not touch the buffer afterwards;
+	// recycling a buffer that is still referenced elsewhere corrupts
+	// whoever holds the alias. A no-op on transports without a recycler.
+	PutFloats(buf []float64)
+
+	// Deliver hands m to dst's inbox on behalf of sender. When own is
+	// false the receiver must not be able to alias the caller's payload
+	// slices (the transport copies them); when own is true, ownership of
+	// the slices transfers to the receiver. sender may be nil for
+	// messages that are already "on the wire" and must outlive their
+	// sender. Deliver unwinds with RankFailedError / ErrKilled /
+	// AbortError exactly like the blocking communication calls; an
+	// asynchronous transport may instead accept the message immediately
+	// and drop it on the wire when the destination dies.
+	Deliver(rt *Runtime, sender, dst *node, m Msg, own bool) error
+
+	// NotifyKill is invoked exactly once when the node is killed (after
+	// its own dead channel is closed). The transport decides when peers
+	// observe the death by calling nd.notifyPeers — immediately for
+	// faithful fail-stop semantics, or after a lag to model delayed
+	// failure detection.
+	NotifyKill(nd *node)
+
+	// Stats snapshots the transport's delivery counters.
+	Stats() TransportStats
+}
+
+// NewTransport builds a transport by name. seed parameterizes the chaos
+// transport's deterministic delay sequence and is ignored by the others.
+// The empty name selects the default chan transport.
+func NewTransport(name string, seed int64) (Transport, error) {
+	switch name {
+	case "", TransportChan:
+		return NewChanTransport(), nil
+	case TransportFast:
+		return NewFastTransport(), nil
+	case TransportChaos:
+		return NewChaosTransport(NewChanTransport(), ChaosConfig{Seed: seed}), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown transport %q", name)
+}
+
+// TransportStats is a point-in-time snapshot of a transport's counters.
+type TransportStats struct {
+	// Delivered counts messages enqueued into an inbox.
+	Delivered int64 `json:"delivered"`
+	// Copied counts payload copies made by copy-semantics sends (Send and
+	// the forwarding hops of collectives; owned sends never copy).
+	Copied int64 `json:"copied"`
+	// PoolGets/PoolPuts/PoolNews count buffer-recycler traffic: buffers
+	// handed out, buffers returned, and gets that had to allocate because
+	// the recycler was empty. Zero on transports without a recycler.
+	PoolGets int64 `json:"pool_gets"`
+	PoolPuts int64 `json:"pool_puts"`
+	PoolNews int64 `json:"pool_news"`
+	// Delayed counts messages held on the simulated wire (chaos).
+	Delayed int64 `json:"delayed"`
+	// Dropped counts wire-dropped messages (chaos: destination dead or
+	// runtime aborted while the message was in flight).
+	Dropped int64 `json:"dropped"`
+}
+
+// Add accumulates o into s.
+func (s *TransportStats) Add(o TransportStats) {
+	s.Delivered += o.Delivered
+	s.Copied += o.Copied
+	s.PoolGets += o.PoolGets
+	s.PoolPuts += o.PoolPuts
+	s.PoolNews += o.PoolNews
+	s.Delayed += o.Delayed
+	s.Dropped += o.Dropped
+}
+
+// transportCounters is the atomic backing shared by the transport
+// implementations.
+type transportCounters struct {
+	delivered, copied           atomic.Int64
+	poolGets, poolPuts, poolNew atomic.Int64
+	delayed, dropped            atomic.Int64
+}
+
+func (c *transportCounters) snapshot() TransportStats {
+	return TransportStats{
+		Delivered: c.delivered.Load(),
+		Copied:    c.copied.Load(),
+		PoolGets:  c.poolGets.Load(),
+		PoolPuts:  c.poolPuts.Load(),
+		PoolNews:  c.poolNew.Load(),
+		Delayed:   c.delayed.Load(),
+		Dropped:   c.dropped.Load(),
+	}
+}
+
+// copyPayload takes ownership of m's payload on behalf of the receiver —
+// the copy-on-send half of the Msg ownership contract. The float copy goes
+// through t's buffer source (pooled on the fast fabric); int payloads are
+// setup-phase-only traffic and stay plainly allocated.
+func copyPayload(ct *transportCounters, t Transport, m Msg) Msg {
+	if len(m.F) > 0 {
+		buf := t.GetFloats(len(m.F))
+		copy(buf, m.F)
+		m.F = buf
+		ct.copied.Add(1)
+	}
+	if len(m.I) > 0 {
+		m.I = append(make([]int, 0, len(m.I)), m.I...)
+	}
+	return m
+}
+
+// deliverInbox is the shared synchronous delivery path: copy the payload
+// through t's buffer source unless ownership was transferred, then enqueue
+// with fail-stop/abort unwinding. sender may be nil for wire deliveries
+// that must survive their sender's death.
+func deliverInbox(rt *Runtime, ct *transportCounters, t Transport, sender, dst *node, m Msg, own bool) error {
+	if !own {
+		m = copyPayload(ct, t, m)
+	}
+	var senderDead <-chan struct{}
+	if sender != nil {
+		senderDead = sender.dead
+	}
+	select {
+	case dst.inbox <- m:
+		ct.delivered.Add(1)
+		return nil
+	case <-dst.peerDead:
+		return &RankFailedError{Rank: dst.rank}
+	case <-senderDead:
+		return ErrKilled
+	case <-rt.abort:
+		return rt.abortErr()
+	}
+}

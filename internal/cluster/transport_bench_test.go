@@ -1,0 +1,36 @@
+package cluster
+
+import "testing"
+
+// BenchmarkAllreduce compares the collective hot loop across the chan and
+// fast transports (-benchmem shows the pooled fabric's allocation win): an
+// 8-rank fused 2-element Allreduce, the exact shape PCG issues once per
+// iteration.
+func BenchmarkAllreduce(b *testing.B) {
+	for _, name := range []string{TransportChan, TransportFast} {
+		b.Run(name, func(b *testing.B) {
+			tr, err := NewTransport(name, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt := New(8, WithTransport(tr))
+			b.ReportAllocs()
+			b.ResetTimer()
+			err = rt.Run(func(c *Comm) error {
+				w := c.World()
+				vals := []float64{1.5, 2.5}
+				for i := 0; i < b.N; i++ {
+					out, err := w.Allreduce(OpSum, vals)
+					if err != nil {
+						return err
+					}
+					w.Recycle(out)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

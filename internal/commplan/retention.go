@@ -19,6 +19,8 @@ type Retention struct {
 	// pos[src] maps a global index to its position within idxFrom[src].
 	pos  []map[int]int
 	gens [2]retGen
+	// evicted is the reusable scratch returned by Store.
+	evicted [][]float64
 }
 
 type retGen struct {
@@ -54,7 +56,14 @@ func (rt *Retention) IndicesFrom(src int) []int { return rt.idxFrom[src] }
 // the two retained generations is evicted. The own block is copied; the
 // recv slices are retained by reference (the store takes ownership: they
 // are the per-message payload buffers, which the receiver owns exclusively).
-func (rt *Retention) Store(iter int, own []float64, recv [][]float64) {
+// The caller may reuse the outer recv slice after Store returns, but not
+// the retained inner slices.
+//
+// Store returns the payload slices of the generation it evicted (nothing
+// else references them any more), so callers on a pooled transport can hand
+// them back to the buffer recycler. The returned slice is only valid until
+// the next Store call.
+func (rt *Retention) Store(iter int, own []float64, recv [][]float64) (evicted [][]float64) {
 	slot := 0
 	if rt.gens[0].iter == iter {
 		slot = 0 // re-store (post-recovery SpMV redo) overwrites in place
@@ -69,6 +78,7 @@ func (rt *Retention) Store(iter int, own []float64, recv [][]float64) {
 	if g.vals == nil {
 		g.vals = make([][]float64, len(rt.idxFrom))
 	}
+	rt.evicted = rt.evicted[:0]
 	for src := range rt.idxFrom {
 		var in []float64
 		if src < len(recv) {
@@ -78,8 +88,12 @@ func (rt *Retention) Store(iter int, own []float64, recv [][]float64) {
 			panic(fmt.Sprintf("commplan: Retention.Store source %d got %d values, want %d",
 				src, len(in), len(rt.idxFrom[src])))
 		}
+		if old := g.vals[src]; cap(old) > 0 && (cap(in) == 0 || &old[:1][0] != &in[:1][0]) {
+			rt.evicted = append(rt.evicted, old)
+		}
 		g.vals[src] = in
 	}
+	return rt.evicted
 }
 
 // Generations returns the iterations currently retained, newest first.

@@ -58,12 +58,13 @@ func ESRPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, o
 		return Result{}, err
 	}
 	vec.Copy(st.p.Local, st.z.Local)
-	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(st.r.Local), vec.Dot(st.r.Local, st.z.Local)})
+	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(st.r.Local), vec.ParDot(st.r.Local, st.z.Local)})
 	if err != nil {
 		return Result{}, err
 	}
 	st.r0 = math.Sqrt(norms[0])
 	st.rz = norms[1]
+	e.Grp.Recycle(norms)
 	st.beta = 0
 	res := Result{InitialResidual: st.r0, FinalResidual: st.r0}
 	if st.r0 == 0 {
@@ -122,12 +123,13 @@ func ESRPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, o
 		if err := m.Apply(e, st.z, st.r); err != nil {
 			return res, err
 		}
-		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(st.r.Local), vec.Dot(st.r.Local, st.z.Local)})
+		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(st.r.Local), vec.ParDot(st.r.Local, st.z.Local)})
 		if err != nil {
 			return res, err
 		}
 		rn := math.Sqrt(norms[0])
 		rzNew := norms[1]
+		e.Grp.Recycle(norms)
 		res.Iterations = j + 1
 		res.FinalResidual = rn
 		if math.IsNaN(rn) || math.IsInf(rn, 0) {

@@ -37,13 +37,15 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 	}
 	vec.Copy(p.Local, z.Local)
 
-	// Fused allreduce of (||r||^2, r'z).
-	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(r.Local), vec.Dot(r.Local, z.Local)})
+	// Fused allreduce of (||r||^2, r'z); the local partials parallelize for
+	// very large per-rank blocks (vec.Par*).
+	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(r.Local), vec.ParDot(r.Local, z.Local)})
 	if err != nil {
 		return Result{}, err
 	}
 	r0 := math.Sqrt(norms[0])
 	rz := norms[1]
+	e.Grp.Recycle(norms)
 	res := Result{InitialResidual: r0, FinalResidual: r0}
 	if r0 == 0 {
 		res.Converged = true
@@ -75,12 +77,13 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 		if err := m.Apply(e, z, r); err != nil { // z(j+1) = M^{-1} r(j+1)
 			return Result{}, err
 		}
-		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(r.Local), vec.Dot(r.Local, z.Local)})
+		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(r.Local), vec.ParDot(r.Local, z.Local)})
 		if err != nil {
 			return Result{}, err
 		}
 		rn := math.Sqrt(norms[0])
 		rzNew := norms[1]
+		e.Grp.Recycle(norms)
 		res.Iterations = j + 1
 		res.FinalResidual = rn
 		if math.IsNaN(rn) || math.IsInf(rn, 0) {

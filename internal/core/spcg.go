@@ -57,12 +57,13 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 	m.SolveL(st.rhat.Local, r0v.Local)
 	m.SolveLT(st.p.Local, st.rhat.Local)
 	norms, err := e.Grp.Allreduce(cluster.OpSum,
-		[]float64{vec.Nrm2Sq(r0v.Local), vec.Nrm2Sq(st.rhat.Local)})
+		[]float64{vec.ParNrm2Sq(r0v.Local), vec.ParNrm2Sq(st.rhat.Local)})
 	if err != nil {
 		return Result{}, err
 	}
 	st.r0 = math.Sqrt(norms[0])
 	st.rho = norms[1]
+	e.Grp.Recycle(norms)
 	st.beta = 0
 	res := Result{InitialResidual: st.r0, FinalResidual: st.r0}
 	if st.r0 == 0 {
@@ -93,7 +94,7 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 			if err := a.MatVec(e, st.u, st.p, j); err != nil {
 				return res, err
 			}
-			rho, err := e.Grp.AllreduceScalar(cluster.OpSum, vec.Nrm2Sq(st.rhat.Local))
+			rho, err := e.Grp.AllreduceScalar(cluster.OpSum, vec.ParNrm2Sq(st.rhat.Local))
 			if err != nil {
 				return res, err
 			}
@@ -114,12 +115,13 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 		// True residual norm: r = L rhat block-locally.
 		m.MulL(scratch, st.rhat.Local)
 		norms, err := e.Grp.Allreduce(cluster.OpSum,
-			[]float64{vec.Nrm2Sq(scratch), vec.Nrm2Sq(st.rhat.Local)})
+			[]float64{vec.ParNrm2Sq(scratch), vec.ParNrm2Sq(st.rhat.Local)})
 		if err != nil {
 			return res, err
 		}
 		rn := math.Sqrt(norms[0])
 		rhoNew := norms[1]
+		e.Grp.Recycle(norms)
 		res.Iterations = j + 1
 		res.FinalResidual = rn
 		if math.IsNaN(rn) || math.IsInf(rn, 0) {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/partition"
+	"repro/internal/vec"
 )
 
 // Env is a communication environment: a set of participating ranks with
@@ -101,25 +102,18 @@ func (v Vector) Clone() Vector {
 }
 
 // Dot returns the global inner product a'b, reduced over the Env with a
-// deterministic tree order.
+// deterministic tree order. The local partial uses vec.ParDot, which fans
+// out to goroutines only for very large per-rank blocks.
 func Dot(e *Env, a, b Vector) (float64, error) {
 	if len(a.Local) != len(b.Local) {
 		return 0, fmt.Errorf("distmat: Dot local length mismatch")
 	}
-	var s float64
-	for i, av := range a.Local {
-		s += av * b.Local[i]
-	}
-	return e.Grp.AllreduceScalar(cluster.OpSum, s)
+	return e.Grp.AllreduceScalar(cluster.OpSum, vec.ParDot(a.Local, b.Local))
 }
 
 // Norm2 returns the global Euclidean norm of v.
 func Norm2(e *Env, v Vector) (float64, error) {
-	var s float64
-	for _, x := range v.Local {
-		s += x * x
-	}
-	tot, err := e.Grp.AllreduceScalar(cluster.OpSum, s)
+	tot, err := e.Grp.AllreduceScalar(cluster.OpSum, vec.ParNrm2Sq(v.Local))
 	if err != nil {
 		return 0, err
 	}

@@ -31,13 +31,14 @@ type Matrix struct {
 	// matrix is not resilience-enabled.
 	Ret *commplan.Retention
 
-	local     *sparse.CSR // column-localised row block
-	ghost     []int       // sorted external global indices used by SpMV
-	ghostPos  map[int]int
-	sendLists [][]int // merged halo+redundancy indices per destination
-	recvLists [][]int // merged indices received per source
-	xbuf      []float64
-	tagBase   int
+	local       *sparse.CSR // column-localised row block
+	ghost       []int       // sorted external global indices used by SpMV
+	ghostPos    map[int]int
+	sendLists   [][]int // merged halo+redundancy indices per destination
+	recvLists   [][]int // merged indices received per source
+	xbuf        []float64
+	recvScratch [][]float64 // per-MatVec staging of retained payloads
+	tagBase     int
 }
 
 // matrixTag spaces the SpMV message tags of different matrices sharing an
@@ -218,6 +219,7 @@ func (m *Matrix) GhostCount() int { return len(m.ghost) }
 func (m *Matrix) Fork() *Matrix {
 	n := *m
 	n.xbuf = make([]float64, len(m.xbuf))
+	n.recvScratch = nil // per-solve staging must not be shared across forks
 	if m.Ret != nil {
 		n.Ret = commplan.NewRetention(m.recvLists)
 	}
@@ -228,6 +230,14 @@ func (m *Matrix) Fork() *Matrix {
 // halo+redundancy payloads (piggybacking, Sec. 4.2) and, when resilience is
 // enabled, retaining the received generation under the iteration number
 // `iter`. x and y are distributed vectors on the matrix's partition.
+//
+// Payload lifetimes follow the transport's zero-copy contract: outgoing
+// payloads are drawn from the transport's buffer recycler and handed off
+// with SendOwned (never touched again here); received payloads are either
+// recycled as soon as their values are scattered (non-retaining calls) or
+// owned by the retention store for two generations and recycled on
+// eviction. On the default chan transport all of this degrades to plain
+// allocation.
 func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 	lo, hi := m.P.Range(m.Pos)
 	tag := m.tagBase + 2
@@ -236,7 +246,7 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 		if k == e.Pos || len(idx) == 0 {
 			continue
 		}
-		payload := make([]float64, len(idx))
+		payload := e.C.GetFloats(len(idx))
 		for t, g := range idx {
 			payload[t] = x.Local[g-lo]
 		}
@@ -254,9 +264,20 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 			e.C.Runtime().Counters().Reclassify(cluster.CatHalo, cluster.CatRedundancy, int64(extra))
 		}
 	}
-	// Receive and scatter into the ghost buffer; keep full payloads for the
-	// retention store.
-	recvVals := make([][]float64, e.Size())
+	// Receive and scatter into the ghost buffer. iter < 0 marks inputs that
+	// are not search directions (initial residual, verification products):
+	// they are not retained, so their payloads recycle immediately.
+	retain := m.Ret != nil && iter >= 0
+	var recvVals [][]float64
+	if retain {
+		if m.recvScratch == nil {
+			m.recvScratch = make([][]float64, e.Size())
+		}
+		recvVals = m.recvScratch
+		for i := range recvVals {
+			recvVals[i] = nil
+		}
+	}
 	for k, idx := range m.recvLists {
 		if k == e.Pos || len(idx) == 0 {
 			continue
@@ -268,19 +289,25 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 		if len(msg.F) != len(idx) {
 			return fmt.Errorf("distmat: MatVec from pos %d: %d values, want %d", k, len(msg.F), len(idx))
 		}
-		recvVals[k] = msg.F
 		for t, g := range idx {
 			if p, ok := m.ghostPos[g]; ok {
 				m.xbuf[(hi-lo)+p] = msg.F[t]
 			}
 		}
+		if retain {
+			recvVals[k] = msg.F
+		} else {
+			e.C.Recycle(msg)
+		}
 	}
 	copy(m.xbuf[:hi-lo], x.Local)
 	m.local.MulVec(y.Local, m.xbuf)
-	// iter < 0 marks inputs that are not search directions (initial
-	// residual, verification products): they are not retained.
-	if m.Ret != nil && iter >= 0 {
-		m.Ret.Store(iter, x.Local, recvVals)
+	if retain {
+		// The retention store owns the new generation's payloads; the
+		// generation it just evicted is unreferenced and recycles.
+		for _, old := range m.Ret.Store(iter, x.Local, recvVals) {
+			e.C.PutFloats(old)
+		}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
 )
@@ -35,6 +36,20 @@ const (
 	MethodPCG    = "pcg"
 	MethodESRPCG = "esrpcg"
 	MethodSPCG   = "spcg"
+)
+
+// Transport names accepted by Config (mirroring internal/cluster). The
+// empty string selects the default chan transport.
+const (
+	// TransportChan is the default copy-on-send channel fabric.
+	TransportChan = cluster.TransportChan
+	// TransportFast is the zero-copy fabric with a pooled buffer recycler:
+	// identical delivery semantics and bit-identical results, without the
+	// steady-state payload allocations.
+	TransportFast = cluster.TransportFast
+	// TransportChaos perturbs delivery with seeded latency and lagged
+	// failure notification, for stressing the resilience protocol.
+	TransportChaos = cluster.TransportChaos
 )
 
 // Config controls a solve. The zero value selects the paper's experimental
@@ -71,6 +86,15 @@ type Config struct {
 	// MethodAuto ("") which picks PCG for failure-free runs without
 	// redundancy and ESRPCG otherwise.
 	Method string `json:"method,omitempty"`
+	// Transport selects the cluster communication fabric: TransportChan
+	// (default), TransportFast (zero-copy pooled), or TransportChaos
+	// (seeded latency + lagged failure notification). Preparation-scoped:
+	// a prepared session runs every solve on its transport, and the field
+	// keys the prepared-session cache.
+	Transport string `json:"transport,omitempty"`
+	// TransportSeed seeds the chaos transport's deterministic delay
+	// sequence (default 1; ignored by the other transports).
+	TransportSeed int64 `json:"transport_seed,omitempty"`
 	// Schedule injects node failures (nil for a failure-free run).
 	Schedule *faults.Schedule `json:"schedule,omitempty"`
 	// Progress, when non-nil, observes the solve from rank 0: one event per
@@ -100,6 +124,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.SSOROmega == 0 {
 		c.SSOROmega = 1.2
+	}
+	if c.Transport == "" {
+		c.Transport = TransportChan
+	}
+	if c.TransportSeed == 0 {
+		c.TransportSeed = 1
 	}
 	return c
 }
@@ -141,6 +171,12 @@ func (c Config) Validate() error {
 	if c.Method == MethodSPCG && c.Preconditioner != PrecondIC0 {
 		return fmt.Errorf("engine: method %q needs the split preconditioner %q, got %q",
 			MethodSPCG, PrecondIC0, c.Preconditioner)
+	}
+	switch c.Transport {
+	case TransportChan, TransportFast, TransportChaos:
+	default:
+		return fmt.Errorf("engine: unknown transport %q (want %q, %q or %q)",
+			c.Transport, TransportChan, TransportFast, TransportChaos)
 	}
 	if c.Method == MethodPCG && !c.Schedule.Empty() {
 		return fmt.Errorf("engine: method %q cannot honour a failure schedule (use %q)",

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sparse"
 )
@@ -226,6 +227,10 @@ type Options struct {
 	PrepCacheTTL time.Duration
 	// MaxMatrices caps the matrix store (default 64, <0 unbounded).
 	MaxMatrices int
+	// DefaultTransport is the communication fabric applied to jobs whose
+	// Config.Transport is empty ("" keeps the library default, chan). Must
+	// be a name Config.Validate accepts.
+	DefaultTransport string
 }
 
 // Engine is a bounded worker pool draining a FIFO queue of solve jobs, with
@@ -236,10 +241,14 @@ type Engine struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
-	maxJobs  int
-	jobTTL   time.Duration
-	prep     *prepCache
-	matrices *matrixStore
+	maxJobs          int
+	jobTTL           time.Duration
+	prep             *prepCache
+	matrices         *matrixStore
+	defaultTransport string
+
+	tmu    sync.Mutex
+	tstats map[string]*TransportUsage // per-transport aggregates, by name
 
 	janitorQuit chan struct{}
 	janitorDone chan struct{}
@@ -276,15 +285,25 @@ func New(opts Options) *Engine {
 	if opts.MaxMatrices == 0 {
 		opts.MaxMatrices = 64
 	}
+	if opts.DefaultTransport != "" {
+		// Reject a misconfigured default at construction: otherwise every
+		// transport-less job would pass submit-time validation and then fail
+		// mid-run with an error its client never caused.
+		if err := (Config{Transport: opts.DefaultTransport}).Validate(); err != nil {
+			panic(fmt.Sprintf("engine: invalid Options.DefaultTransport %q", opts.DefaultTransport))
+		}
+	}
 	e := &Engine{
-		queue:       make(chan *job, opts.QueueCap),
-		jobs:        map[string]*job{},
-		maxJobs:     opts.MaxJobs,
-		jobTTL:      opts.JobTTL,
-		prep:        newPrepCache(opts.PrepCacheSize, opts.PrepCacheTTL),
-		matrices:    newMatrixStore(opts.MaxMatrices),
-		janitorQuit: make(chan struct{}),
-		janitorDone: make(chan struct{}),
+		queue:            make(chan *job, opts.QueueCap),
+		jobs:             map[string]*job{},
+		maxJobs:          opts.MaxJobs,
+		jobTTL:           opts.JobTTL,
+		prep:             newPrepCache(opts.PrepCacheSize, opts.PrepCacheTTL),
+		matrices:         newMatrixStore(opts.MaxMatrices),
+		defaultTransport: opts.DefaultTransport,
+		tstats:           map[string]*TransportUsage{},
+		janitorQuit:      make(chan struct{}),
+		janitorDone:      make(chan struct{}),
 	}
 	e.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -538,6 +557,43 @@ func (e *Engine) MatrixCount() int { return e.matrices.count() }
 // CacheStats reports the prepared-solver cache's size and hit/miss counts.
 func (e *Engine) CacheStats() PrepCacheStats { return e.prep.stats() }
 
+// TransportUsage aggregates one communication fabric's activity across all
+// the engine's runtimes (session preparations and solves).
+type TransportUsage struct {
+	// Runs counts finished runtimes on this transport (one per session
+	// preparation and one per solve).
+	Runs int64 `json:"runs"`
+	// Stats accumulates the fabric's delivery/recycler counters.
+	Stats cluster.TransportStats `json:"stats"`
+}
+
+// recordTransportStats folds one runtime's transport counters into the
+// per-transport aggregate. It is the stats sink installed on every prepared
+// session the engine builds.
+func (e *Engine) recordTransportStats(name string, delta cluster.TransportStats) {
+	e.tmu.Lock()
+	u, ok := e.tstats[name]
+	if !ok {
+		u = &TransportUsage{}
+		e.tstats[name] = u
+	}
+	u.Runs++
+	u.Stats.Add(delta)
+	e.tmu.Unlock()
+}
+
+// TransportStats snapshots the per-transport usage gauges (the healthz
+// "transports" block). Transports that never ran are absent.
+func (e *Engine) TransportStats() map[string]TransportUsage {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	out := make(map[string]TransportUsage, len(e.tstats))
+	for name, u := range e.tstats {
+		out[name] = *u
+	}
+	return out
+}
+
 // Get returns a snapshot of the job.
 func (e *Engine) Get(id string) (JobStatus, error) {
 	j, err := e.lookup(id)
@@ -729,6 +785,11 @@ func (e *Engine) run(j *job) {
 	defer cancelTimeout()
 
 	cfg := j.spec.Config
+	if cfg.Transport == "" {
+		// The daemon-level default fabric applies only to jobs that did not
+		// pick one; it participates in the prep cache key below.
+		cfg.Transport = e.defaultTransport
+	}
 	// Acquire the prepared session for (matrix content, preparation config)
 	// from the cache: repeated jobs on the same system skip partitioning,
 	// the distributed symbolic phase, and preconditioner factorization. On a
@@ -767,7 +828,16 @@ func (e *Engine) run(j *job) {
 					bs, maxCholBlock, PrecondBlockJacobiILU)
 			}
 		}
-		return PrepareContext(ctx, a, prepCfg)
+		p, err := PrepareContext(ctx, a, prepCfg)
+		if err != nil {
+			return nil, err
+		}
+		// Feed the session's future per-runtime transport deltas into the
+		// engine's gauges, and account the preparation run that already
+		// happened (its delta is the aggregate so far).
+		p.statsSink = e.recordTransportStats
+		e.recordTransportStats(p.TransportName(), p.TransportStats())
+		return p, nil
 	}
 	var (
 		prep    *Prepared

@@ -207,7 +207,9 @@ func (ms MatrixSpec) contentHash() string {
 // schedule, method) deliberately do not contribute, so jobs differing only
 // in them share one prepared session. Method influences preparation only
 // through the preconditioner it implies (spcg -> ic0), which WithDefaults
-// has already resolved into the Preconditioner field here.
+// has already resolved into the Preconditioner field here. Transport is
+// preparation-scoped — a session runs every solve on its transport — so it
+// (and, for chaos only, the seed) keys the cache too.
 func prepKey(matrixHash string, cfg Config) string {
 	cfg = cfg.WithDefaults()
 	omega := 0.0
@@ -216,6 +218,12 @@ func prepKey(matrixHash string, cfg Config) string {
 		// would fragment the cache over an unused field.
 		omega = cfg.SSOROmega
 	}
-	return fmt.Sprintf("%s|r=%d|phi=%d|prec=%s|omega=%g",
-		matrixHash, cfg.Ranks, cfg.Phi, cfg.Preconditioner, omega)
+	var seed int64
+	if cfg.Transport == TransportChaos {
+		// The seed only matters to the chaos wire; folding it in otherwise
+		// would fragment the cache over an unused field.
+		seed = cfg.TransportSeed
+	}
+	return fmt.Sprintf("%s|r=%d|phi=%d|prec=%s|omega=%g|tr=%s|seed=%d",
+		matrixHash, cfg.Ranks, cfg.Phi, cfg.Preconditioner, omega, cfg.Transport, seed)
 }

@@ -75,10 +75,51 @@ type Prepared struct {
 	n    int
 	prep []preparedRank
 
+	// statsSink, when non-nil, receives the per-runtime transport-stats
+	// delta after every prepare/solve run (the engine aggregates these for
+	// its health gauges). Set before the session is shared; never mutated
+	// afterwards.
+	statsSink func(name string, delta cluster.TransportStats)
+
 	mu     sync.Mutex
 	closed bool
 	active map[*cluster.Runtime]struct{}
 	wg     sync.WaitGroup
+	tstats cluster.TransportStats // aggregated across prepare + all solves
+}
+
+// newTransport builds a fresh transport instance for one runtime of this
+// session. cfg is validated, so the name resolves; the impossible error
+// path falls back to the default fabric.
+func (ps *Prepared) newTransport() cluster.Transport {
+	t, err := cluster.NewTransport(ps.cfg.Transport, ps.cfg.TransportSeed)
+	if err != nil {
+		return cluster.NewChanTransport()
+	}
+	return t
+}
+
+// recordStats folds one finished runtime's transport counters into the
+// session aggregate and the engine's sink.
+func (ps *Prepared) recordStats(rt *cluster.Runtime) {
+	delta := rt.Transport().Stats()
+	ps.mu.Lock()
+	ps.tstats.Add(delta)
+	ps.mu.Unlock()
+	if ps.statsSink != nil {
+		ps.statsSink(rt.Transport().Name(), delta)
+	}
+}
+
+// TransportName returns the session's communication-fabric name.
+func (ps *Prepared) TransportName() string { return ps.cfg.Transport }
+
+// TransportStats returns the session's aggregated transport counters
+// (preparation plus every solve so far).
+func (ps *Prepared) TransportStats() cluster.TransportStats {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.tstats
 }
 
 // Prepare builds a reusable solver session for the SPD system matrix a. Only
@@ -117,7 +158,8 @@ func PrepareContext(ctx context.Context, a *sparse.CSR, cfg Config) (*Prepared, 
 	// The symbolic phase (halo plan + redundancy protocol) is a distributed
 	// exchange, so the build itself runs as an SPMD program on a throwaway
 	// runtime; the resulting per-rank state has no reference to it.
-	rt := cluster.New(cfg.Ranks)
+	rt := cluster.New(cfg.Ranks, cluster.WithTransport(ps.newTransport()))
+	defer ps.recordStats(rt)
 	err := rt.RunContext(ctx, func(c *cluster.Comm) error {
 		e := distmat.WorldEnv(c)
 		lo, hi := ps.part.Range(e.Pos)
@@ -222,11 +264,12 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 		ps.mu.Unlock()
 		return Solution{}, ErrPreparedClosed
 	}
-	rt := cluster.New(ps.cfg.Ranks)
+	rt := cluster.New(ps.cfg.Ranks, cluster.WithTransport(ps.newTransport()))
 	ps.active[rt] = struct{}{}
 	ps.wg.Add(1)
 	ps.mu.Unlock()
 	defer func() {
+		ps.recordStats(rt)
 		ps.mu.Lock()
 		delete(ps.active, rt)
 		ps.mu.Unlock()

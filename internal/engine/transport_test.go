@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/matgen"
+)
+
+// TestQuickTransportConfigValidation: transport names are validated at the
+// door and defaulted to chan.
+func TestQuickTransportConfigValidation(t *testing.T) {
+	cfg := Config{Transport: "carrier-pigeon"}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "transport") {
+		t.Fatalf("want transport validation error, got %v", err)
+	}
+	for _, tr := range []string{"", TransportChan, TransportFast, TransportChaos} {
+		cfg := Config{Transport: tr}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("transport %q should validate: %v", tr, err)
+		}
+	}
+	if got := (Config{}).WithDefaults().Transport; got != TransportChan {
+		t.Fatalf("default transport = %q, want %q", got, TransportChan)
+	}
+}
+
+// TestQuickTransportPrepKey: transport is preparation-scoped, so it must
+// fragment the prepared-session cache key; the chaos seed only when the
+// chaos fabric is selected.
+func TestQuickTransportPrepKey(t *testing.T) {
+	base := Config{Ranks: 4}
+	if prepKey("h", base) == prepKey("h", Config{Ranks: 4, Transport: TransportFast}) {
+		t.Fatal("transport must key the prep cache")
+	}
+	if prepKey("h", base) != prepKey("h", Config{Ranks: 4, TransportSeed: 99}) {
+		t.Fatal("seed must not key the cache for non-chaos transports")
+	}
+	chaos := Config{Ranks: 4, Transport: TransportChaos}
+	chaosSeeded := chaos
+	chaosSeeded.TransportSeed = 99
+	if prepKey("h", chaos) == prepKey("h", chaosSeeded) {
+		t.Fatal("seed must key the cache for the chaos transport")
+	}
+}
+
+// TestCrossTransportBitIdentical: a fixed-seed ESR-PCG solve with a 2-node
+// failure produces bit-identical solutions on the chan and fast transports
+// (the zero-copy contract must not change a single ulp), and the chaos
+// wire's reordering/latency must not either — the reduction tree and the
+// selective matching pin the numerics.
+func TestCrossTransportBitIdentical(t *testing.T) {
+	a := matgen.Poisson2D(32, 32)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)/7
+	}
+	solve := func(tr string) Solution {
+		t.Helper()
+		sol, err := SolveSystem(context.Background(), a, b, Config{
+			Ranks: 8, Phi: 2, Transport: tr,
+			Schedule: faults.NewSchedule(faults.Simultaneous(5, 2, 3)),
+		})
+		if err != nil {
+			t.Fatalf("transport %q: %v", tr, err)
+		}
+		if !sol.Result.Converged {
+			t.Fatalf("transport %q: did not converge", tr)
+		}
+		if len(sol.Result.Reconstructions) != 1 {
+			t.Fatalf("transport %q: %d reconstructions, want 1", tr, len(sol.Result.Reconstructions))
+		}
+		return sol
+	}
+	ref := solve(TransportChan)
+	for _, tr := range []string{TransportFast, TransportChaos} {
+		got := solve(tr)
+		if got.Result.Iterations != ref.Result.Iterations {
+			t.Fatalf("transport %q: %d iterations, chan took %d",
+				tr, got.Result.Iterations, ref.Result.Iterations)
+		}
+		if got.Result.FinalResidual != ref.Result.FinalResidual {
+			t.Fatalf("transport %q: final residual %g != chan's %g",
+				tr, got.Result.FinalResidual, ref.Result.FinalResidual)
+		}
+		for i := range ref.X {
+			if got.X[i] != ref.X[i] {
+				t.Fatalf("transport %q: x[%d] = %g differs from chan's %g",
+					tr, i, got.X[i], ref.X[i])
+			}
+		}
+	}
+}
+
+// TestQuickTransportSessionStats: prepared sessions on a non-default
+// transport report it, accumulate per-runtime stats, and the engine's
+// default transport applies to jobs that did not pick one.
+func TestQuickTransportSessionStats(t *testing.T) {
+	a := matgen.Poisson2D(12, 12)
+	prep, err := Prepare(a, Config{Ranks: 4, Transport: TransportFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prep.Close()
+	if prep.TransportName() != TransportFast {
+		t.Fatalf("TransportName = %q", prep.TransportName())
+	}
+	afterPrep := prep.TransportStats()
+	if afterPrep.Delivered == 0 {
+		t.Fatalf("preparation exchanged no messages? %+v", afterPrep)
+	}
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	if _, err := prep.Solve(context.Background(), b, SolveOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	afterSolve := prep.TransportStats()
+	if afterSolve.Delivered <= afterPrep.Delivered {
+		t.Fatalf("solve did not add transport stats: %+v -> %+v", afterPrep, afterSolve)
+	}
+	if afterSolve.PoolGets == 0 {
+		t.Fatalf("fast transport recycler unused: %+v", afterSolve)
+	}
+
+	eng := New(Options{Workers: 1, DefaultTransport: TransportFast})
+	defer eng.Close()
+	id, err := eng.Submit(JobSpec{
+		Matrix: MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 12}},
+		Config: Config{Ranks: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, eng, id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	usage := eng.TransportStats()
+	u, ok := usage[TransportFast]
+	if !ok || u.Runs < 2 { // one preparation + one solve
+		t.Fatalf("engine transport gauges missing fast runs: %+v", usage)
+	}
+	if _, ok := usage[TransportChan]; ok {
+		t.Fatalf("no chan runtime should have run: %+v", usage)
+	}
+}

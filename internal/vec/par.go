@@ -73,6 +73,13 @@ func ParDot(x, y []float64) float64 {
 	return s
 }
 
+// ParNrm2Sq returns the squared Euclidean norm x'x, splitting the work
+// across GOMAXPROCS goroutines for large vectors. Like Nrm2Sq it carries no
+// overflow guard (partial sums must compose across ranks). Deterministic
+// for a fixed split: chunk partials are summed in index order. It is
+// exactly ParDot(x, x) — same multiply-add sequence, bit-identical result.
+func ParNrm2Sq(x []float64) float64 { return ParDot(x, x) }
+
 // ParAxpy computes y += a*x using multiple goroutines for large vectors.
 func ParAxpy(a float64, x, y []float64) {
 	if len(x) != len(y) {

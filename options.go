@@ -32,6 +32,26 @@ const (
 	IC0 Preconditioner = engine.PrecondIC0
 )
 
+// Transport is a typed communication-fabric selector for WithTransport.
+// Its values are the wire names accepted by Config.Transport.
+type Transport string
+
+// The available communication fabrics.
+const (
+	// ChanTransport (the default) is the copy-on-send channel fabric.
+	ChanTransport Transport = engine.TransportChan
+	// FastTransport is the zero-copy fabric: identical delivery semantics
+	// and bit-identical results, with payload buffers served from a pooled
+	// recycler so the steady-state halo-exchange/collective loop does not
+	// allocate.
+	FastTransport Transport = engine.TransportFast
+	// ChaosTransport perturbs delivery with deterministic seeded latency
+	// (reordering messages across distinct (source, tag) pairs) and lagged
+	// failure notification, for stressing the resilience protocol's
+	// ordering assumptions.
+	ChaosTransport Transport = engine.TransportChaos
+)
+
 // Method is a typed solver selector for WithMethod. Its values are the wire
 // names accepted by Config.Method.
 type Method string
@@ -102,6 +122,25 @@ func WithPreconditioner(p Preconditioner) Option {
 func WithSSOROmega(omega float64) Option {
 	return func(c *Config) error {
 		c.SSOROmega = omega
+		return nil
+	}
+}
+
+// WithTransport selects the communication fabric every solve of the
+// session runs on. Preparation-scoped.
+func WithTransport(t Transport) Option {
+	return func(c *Config) error {
+		c.Transport = string(t)
+		return nil
+	}
+}
+
+// WithTransportSeed seeds the chaos transport's deterministic delay
+// sequence (ignored by the other transports; 0 keeps the default seed,
+// matching the wire format's omitempty semantics). Preparation-scoped.
+func WithTransportSeed(seed int64) Option {
+	return func(c *Config) error {
+		c.TransportSeed = seed
 		return nil
 	}
 }

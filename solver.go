@@ -89,9 +89,10 @@ func (s *Solver) solveOpts(opts []Option) (engine.SolveOpts, error) {
 		cfg.Ranks = s.prep.N() // mirror the session's clamp to the matrix size
 	}
 	if cfg.Ranks != s.cfg.Ranks || cfg.Phi != s.cfg.Phi ||
-		cfg.Preconditioner != s.cfg.Preconditioner || cfg.SSOROmega != s.cfg.SSOROmega {
+		cfg.Preconditioner != s.cfg.Preconditioner || cfg.SSOROmega != s.cfg.SSOROmega ||
+		cfg.Transport != s.cfg.Transport || cfg.TransportSeed != s.cfg.TransportSeed {
 		return engine.SolveOpts{}, fmt.Errorf(
-			"esr: preparation-scoped option (ranks, phi, preconditioner, ssor omega) passed to Solve; set it on NewSolver")
+			"esr: preparation-scoped option (ranks, phi, preconditioner, ssor omega, transport) passed to Solve; set it on NewSolver")
 	}
 	return engine.SolveOpts{
 		Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol,

@@ -428,3 +428,52 @@ func TestSolverMethodsAndOptions(t *testing.T) {
 		t.Fatal("schedule on phi-0 session accepted")
 	}
 }
+
+// TestQuickSolverTransport: sessions run on the fabric they were prepared
+// with; transport selection is preparation-scoped and a fast-transport
+// session solves to the exact same solution as a chan one.
+func TestQuickSolverTransport(t *testing.T) {
+	a := Poisson2D(16, 16)
+	b := onesRHS(a.Rows)
+
+	solveOn := func(tr Transport) []float64 {
+		t.Helper()
+		s, err := NewSolver(a, WithRanks(4), WithPhi(1), WithTransport(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if got := s.Config().Transport; got != string(tr) {
+			t.Fatalf("session transport = %q, want %q", got, tr)
+		}
+		sol, err := s.Solve(context.Background(), b,
+			WithSchedule(NewSchedule(Simultaneous(3, 2))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Result.Converged {
+			t.Fatalf("transport %q: not converged", tr)
+		}
+		return sol.X
+	}
+	ref := solveOn(ChanTransport)
+	got := solveOn(FastTransport)
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("x[%d]: fast %g != chan %g", i, got[i], ref[i])
+		}
+	}
+
+	// Transport is preparation-scoped: changing it per solve is rejected.
+	s, err := NewSolver(a, WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Solve(context.Background(), b, WithTransport(FastTransport)); err == nil {
+		t.Fatal("per-solve WithTransport accepted")
+	}
+	if _, err := NewSolver(a, WithTransport(Transport("bogus"))); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
