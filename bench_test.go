@@ -261,6 +261,59 @@ func BenchmarkPreparedVsOneShot(b *testing.B) {
 	})
 }
 
+// BenchmarkStrategyOverhead measures the steady-state cost of each
+// protection scheme on failure-free solves of one Poisson2D system through a
+// prepared session: the unprotected reference, ESR at phi 1 and 3 (the
+// redundancy piggybacks on the SpMV), checkpoint/restart at the default
+// interval (a coordinated 4n-float save every 10 iterations), and the
+// overhead-free cold-restart strategy. This is the bench-trajectory signal
+// for the paper's central claim: ESR's steady state must stay near the
+// reference while C/R pays for every save.
+func BenchmarkStrategyOverhead(b *testing.B) {
+	a := Poisson2D(64, 64)
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = 1 + 0.25*math.Sin(float64(i))
+	}
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"reference", nil},
+		{"esr-phi1", []Option{WithPhi(1)}},
+		{"esr-phi3", []Option{WithPhi(3)}},
+		{"checkpoint-10", []Option{WithStrategy(CheckpointStrategy), WithCheckpointInterval(10)}},
+		{"restart", []Option{WithStrategy(RestartStrategy)}},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := NewSolver(a, append([]Option{WithRanks(8)}, tc.opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := s.Solve(ctx, rhs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !sol.Result.Converged {
+					b.Fatal("did not converge")
+				}
+			}
+			b.StopTimer()
+			st := s.StrategyStats()
+			if n := st.Solves; n > 0 {
+				b.ReportMetric(float64(st.CheckpointFloats)/float64(n), "ckpt_floats/solve")
+				b.ReportMetric(float64(st.RedundancyFloats)/float64(n), "red_floats/solve")
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEndSolve measures one resilient solve with three
 // simultaneous failures on the M5-class matrix: the headline configuration
 // of the paper's abstract (2.8%-55% overhead for three failures).

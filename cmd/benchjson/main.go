@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable rows of the repository's bench trajectory
+// (BENCH_ci.json): it reads the benchmark text on stdin and writes a JSON
+// array of {name, iterations, ns_per_op, bytes_per_op, allocs_per_op,
+// metrics} rows on stdout.
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_ci.json
+//
+// Lines that are not benchmark result lines (logs, pass/fail summaries) are
+// ignored, so the raw `go test` stream can be piped in directly. The CI
+// bench step uses this to publish a comparable artifact on every push, so
+// perf regressions show up as a trajectory rather than anecdotes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Row is one benchmark measurement.
+type Row struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// GOMAXPROCS suffix (e.g. "BenchmarkPreparedVsOneShot/prepared-8").
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp are the standard go-bench metrics;
+	// the allocation pair is present only with -benchmem.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics carries every additional unit reported via b.ReportMetric
+	// (e.g. "solves/s"), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	rows, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines from a go-test stream. A result
+// line looks like
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   1 allocs/op   2.5 solves/s
+//
+// with an arbitrary tail of "value unit" metric pairs.
+func parse(sc *bufio.Scanner) ([]Row, error) {
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	rows := []Row{}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark...: some log line"
+		}
+		row := Row{Name: fields[0], Iterations: iters}
+		// The rest of the line is (value, unit) pairs.
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				row.NsPerOp = v
+			case "B/op":
+				row.BytesPerOp = v
+			case "allocs/op":
+				row.AllocsPerOp = v
+			default:
+				if row.Metrics == nil {
+					row.Metrics = map[string]float64{}
+				}
+				row.Metrics[unit] = v
+			}
+		}
+		if ok {
+			rows = append(rows, row)
+		}
+	}
+	return rows, sc.Err()
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkPreparedVsOneShot/oneshot-8         	       7	 151842329 ns/op	     52.7 solves/s	 8212344 B/op	   12345 allocs/op
+BenchmarkPreparedVsOneShot/prepared-8        	      26	  44831231 ns/op	    178.4 solves/s	 1023432 B/op	     987 allocs/op
+BenchmarkAllreduce/chan-8                    	   10000	    101202 ns/op	    7600 B/op	      18 allocs/op
+--- BENCH: BenchmarkTable2_M1
+    bench_test.go:55: some log line that must be ignored
+BenchmarkStrategyOverhead/checkpoint-10-8    	     100	  10123456 ns/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rows, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	r := rows[0]
+	if r.Name != "BenchmarkPreparedVsOneShot/oneshot-8" || r.Iterations != 7 {
+		t.Fatalf("row 0 = %+v", r)
+	}
+	if r.NsPerOp != 151842329 || r.BytesPerOp != 8212344 || r.AllocsPerOp != 12345 {
+		t.Fatalf("row 0 metrics = %+v", r)
+	}
+	if r.Metrics["solves/s"] != 52.7 {
+		t.Fatalf("row 0 custom metric = %+v", r.Metrics)
+	}
+	if rows[3].Name != "BenchmarkStrategyOverhead/checkpoint-10-8" || rows[3].NsPerOp != 10123456 {
+		t.Fatalf("row 3 = %+v", rows[3])
+	}
+	if rows[3].BytesPerOp != 0 || rows[3].AllocsPerOp != 0 {
+		t.Fatalf("row 3 should have no -benchmem fields: %+v", rows[3])
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	esrd [-addr :8080] [-workers 4] [-queue 256] [-max-jobs 4096]
 //	     [-job-ttl 0] [-prep-cache 8] [-prep-ttl 10m] [-max-matrices 64]
-//	     [-transport chan|fast|chaos]
+//	     [-transport chan|fast|chaos] [-strategy esr|checkpoint|restart]
 //
 // Submit a job (a 64x64 Poisson system, phi=2, two ranks failing at
 // iteration 10), then follow its progress:
@@ -54,12 +54,17 @@ func main() {
 	maxMatrices := flag.Int("max-matrices", 64, "registered matrix capacity")
 	transport := flag.String("transport", engine.TransportChan,
 		"default communication fabric for jobs that do not pick one (chan|fast|chaos)")
+	strategy := flag.String("strategy", engine.StrategyESR,
+		"default failure-recovery strategy for jobs that do not pick one (esr|checkpoint|restart)")
 	flag.Parse()
 
-	// Reuse the engine's validation so the flag and the wire format accept
-	// exactly the same transport names.
+	// Reuse the engine's validation so the flags and the wire format accept
+	// exactly the same transport/strategy names.
 	if err := (engine.Config{Transport: *transport}).Validate(); err != nil {
 		log.Fatalf("esrd: bad -transport: %v", err)
+	}
+	if err := (engine.Config{Strategy: *strategy}).Validate(); err != nil {
+		log.Fatalf("esrd: bad -strategy: %v", err)
 	}
 
 	eng := engine.New(engine.Options{
@@ -67,6 +72,7 @@ func main() {
 		MaxJobs: *maxJobs, JobTTL: *jobTTL,
 		PrepCacheSize: *prepCache, PrepCacheTTL: *prepTTL,
 		MaxMatrices: *maxMatrices, DefaultTransport: *transport,
+		DefaultStrategy: *strategy,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -242,5 +242,8 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 		// Per-fabric delivery/recycler gauges: one entry per transport that
 		// has run at least one preparation or solve.
 		"transports": s.eng.TransportStats(),
+		// Per-strategy overhead/recovery gauges: one entry per recovery
+		// strategy that has finished at least one solve.
+		"strategies": s.eng.StrategyStats(),
 	})
 }

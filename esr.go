@@ -144,6 +144,20 @@ const (
 	TransportChaos = engine.TransportChaos
 )
 
+// Strategy names accepted by Config (the wire format). The typed Strategy
+// constants in options.go (ESRStrategy, CheckpointStrategy, RestartStrategy)
+// are the session-API equivalents.
+const (
+	StrategyESR        = engine.StrategyESR
+	StrategyCheckpoint = engine.StrategyCheckpoint
+	StrategyRestart    = engine.StrategyRestart
+)
+
+// StrategyStats aggregates a session's recovery-strategy observables:
+// steady-state protection volumes and recovery costs, comparable across
+// strategies (see Solver.StrategyStats).
+type StrategyStats = core.StrategyStats
+
 // Config controls a Solve run. The zero value selects the paper's
 // experimental setup; zero-valued numerical fields (Tol, MaxIter, LocalTol)
 // defer to the solver-layer defaults in internal/core (Tol 1e-8, MaxIter

@@ -1,25 +1,23 @@
-// Checkpointcompare: ESR versus checkpoint/restart, the comparison that
-// motivates the paper (Sec. 1.2: C/R "imposes a usually considerable runtime
-// overhead due to continuously saving the state"; ESR avoids it by keeping
-// only the redundant search-direction copies that the SpMV moves anyway).
+// Checkpointcompare: ESR versus checkpoint/restart versus cold restart, the
+// comparison that motivates the paper (Sec. 1.2: C/R "imposes a usually
+// considerable runtime overhead due to continuously saving the state"; ESR
+// avoids it by keeping only the redundant search-direction copies that the
+// SpMV moves anyway).
+//
+// Every protection scheme runs through the public session API — one
+// esr.NewSolver per strategy, selected with esr.WithStrategy — so this is
+// exactly the code path the engine and the esrd daemon execute, and the
+// overhead/recovery numbers come from Solver.StrategyStats.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
-	"sync"
 	"time"
 
-	"repro/internal/checkpoint"
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/distmat"
-	"repro/internal/faults"
-	"repro/internal/matgen"
-	"repro/internal/partition"
-	"repro/internal/precond"
-	"repro/internal/sparse"
+	esr "repro"
 )
 
 const (
@@ -28,126 +26,63 @@ const (
 )
 
 func main() {
-	a := matgen.ByIDOrDie("M5").Build(matgen.ScaleTiny)
-	p := partition.NewBlockRow(a.Rows, ranks)
-	fmt.Printf("problem: n=%d nnz=%d (M5-class structural), %d ranks\n", a.Rows, a.NNZ(), ranks)
+	a := esr.CircuitLike(3200, 3.2, 0.4, 5)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + math.Sin(float64(i)*0.13)
+	}
+	fmt.Printf("problem: n=%d nnz=%d, %d ranks\n", a.Rows, a.NNZ(), ranks)
 
-	// Probe for the iteration count, then fail 3 ranks at 50% progress.
-	probe := solveESR(a, p, 0, nil)
-	failAt := probe.res.Iterations / 2
-	sched := faults.NewSchedule(faults.Simultaneous(failAt, 3, 4, 5))
+	// Probe the unprotected reference for the iteration count and baseline
+	// runtime, then fail 3 ranks at 50% progress.
+	probe := solve(a, b, nil)
+	failAt := probe.Result.Iterations / 2
+	sched := esr.NewSchedule(esr.Simultaneous(failAt, 3, 4, 5))
 	fmt.Printf("reference: %d iterations in %v; failures: ranks 3-5 at iteration %d\n\n",
-		probe.res.Iterations, probe.res.SolveTime.Round(time.Millisecond), failAt)
+		probe.Result.Iterations, probe.Result.SolveTime.Round(time.Millisecond), failAt)
 
 	fmt.Printf("%-34s %8s %8s %10s %12s %14s\n", "protection", "iters", "work", "solve", "recovery", "extra floats")
 
-	esr := solveESR(a, p, phi, sched)
-	fmt.Printf("%-34s %8d %8d %10v %12v %14d\n",
-		fmt.Sprintf("ESR (phi=%d)", phi), esr.res.Iterations, esr.res.WorkIterations,
-		esr.res.SolveTime.Round(time.Millisecond), esr.res.ReconstructTime.Round(time.Microsecond),
-		esr.extraFloats)
-
-	for _, interval := range []int{5, 20, 50} {
-		cr := solveCR(a, p, sched, interval)
+	row := func(name string, opts ...esr.Option) {
+		sol, stats := solveWithStats(a, b, sched, opts...)
 		fmt.Printf("%-34s %8d %8d %10v %12v %14d\n",
-			fmt.Sprintf("checkpoint/restart (every %d)", interval), cr.res.Iterations, cr.res.WorkIterations,
-			cr.res.SolveTime.Round(time.Millisecond), cr.res.ReconstructTime.Round(time.Microsecond),
-			cr.extraFloats)
+			name, sol.Result.Iterations, sol.Result.WorkIterations,
+			sol.Result.SolveTime.Round(time.Millisecond), sol.Result.ReconstructTime.Round(time.Microsecond),
+			stats.RedundancyFloats+stats.RecoveryFloats+stats.CheckpointFloats)
 	}
+
+	row(fmt.Sprintf("ESR (phi=%d)", phi), esr.WithPhi(phi))
+	for _, interval := range []int{5, 20, 50} {
+		row(fmt.Sprintf("checkpoint/restart (every %d)", interval),
+			esr.WithStrategy(esr.CheckpointStrategy), esr.WithCheckpointInterval(interval))
+	}
+	row("cold restart", esr.WithStrategy(esr.RestartStrategy))
 
 	fmt.Println("\n'extra floats' counts the protection traffic: ESR's redundant search-")
 	fmt.Println("direction elements vs the state volume C/R ships to reliable storage.")
-	fmt.Println("C/R additionally redoes every iteration since the last checkpoint, while")
-	fmt.Println("ESR resumes from the exact failure iteration.")
+	fmt.Println("C/R additionally redoes every iteration since the last checkpoint (see the")
+	fmt.Println("'work' column), while ESR resumes from the exact failure iteration; cold")
+	fmt.Println("restart redoes everything and serves as the lower bound on protection cost.")
 }
 
-type outcome struct {
-	res         core.Result
-	extraFloats int64
+func solve(a *esr.Matrix, b []float64, sched *esr.Schedule, opts ...esr.Option) esr.Solution {
+	sol, _ := solveWithStats(a, b, sched, opts...)
+	return sol
 }
 
-func solveESR(a *sparse.CSR, p partition.Partition, phiLevel int, sched *faults.Schedule) outcome {
-	rt := cluster.New(ranks)
-	var mu sync.Mutex
-	var out outcome
-	err := rt.Run(func(c *cluster.Comm) error {
-		e := distmat.WorldEnv(c)
-		lo, hi := p.Range(e.Pos)
-		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, phiLevel, 0)
-		if err != nil {
-			return err
-		}
-		bj, err := precond.NewBlockJacobiILU(m.OwnBlock())
-		if err != nil {
-			return err
-		}
-		b := rhs(p, e.Pos)
-		x := distmat.NewVector(p, e.Pos)
-		var res core.Result
-		if phiLevel == 0 {
-			res, err = core.PCG(e, m, x, b, core.LocalPrecond{P: bj}, core.Options{Tol: 1e-8})
-		} else {
-			res, err = core.ESRPCG(e, m, x, b, core.LocalPrecond{P: bj}, core.Options{Tol: 1e-8}, sched)
-		}
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			mu.Lock()
-			out.res = res
-			mu.Unlock()
-		}
-		return nil
-	})
+func solveWithStats(a *esr.Matrix, b []float64, sched *esr.Schedule, opts ...esr.Option) (esr.Solution, esr.StrategyStats) {
+	opts = append([]esr.Option{esr.WithRanks(ranks)}, opts...)
+	s, err := esr.NewSolver(a, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	out.extraFloats = rt.Counters().Floats(cluster.CatRedundancy) + rt.Counters().Floats(cluster.CatRecovery)
-	return out
-}
-
-func solveCR(a *sparse.CSR, p partition.Partition, sched *faults.Schedule, interval int) outcome {
-	rt := cluster.New(ranks)
-	store := checkpoint.NewStore(rt.Counters())
-	var mu sync.Mutex
-	var out outcome
-	err := rt.Run(func(c *cluster.Comm) error {
-		e := distmat.WorldEnv(c)
-		lo, hi := p.Range(e.Pos)
-		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, 0, 0)
-		if err != nil {
-			return err
-		}
-		bj, err := precond.NewBlockJacobiILU(m.OwnBlock())
-		if err != nil {
-			return err
-		}
-		b := rhs(p, e.Pos)
-		x := distmat.NewVector(p, e.Pos)
-		res, err := checkpoint.PCG(e, m, x, b, core.LocalPrecond{P: bj},
-			checkpoint.Options{Interval: interval, Core: core.Options{Tol: 1e-8}}, sched, store)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			mu.Lock()
-			out.res = res
-			mu.Unlock()
-		}
-		return nil
-	})
+	defer s.Close()
+	sol, err := s.Solve(context.Background(), b, esr.WithSchedule(sched))
 	if err != nil {
 		log.Fatal(err)
 	}
-	out.extraFloats = rt.Counters().Floats(cluster.CatCheckpoint)
-	return out
-}
-
-func rhs(p partition.Partition, pos int) distmat.Vector {
-	lo, _ := p.Range(pos)
-	b := distmat.NewVector(p, pos)
-	for i := range b.Local {
-		b.Local[i] = 1 + math.Sin(float64(lo+i)*0.13)
+	if !sol.Result.Converged {
+		log.Fatalf("%s solve did not converge", s.StrategyName())
 	}
-	return b
+	return sol, s.StrategyStats()
 }

@@ -4,15 +4,20 @@
 // replicated scalars) to reliable storage; after a node failure, all ranks
 // roll back to the last checkpoint and redo the lost iterations.
 //
+// The scheme plugs into the shared resilient-PCG driver as a core.Strategy
+// (NewStrategy): the periodic coordinated save is the strategy's
+// steady-state overhead work and the rollback is its recovery episode, so
+// C/R runs on exactly the solve path as ESR and is selectable through the
+// whole stack (engine.Config.Strategy, esr.WithStrategy, esrd -strategy).
+//
 // The reliable store is simulated by memory outside the rank's own (a
-// snapshot table owned by the harness); the data volume of every save and
-// restore is accounted under cluster.CatCheckpoint so the steady-state
+// snapshot table shared through the Strategy); the data volume of every save
+// and restore is accounted under cluster.CatCheckpoint so the steady-state
 // overhead can be compared with ESR's redundancy traffic.
 package checkpoint
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
@@ -22,6 +27,9 @@ import (
 	"repro/internal/faults"
 	"repro/internal/vec"
 )
+
+// DefaultInterval is the checkpoint period used when none is configured.
+const DefaultInterval = 10
 
 // Store is the simulated reliable checkpoint storage shared by all ranks.
 // It lives outside node memory, so it survives any number of node failures
@@ -34,6 +42,7 @@ type Store struct {
 	pending  map[int]snapshot
 	pendIter int
 	saved    int
+	loaded   int64
 }
 
 type snapshot struct {
@@ -83,11 +92,22 @@ func (s *Store) load(rank int) (int, snapshot, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap, ok := s.snaps[rank]
-	if ok && s.counters != nil {
+	if ok {
 		vol := len(snap.x) + len(snap.r) + len(snap.z) + len(snap.p) + len(snap.scalars)
-		s.counters.RecordExternal(cluster.CatCheckpoint, 1, vol)
+		s.loaded += int64(vol)
+		if s.counters != nil {
+			s.counters.RecordExternal(cluster.CatCheckpoint, 1, vol)
+		}
 	}
 	return s.iter, snap, ok
+}
+
+// LoadedFloats returns the float volume restored from the store so far (the
+// rollback half of the CatCheckpoint traffic, for recovery-cost accounting).
+func (s *Store) LoadedFloats() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loaded
 }
 
 // Checkpoints returns how many complete checkpoints were taken.
@@ -95,6 +115,100 @@ func (s *Store) Checkpoints() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.saved
+}
+
+// Strategy is the C/R recovery strategy for core.ResilientPCG: a periodic
+// coordinated checkpoint as the steady-state overhead hook and a
+// rollback-and-redo as the recovery episode. One Strategy (with its Store)
+// is shared by every rank of a solve.
+type Strategy struct {
+	store    *Store
+	interval int
+}
+
+// NewStrategy builds the checkpoint/restart strategy over the given reliable
+// store, saving every interval iterations (<= 0 selects DefaultInterval).
+func NewStrategy(store *Store, interval int) *Strategy {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Strategy{store: store, interval: interval}
+}
+
+// Name implements core.Strategy.
+func (s *Strategy) Name() string { return core.StrategyCheckpoint }
+
+// Interval returns the checkpoint period in iterations.
+func (s *Strategy) Interval() int { return s.interval }
+
+// Store returns the strategy's reliable store (for checkpoint counts).
+func (s *Strategy) Store() *Store { return s.store }
+
+// Init implements core.Strategy.
+func (s *Strategy) Init(*core.SolverState) error {
+	if s.store == nil {
+		return fmt.Errorf("checkpoint: nil store")
+	}
+	return nil
+}
+
+// Overhead implements core.Strategy: the periodic coordinated checkpoint,
+// including iteration 0 so a rollback target always exists.
+func (s *Strategy) Overhead(st *core.SolverState, j int) error {
+	if j%s.interval != 0 {
+		return nil
+	}
+	s.store.save(st.E.Pos, st.E.Size(), j, snapshot{
+		x: vec.Clone(st.X.Local), r: vec.Clone(st.R.Local),
+		z: vec.Clone(st.Z.Local), p: vec.Clone(st.P.Local),
+		scalars: [4]float64{st.R0, st.RZ, st.Beta, 0},
+	})
+	// Coordinated checkpointing: no rank proceeds until the checkpoint is
+	// complete, so every rank sees the same rollback target (this
+	// synchronisation is part of C/R's cost).
+	return st.E.Grp.Barrier()
+}
+
+// Recover implements core.Strategy: victims lose their memory and the whole
+// cluster rolls back to the last complete checkpoint; the driver then redoes
+// the lost iterations. Overlapping failures at the recovery-phase grid force
+// the rollback to be redone with the enlarged failed set — the cascading
+// analogue of the paper's Sec. 4.1 restart rule.
+func (s *Strategy) Recover(st *core.SolverState, j int, victims []int) (int, core.Reconstruction, error) {
+	startT := time.Now()
+	rec := core.Reconstruction{Iteration: j}
+	ef := core.NewEpisodeFailures(st.Sched, j, st.E.Pos, st.Wipe, victims)
+
+	resume := 0
+	phase := 1
+rollback:
+	rec.FailedRanks = ef.Ranks()
+	iter, snap, ok := s.store.load(st.E.Pos)
+	if !ok {
+		return 0, rec, fmt.Errorf("checkpoint: no checkpoint to roll back to")
+	}
+	copy(st.X.Local, snap.x)
+	copy(st.R.Local, snap.r)
+	copy(st.Z.Local, snap.z)
+	copy(st.P.Local, snap.p)
+	st.R0 = snap.scalars[0]
+	st.RZ = snap.scalars[1]
+	st.Beta = snap.scalars[2]
+	resume = iter
+	if err := st.E.Grp.Barrier(); err != nil {
+		return 0, rec, err
+	}
+	// Overlapping failures strike while the rollback is in progress: a
+	// fresh victim has just lost the restored state, so the rollback is
+	// redone (non-destructive: the store keeps the checkpoint).
+	for ; phase <= core.NumRecoveryPhases; phase++ {
+		if ef.AtPhase(phase) {
+			rec.Restarts++
+			goto rollback
+		}
+	}
+	rec.Duration = time.Since(startT)
+	return resume, rec, nil
 }
 
 // Options configures the checkpointed PCG run.
@@ -106,159 +220,13 @@ type Options struct {
 }
 
 // PCG runs the checkpoint/restart-protected PCG solver: the C/R baseline
-// for the ESR comparison. Failure semantics mirror core.ESRPCG (victims are
+// for the ESR comparison. It is the shared core.ResilientPCG driver fixed to
+// the checkpoint Strategy; failure semantics mirror core.ESRPCG (victims are
 // wiped at the post-SpMV poll point), but recovery rolls *all* ranks back
 // to the last complete checkpoint instead of reconstructing the state.
 func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m core.Precond, opts Options, sched *faults.Schedule, store *Store) (core.Result, error) {
-	if m == nil {
-		m = core.IdentityPrecond()
-	}
 	if store == nil {
 		return core.Result{}, fmt.Errorf("checkpoint: nil store")
 	}
-	if opts.Interval <= 0 {
-		opts.Interval = 10
-	}
-	copts := opts.Core
-	if copts.Tol <= 0 {
-		copts.Tol = 1e-8
-	}
-	if copts.MaxIter <= 0 {
-		copts.MaxIter = 10 * a.P.N()
-		if copts.MaxIter < 100 {
-			copts.MaxIter = 100
-		}
-	}
-	if err := sched.Validate(e.Size()); err != nil {
-		return core.Result{}, err
-	}
-	start := time.Now()
-
-	r := distmat.NewVector(a.P, e.Pos)
-	z := distmat.NewVector(a.P, e.Pos)
-	p := distmat.NewVector(a.P, e.Pos)
-	u := distmat.NewVector(a.P, e.Pos)
-
-	if err := a.Residual(e, r, b, x, -1); err != nil {
-		return core.Result{}, err
-	}
-	if err := m.Apply(e, z, r); err != nil {
-		return core.Result{}, err
-	}
-	vec.Copy(p.Local, z.Local)
-	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(r.Local), vec.Dot(r.Local, z.Local)})
-	if err != nil {
-		return core.Result{}, err
-	}
-	r0 := math.Sqrt(norms[0])
-	rz := norms[1]
-	res := core.Result{InitialResidual: r0, FinalResidual: r0}
-	if r0 == 0 {
-		res.Converged = true
-		res.SolveTime = time.Since(start)
-		return res, nil
-	}
-
-	fired := map[int]bool{} // failure iterations already handled
-	j := 0
-	for j < copts.MaxIter {
-		res.WorkIterations++
-		// Periodic checkpoint (including iteration 0, so a rollback target
-		// always exists).
-		if j%opts.Interval == 0 {
-			store.save(e.Pos, e.Size(), j, snapshot{
-				x: vec.Clone(x.Local), r: vec.Clone(r.Local),
-				z: vec.Clone(z.Local), p: vec.Clone(p.Local),
-				scalars: [4]float64{r0, rz, 0, 0},
-			})
-			// Coordinated checkpointing: no rank proceeds until the
-			// checkpoint is complete, so every rank sees the same rollback
-			// target (this synchronisation is part of C/R's cost).
-			if err := e.Grp.Barrier(); err != nil {
-				return res, err
-			}
-		}
-		if err := a.MatVec(e, u, p, j); err != nil {
-			return res, err
-		}
-		if victims := sched.AtIteration(j); len(victims) > 0 && !fired[j] {
-			fired[j] = true
-			rbStart := time.Now()
-			// Victims lose their memory...
-			for _, f := range victims {
-				if f == e.Pos {
-					vec.Fill(x.Local, math.NaN())
-					vec.Fill(r.Local, math.NaN())
-					vec.Fill(z.Local, math.NaN())
-					vec.Fill(p.Local, math.NaN())
-				}
-			}
-			// ...and the whole cluster rolls back to the last checkpoint.
-			iter, snap, ok := store.load(e.Pos)
-			if !ok {
-				return res, fmt.Errorf("checkpoint: no checkpoint to roll back to")
-			}
-			copy(x.Local, snap.x)
-			copy(r.Local, snap.r)
-			copy(z.Local, snap.z)
-			copy(p.Local, snap.p)
-			r0 = snap.scalars[0]
-			rz = snap.scalars[1]
-			if err := e.Grp.Barrier(); err != nil {
-				return res, err
-			}
-			res.Reconstructions = append(res.Reconstructions, core.Reconstruction{
-				Iteration:   j,
-				FailedRanks: victims,
-				Duration:    time.Since(rbStart),
-			})
-			res.ReconstructTime += time.Since(rbStart)
-			j = iter // redo the lost iterations
-			continue
-		}
-		pu, err := distmat.Dot(e, p, u)
-		if err != nil {
-			return res, err
-		}
-		if pu <= 0 {
-			return res, fmt.Errorf("checkpoint: PCG breakdown at iteration %d", j)
-		}
-		alpha := rz / pu
-		vec.Axpy(alpha, p.Local, x.Local)
-		vec.Axpy(-alpha, u.Local, r.Local)
-		if err := m.Apply(e, z, r); err != nil {
-			return res, err
-		}
-		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.Nrm2Sq(r.Local), vec.Dot(r.Local, z.Local)})
-		if err != nil {
-			return res, err
-		}
-		rn := math.Sqrt(norms[0])
-		rzNew := norms[1]
-		res.Iterations = j + 1
-		res.FinalResidual = rn
-		if rn <= copts.Tol*r0 {
-			res.Converged = true
-			break
-		}
-		beta := rzNew / rz
-		rz = rzNew
-		vec.Axpby(1, z.Local, beta, p.Local)
-		j++
-	}
-
-	t := distmat.NewVector(a.P, e.Pos)
-	if err := a.Residual(e, t, b, x, -1); err != nil {
-		return res, err
-	}
-	tn, err := distmat.Norm2(e, t)
-	if err != nil {
-		return res, err
-	}
-	res.TrueResidual = tn
-	if tn > 0 {
-		res.Delta = (res.FinalResidual - tn) / tn
-	}
-	res.SolveTime = time.Since(start)
-	return res, nil
+	return core.ResilientPCG(e, a, x, b, m, opts.Core, sched, NewStrategy(store, opts.Interval))
 }

@@ -1,14 +1,8 @@
 package core
 
 import (
-	"fmt"
-	"math"
-	"time"
-
-	"repro/internal/cluster"
 	"repro/internal/distmat"
 	"repro/internal/faults"
-	"repro/internal/vec"
 )
 
 // ESRPCG runs the resilient preconditioned conjugate gradient with exact
@@ -18,172 +12,12 @@ import (
 // state (x, r, z, p) is reconstructed with Alg. 2 generalised to the union
 // failed index set I_f, after which the iteration resumes.
 //
-// Failure semantics follow the paper's experimental methodology (Sec. 6):
-// victims are wiped at deterministic poll points (their dynamic data is
-// destroyed; static data — matrix block, b block, preconditioner — is
-// considered re-readable from reliable storage) and the same rank slot then
-// executes the replacement's reconstruction protocol. Overlapping failures
-// fire at recovery-phase boundaries and restart the reconstruction with the
-// enlarged failed set (Sec. 4.1).
+// ESRPCG is the ResilientPCG driver fixed to the ESR strategy; see the
+// driver for the shared failure semantics (victims wiped at deterministic
+// poll points, overlapping failures restarting the episode per Sec. 4.1).
 //
 // The matrix must be resilience-enabled (built with phi >= 1) whenever the
 // schedule is non-empty.
 func ESRPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts Options, sched *faults.Schedule) (Result, error) {
-	if m == nil {
-		m = IdentityPrecond()
-	}
-	opts = opts.withDefaults(a.P.N())
-	if err := sched.Validate(e.Size()); err != nil {
-		return Result{}, err
-	}
-	if !sched.Empty() && a.Ret == nil {
-		return Result{}, fmt.Errorf("core: ESRPCG needs a resilience-enabled matrix (phi >= 1) to honour a failure schedule")
-	}
-	start := time.Now()
-
-	st := &esrState{
-		e: e, a: a, m: m, b: b, opts: opts, sched: sched,
-		x: x,
-		r: distmat.NewVector(a.P, e.Pos),
-		z: distmat.NewVector(a.P, e.Pos),
-		p: distmat.NewVector(a.P, e.Pos),
-		u: distmat.NewVector(a.P, e.Pos),
-	}
-
-	// r(0) = b - A x(0); z(0) = M^{-1} r(0); p(0) = z(0).
-	if err := a.Residual(e, st.r, b, x, -1); err != nil {
-		return Result{}, err
-	}
-	if err := m.Apply(e, st.z, st.r); err != nil {
-		return Result{}, err
-	}
-	vec.Copy(st.p.Local, st.z.Local)
-	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(st.r.Local), vec.ParDot(st.r.Local, st.z.Local)})
-	if err != nil {
-		return Result{}, err
-	}
-	st.r0 = math.Sqrt(norms[0])
-	st.rz = norms[1]
-	e.Grp.Recycle(norms)
-	st.beta = 0
-	res := Result{InitialResidual: st.r0, FinalResidual: st.r0}
-	if st.r0 == 0 {
-		res.Converged = true
-		res.SolveTime = time.Since(start)
-		return res, nil
-	}
-	target := func() float64 { return opts.Tol * st.r0 }
-
-	for j := 0; j < opts.MaxIter; j++ {
-		if err := opts.poll(); err != nil {
-			return res, err
-		}
-		// u = A p(j): the SpMV that distributes the redundant copies of
-		// p(j) and retains generation j.
-		if err := a.MatVec(e, st.u, st.p, j); err != nil {
-			return res, err
-		}
-		// Poll point: the paper's failures strike here, after the copies of
-		// p(j) exist on phi other ranks.
-		if victims := sched.AtIteration(j); len(victims) > 0 {
-			rec, err := st.recoverEpisode(j, victims)
-			if err != nil {
-				return res, err
-			}
-			res.Reconstructions = append(res.Reconstructions, rec)
-			res.ReconstructTime += rec.Duration
-			recCopy := rec
-			opts.notify(ProgressEvent{
-				Iteration: j, Residual: res.FinalResidual,
-				RelResidual: relTo(res.FinalResidual, st.r0), Reconstruction: &recCopy,
-			})
-			// Redo the SpMV of iteration j: recomputes u everywhere and
-			// re-establishes the redundancy copies on the replacements.
-			if err := a.MatVec(e, st.u, st.p, j); err != nil {
-				return res, err
-			}
-			// r'z involves reconstructed blocks: recompute it.
-			rz, err := distmat.Dot(e, st.r, st.z)
-			if err != nil {
-				return res, err
-			}
-			st.rz = rz
-		}
-		pu, err := distmat.Dot(e, st.p, st.u)
-		if err != nil {
-			return res, err
-		}
-		// Negated comparison so NaN also trips the breakdown (see PCG).
-		if !(pu > 0) {
-			return res, fmt.Errorf("core: ESR-PCG breakdown, p'Ap = %g at iteration %d", pu, j)
-		}
-		alpha := st.rz / pu
-		vec.Axpy(alpha, st.p.Local, x.Local)
-		vec.Axpy(-alpha, st.u.Local, st.r.Local)
-		if err := m.Apply(e, st.z, st.r); err != nil {
-			return res, err
-		}
-		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(st.r.Local), vec.ParDot(st.r.Local, st.z.Local)})
-		if err != nil {
-			return res, err
-		}
-		rn := math.Sqrt(norms[0])
-		rzNew := norms[1]
-		e.Grp.Recycle(norms)
-		res.Iterations = j + 1
-		res.FinalResidual = rn
-		if math.IsNaN(rn) || math.IsInf(rn, 0) {
-			return res, fmt.Errorf("core: ESR-PCG diverged, ||r|| = %g at iteration %d", rn, j)
-		}
-		opts.notify(ProgressEvent{Iteration: j + 1, Residual: rn, RelResidual: relTo(rn, st.r0)})
-		if rn <= target() {
-			res.Converged = true
-			break
-		}
-		st.beta = rzNew / st.rz
-		st.rz = rzNew
-		vec.Axpby(1, st.z.Local, st.beta, st.p.Local)
-	}
-
-	res.WorkIterations = res.Iterations
-	if err := finishResult(e, a, x, b, &res); err != nil {
-		return res, err
-	}
-	res.SolveTime = time.Since(start)
-	return res, nil
-}
-
-// esrState carries the solver state that the reconstruction protocol reads
-// and rebuilds.
-type esrState struct {
-	e     *distmat.Env
-	a     *distmat.Matrix
-	m     Precond
-	b     distmat.Vector
-	opts  Options
-	sched *faults.Schedule
-
-	x, r, z, p, u distmat.Vector
-	r0            float64 // ||r(0)||, replicated
-	rz            float64 // r(j)'z(j), replicated
-	beta          float64 // beta(j-1), replicated
-}
-
-// wipe destroys this rank's dynamic solver data, simulating the memory loss
-// of a node failure. NaN poisoning guarantees that any value the
-// reconstruction fails to rebuild surfaces in the results instead of
-// silently reusing stale data.
-func (st *esrState) wipe() {
-	nan := math.NaN()
-	vec.Fill(st.x.Local, nan)
-	vec.Fill(st.r.Local, nan)
-	vec.Fill(st.z.Local, nan)
-	vec.Fill(st.p.Local, nan)
-	vec.Fill(st.u.Local, nan)
-	st.r0 = nan
-	st.rz = nan
-	st.beta = nan
-	if st.a.Ret != nil {
-		st.a.Ret.Wipe()
-	}
+	return ResilientPCG(e, a, x, b, m, opts, sched, NewESRStrategy())
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/vec"
 )
 
@@ -53,51 +54,95 @@ func (e *DataLossError) Error() string {
 		e.Iteration, e.FailedRanks)
 }
 
-// recoverEpisode executes one reconstruction episode for the failure of
-// `victims` detected at iteration j. It returns when every rank (survivors
-// and replacements) holds a consistent solver state for iteration j.
-func (st *esrState) recoverEpisode(j int, victims []int) (Reconstruction, error) {
-	startT := time.Now()
-	rec := Reconstruction{Iteration: j}
-	failed := map[int]bool{}
-	wipeNew := func(ranks []int) {
-		for _, f := range ranks {
-			if !failed[f] {
-				failed[f] = true
-				if f == st.e.Pos {
-					st.wipe()
-				}
+// EpisodeFailures tracks the cumulative failed set of one recovery episode
+// and applies the paper's Sec. 4.1 overlapping-failure rule uniformly for
+// every recovery strategy: at each recovery-phase boundary, scheduled
+// victims that are not yet in the set are wiped (via the strategy's wipe
+// callback, on the local rank only) and enlarge it, forcing the episode to
+// restart. Sharing this bookkeeping is what keeps one faults.Schedule
+// meaning the same thing under ESR reconstruction, checkpoint rollback and
+// cold restart.
+type EpisodeFailures struct {
+	sched *faults.Schedule
+	iter  int
+	pos   int
+	wipe  func()
+	// Failed is the cumulative failed set (shared with episode internals).
+	Failed map[int]bool
+}
+
+// NewEpisodeFailures starts an episode's failure tracking for the initial
+// victims at iteration iter. pos is the local rank and wipe destroys its
+// dynamic state (called when pos itself joins the failed set).
+func NewEpisodeFailures(sched *faults.Schedule, iter, pos int, wipe func(), victims []int) *EpisodeFailures {
+	ef := &EpisodeFailures{sched: sched, iter: iter, pos: pos, wipe: wipe, Failed: map[int]bool{}}
+	ef.add(victims)
+	return ef
+}
+
+func (ef *EpisodeFailures) add(ranks []int) {
+	for _, f := range ranks {
+		if !ef.Failed[f] {
+			ef.Failed[f] = true
+			if f == ef.pos {
+				ef.wipe()
 			}
 		}
 	}
-	wipeNew(victims)
+}
+
+// AtPhase applies the overlapping failures scheduled right before the given
+// recovery phase. It reports whether fresh victims enlarged the set — the
+// signal that the episode must restart with the union set (re-running
+// completed phases is deterministic: retention and checkpoint reads are
+// non-destructive).
+func (ef *EpisodeFailures) AtPhase(phase int) bool {
+	more := ef.sched.AtRecoveryPhase(ef.iter, phase)
+	if len(more) == 0 {
+		return false
+	}
+	fresh := false
+	for _, f := range more {
+		if !ef.Failed[f] {
+			fresh = true
+		}
+	}
+	if fresh {
+		ef.add(more)
+	}
+	return fresh
+}
+
+// Ranks returns the sorted failed set.
+func (ef *EpisodeFailures) Ranks() []int { return sortedKeys(ef.Failed) }
+
+// AmFailed reports whether the local rank is in the failed set.
+func (ef *EpisodeFailures) AmFailed() bool { return ef.Failed[ef.pos] }
+
+// recoverEpisode executes one reconstruction episode for the failure of
+// `victims` detected at iteration j. It returns when every rank (survivors
+// and replacements) holds a consistent solver state for iteration j.
+func (st *SolverState) recoverEpisode(j int, victims []int) (Reconstruction, error) {
+	startT := time.Now()
+	rec := Reconstruction{Iteration: j}
+	ef := NewEpisodeFailures(st.Sched, j, st.E.Pos, st.Wipe, victims)
 
 restart:
-	failedList := sortedKeys(failed)
+	failedList := ef.Ranks()
 	rec.FailedRanks = failedList
 	ep := &episode{
 		st:         st,
 		iter:       j,
-		failed:     failed,
+		failed:     ef.Failed,
 		failedList: failedList,
-		amFailed:   failed[st.e.Pos],
+		amFailed:   ef.AmFailed(),
 	}
 	for phase := 1; phase <= numPhases; phase++ {
 		// Overlapping failures strike at phase boundaries; restarting with
-		// the union set re-runs the completed phases deterministically
-		// (retention reads are non-destructive).
-		if more := st.sched.AtRecoveryPhase(j, phase); len(more) > 0 {
-			fresh := false
-			for _, f := range more {
-				if !failed[f] {
-					fresh = true
-				}
-			}
-			if fresh {
-				wipeNew(more)
-				rec.Restarts++
-				goto restart
-			}
+		// the union set re-runs the completed phases deterministically.
+		if ef.AtPhase(phase) {
+			rec.Restarts++
+			goto restart
 		}
 		var err error
 		switch phase {
@@ -113,7 +158,7 @@ restart:
 			// Synchronises all ranks and replicates the subsystem iteration
 			// count (only replacements solved the subsystem).
 			var iters float64
-			iters, err = st.e.Grp.AllreduceScalar(cluster.OpMax, float64(ep.subIters))
+			iters, err = st.E.Grp.AllreduceScalar(cluster.OpMax, float64(ep.subIters))
 			ep.subIters = int(iters)
 		}
 		if err != nil {
@@ -127,7 +172,7 @@ restart:
 
 // episode is the per-attempt state of a reconstruction.
 type episode struct {
-	st         *esrState
+	st         *SolverState
 	iter       int
 	failed     map[int]bool
 	failedList []int
@@ -139,7 +184,7 @@ type episode struct {
 
 // lowestSurvivor returns the smallest rank not in the failed set.
 func (ep *episode) lowestSurvivor() int {
-	for r := 0; r < ep.st.e.Size(); r++ {
+	for r := 0; r < ep.st.E.Size(); r++ {
 		if !ep.failed[r] {
 			return r
 		}
@@ -154,20 +199,20 @@ func (ep *episode) lowestSurvivor() int {
 func (ep *episode) runScalars() error {
 	st := ep.st
 	s0 := ep.lowestSurvivor()
-	if st.e.Pos == s0 {
+	if st.E.Pos == s0 {
 		for _, f := range ep.failedList {
-			if err := st.e.C.Send(cluster.CatRecovery, f, tagRecScalar, []float64{st.beta, st.r0}, nil); err != nil {
+			if err := st.E.C.Send(cluster.CatRecovery, f, tagRecScalar, []float64{st.Beta, st.R0}, nil); err != nil {
 				return err
 			}
 		}
 	}
 	if ep.amFailed {
-		vals, err := st.e.C.RecvFloats(s0, tagRecScalar)
+		vals, err := st.E.C.RecvFloats(s0, tagRecScalar)
 		if err != nil {
 			return err
 		}
-		st.beta = vals[0]
-		st.r0 = vals[1]
+		st.Beta = vals[0]
+		st.R0 = vals[1]
 	}
 	return nil
 }
@@ -179,13 +224,13 @@ func (ep *episode) runScalars() error {
 func (ep *episode) runPGather() error {
 	st := ep.st
 	gens := []int{ep.iter}
-	ep.pPrev = make([]float64, len(st.p.Local))
-	out := [][]float64{st.p.Local}
+	ep.pPrev = make([]float64, len(st.P.Local))
+	out := [][]float64{st.P.Local}
 	if ep.iter > 0 {
 		gens = append(gens, ep.iter-1)
 		out = append(out, ep.pPrev)
 	}
-	return RecoverBlocks(st.e, st.a, ep.iter, ep.failed, ep.failedList, gens, out)
+	return RecoverBlocks(st.E, st.A, ep.iter, ep.failed, ep.failedList, gens, out)
 }
 
 // runZR reconstructs z_If (Alg. 2 line 4: z = p(j) - beta(j-1) p(j-1)) and
@@ -199,21 +244,21 @@ func (ep *episode) runZR() error {
 	if ep.amFailed {
 		if ep.iter == 0 {
 			// p(0) = z(0): no previous search direction exists.
-			vec.Copy(st.z.Local, st.p.Local)
+			vec.Copy(st.Z.Local, st.P.Local)
 		} else {
-			vec.XpayInto(st.z.Local, st.p.Local, -st.beta, ep.pPrev)
+			vec.XpayInto(st.Z.Local, st.P.Local, -st.Beta, ep.pPrev)
 		}
 	}
-	switch pm := st.m.(type) {
+	switch pm := st.M.(type) {
 	case LocalPrecond:
 		if ep.amFailed {
-			pm.P.ApplyM(st.r.Local, st.z.Local)
+			pm.P.ApplyM(st.R.Local, st.Z.Local)
 		}
 		return nil
 	case ExplicitInvPrecond:
 		return ep.reconstructRExplicit(pm)
 	default:
-		return fmt.Errorf("core: preconditioner %s does not support reconstruction", st.m.Name())
+		return fmt.Errorf("core: preconditioner %s does not support reconstruction", st.M.Name())
 	}
 }
 
@@ -222,19 +267,19 @@ func (ep *episode) runZR() error {
 // P_{If,If} r_If = v is solved over the replacement subgroup.
 func (ep *episode) reconstructRExplicit(pm ExplicitInvPrecond) error {
 	st := ep.st
-	ghost, err := GatherGhost(st.e, pm.P, st.r.Local, ep.failed, ep.failedList, tagRecRHalo)
+	ghost, err := GatherGhost(st.E, pm.P, st.R.Local, ep.failed, ep.failedList, tagRecRHalo)
 	if err != nil {
 		return err
 	}
 	if !ep.amFailed {
 		return nil
 	}
-	v := append([]float64(nil), st.z.Local...)
+	v := append([]float64(nil), st.Z.Local...)
 	neg := make([]float64, len(v))
 	pm.P.GhostProduct(neg, ghost)
 	vec.Axpy(-1, neg, v)
-	iters, err := SubsystemSolve(st.e, pm.P, ep.failedList, v, st.r.Local, ctxSubP,
-		st.opts.LocalTol, st.opts.LocalMaxIter)
+	iters, err := SubsystemSolve(st.E, pm.P, ep.failedList, v, st.R.Local, ctxSubP,
+		st.Opts.LocalTol, st.Opts.LocalMaxIter)
 	if err != nil {
 		return err
 	}
@@ -248,7 +293,7 @@ func (ep *episode) reconstructRExplicit(pm ExplicitInvPrecond) error {
 // replacement nodes is necessary", Sec. 4.1).
 func (ep *episode) runXSystem() error {
 	st := ep.st
-	ghost, err := GatherGhost(st.e, st.a, st.x.Local, ep.failed, ep.failedList, tagRecXHalo)
+	ghost, err := GatherGhost(st.E, st.A, st.X.Local, ep.failed, ep.failedList, tagRecXHalo)
 	if err != nil {
 		return err
 	}
@@ -256,14 +301,14 @@ func (ep *episode) runXSystem() error {
 		return nil
 	}
 	// w = b_If - r_If - A_{If, I\If} x_{I\If}
-	w := append([]float64(nil), st.b.Local...)
-	vec.Axpy(-1, st.r.Local, w)
+	w := append([]float64(nil), st.B.Local...)
+	vec.Axpy(-1, st.R.Local, w)
 	neg := make([]float64, len(w))
-	st.a.GhostProduct(neg, ghost)
+	st.A.GhostProduct(neg, ghost)
 	vec.Axpy(-1, neg, w)
 
-	iters, err := SubsystemSolve(st.e, st.a, ep.failedList, w, st.x.Local, ctxSubA,
-		st.opts.LocalTol, st.opts.LocalMaxIter)
+	iters, err := SubsystemSolve(st.E, st.A, ep.failedList, w, st.X.Local, ctxSubA,
+		st.Opts.LocalTol, st.Opts.LocalMaxIter)
 	if err != nil {
 		return err
 	}

@@ -177,37 +177,18 @@ func (st *spcgState) wipe() {
 func (st *spcgState) recover(j int, victims []int) (Reconstruction, error) {
 	startT := time.Now()
 	rec := Reconstruction{Iteration: j}
-	failed := map[int]bool{}
-	wipeNew := func(ranks []int) {
-		for _, f := range ranks {
-			if !failed[f] {
-				failed[f] = true
-				if f == st.e.Pos {
-					st.wipe()
-				}
-			}
-		}
-	}
-	wipeNew(victims)
+	ef := NewEpisodeFailures(st.sched, j, st.e.Pos, st.wipe, victims)
 
 restart:
-	failedList := sortedKeys(failed)
+	failedList := ef.Ranks()
 	rec.FailedRanks = failedList
-	amFailed := failed[st.e.Pos]
+	failed := ef.Failed
+	amFailed := ef.AmFailed()
 	subIters := 0
 	for phase := 1; phase <= numPhases; phase++ {
-		if more := st.sched.AtRecoveryPhase(j, phase); len(more) > 0 {
-			fresh := false
-			for _, f := range more {
-				if !failed[f] {
-					fresh = true
-				}
-			}
-			if fresh {
-				wipeNew(more)
-				rec.Restarts++
-				goto restart
-			}
+		if ef.AtPhase(phase) {
+			rec.Restarts++
+			goto restart
 		}
 		switch phase {
 		case phaseScalars:

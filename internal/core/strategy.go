@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/vec"
+)
+
+// Strategy names (the wire values of engine.Config.Strategy and the esrd
+// -strategy flag).
+const (
+	// StrategyESR is the paper's contribution: exact state reconstruction
+	// from the redundant search-direction copies the SpMV moves anyway.
+	StrategyESR = "esr"
+	// StrategyCheckpoint is the checkpoint/restart baseline the paper
+	// positions ESR against (Sec. 1.2, 2.2): periodic coordinated saves to
+	// reliable storage, rollback and redo after a failure.
+	StrategyCheckpoint = "checkpoint"
+	// StrategyRestart is the null strategy: no steady-state protection at
+	// all; a failure throws every iteration away and the solve restarts
+	// from the initial guess x0.
+	StrategyRestart = "restart"
+)
+
+// StrategyNames lists the built-in recovery-strategy names.
+func StrategyNames() []string {
+	return []string{StrategyESR, StrategyCheckpoint, StrategyRestart}
+}
+
+// NumRecoveryPhases is the number of recovery-episode phases at whose
+// boundaries overlapping failures can strike (paper Sec. 4.1). Rollback
+// strategies use the same phase grid so one faults.Schedule stresses every
+// strategy identically.
+const NumRecoveryPhases = numPhases
+
+// SolverState is the live state of the resilient PCG driver, exposed to
+// Strategy implementations at the driver's poll points. Every rank holds its
+// own SolverState (the vectors carry the rank-local blocks; the scalars are
+// replicated), while one Strategy instance is shared by all ranks of a
+// solve — strategies keep cross-rank state (such as a checkpoint store)
+// internally and per-rank state on this struct.
+type SolverState struct {
+	E     *distmat.Env
+	A     *distmat.Matrix
+	M     Precond
+	B     distmat.Vector
+	Opts  Options
+	Sched *faults.Schedule
+
+	// X, R, Z, P, U are the PCG iteration vectors (solution, residual,
+	// preconditioned residual, search direction, A*P).
+	X, R, Z, P, U distmat.Vector
+	// R0 is ||r(0)||, RZ is r(j)'z(j), Beta is beta(j-1); all replicated.
+	R0, RZ, Beta float64
+
+	// X0 is a clone of the rank's initial-guess block, kept only when the
+	// strategy needs a cold-restart target (see RestartStrategy).
+	X0 []float64
+}
+
+// Wipe destroys this rank's dynamic solver data, simulating the memory loss
+// of a node failure. NaN poisoning guarantees that any value the recovery
+// fails to rebuild surfaces in the results instead of silently reusing stale
+// data. X0 survives: the initial guess is re-readable from reliable storage,
+// like the static data (matrix block, b block, preconditioner).
+func (st *SolverState) Wipe() {
+	nan := math.NaN()
+	vec.Fill(st.X.Local, nan)
+	vec.Fill(st.R.Local, nan)
+	vec.Fill(st.Z.Local, nan)
+	vec.Fill(st.P.Local, nan)
+	vec.Fill(st.U.Local, nan)
+	st.R0 = nan
+	st.RZ = nan
+	st.Beta = nan
+	if st.A.Ret != nil {
+		st.A.Ret.Wipe()
+	}
+}
+
+// Strategy is the failure-recovery seam of the resilient PCG driver
+// (ResilientPCG): it owns both halves of a resilience scheme — the
+// steady-state overhead work of every iteration (ESR's redundancy rides the
+// SpMV, checkpointing saves state periodically, restart does nothing) and
+// the recovery episode after a failure (reconstruction vs rollback-and-redo
+// vs cold restart). Failure events from one faults.Schedule are dispatched
+// to whichever strategy is active, including overlapping failures at
+// recovery-phase boundaries (Sec. 4.1 and its rollback analogue).
+//
+// One Strategy instance is shared by every rank of a solve, so hooks are
+// called concurrently (one call per rank) and collectively: every rank
+// reaches the same hooks in the same order, so implementations may use the
+// state's collectives. Per-rank data lives on the SolverState.
+type Strategy interface {
+	// Name returns the strategy's wire name (one of the Strategy* consts).
+	Name() string
+	// Init runs once per solve on every rank, after the initial residual
+	// setup and before the first iteration.
+	Init(st *SolverState) error
+	// Overhead runs the steady-state protection work at the top of
+	// iteration j, before the SpMV.
+	Overhead(st *SolverState, j int) error
+	// Recover handles the failure of victims detected at the poll point of
+	// iteration j (after the SpMV distributed the redundant copies). On
+	// return, resume directs the driver: resume < 0 means the state of
+	// iteration j was reconstructed in place (the driver redoes only the
+	// SpMV of j and continues), resume >= 0 means the state was rolled back
+	// and the driver redoes iterations from resume.
+	Recover(st *SolverState, j int, victims []int) (resume int, rec Reconstruction, err error)
+}
+
+// StrategyStats aggregates the per-solve observables of a recovery strategy:
+// the steady-state overhead and the recovery cost, in the units of the
+// paper's Sec. 4.2 accounting (float elements moved, iterations redone).
+// The engine aggregates these per strategy for its health gauges, exactly
+// like cluster.TransportStats per fabric.
+type StrategyStats struct {
+	// Solves counts finished solves under the strategy.
+	Solves int64 `json:"solves"`
+	// Episodes counts recovery episodes (reconstructions, rollbacks or
+	// cold restarts).
+	Episodes int64 `json:"episodes"`
+	// Restarts counts episode restarts forced by overlapping failures
+	// (Sec. 4.1) — cascading rollbacks for the checkpoint strategy.
+	Restarts int64 `json:"restarts"`
+	// RedoneIterations counts iterations executed beyond the converged
+	// count (WorkIterations - Iterations): the redo cost of rollback-style
+	// strategies; 0 for ESR.
+	RedoneIterations int64 `json:"redone_iterations"`
+	// Checkpoints counts complete coordinated checkpoints saved.
+	Checkpoints int64 `json:"checkpoints"`
+	// CheckpointFloats counts float64 elements shipped to and from
+	// simulated reliable storage (cluster.CatCheckpoint).
+	CheckpointFloats int64 `json:"checkpoint_floats"`
+	// RedundancyFloats counts the extra ESR elements piggybacked on the
+	// SpMV halo traffic (cluster.CatRedundancy).
+	RedundancyFloats int64 `json:"redundancy_floats"`
+	// RecoveryFloats counts reconstruction-episode traffic
+	// (cluster.CatRecovery).
+	RecoveryFloats int64 `json:"recovery_floats"`
+	// RecoveryTime is the wall-clock time spent in recovery episodes.
+	RecoveryTime time.Duration `json:"recovery_ns"`
+}
+
+// Add accumulates o into s.
+func (s *StrategyStats) Add(o StrategyStats) {
+	s.Solves += o.Solves
+	s.Episodes += o.Episodes
+	s.Restarts += o.Restarts
+	s.RedoneIterations += o.RedoneIterations
+	s.Checkpoints += o.Checkpoints
+	s.CheckpointFloats += o.CheckpointFloats
+	s.RedundancyFloats += o.RedundancyFloats
+	s.RecoveryFloats += o.RecoveryFloats
+	s.RecoveryTime += o.RecoveryTime
+}
+
+// StatsFromResult derives the result-borne half of the strategy stats (the
+// counter-borne half — float volumes — comes from the runtime's
+// cluster.Counters).
+func StatsFromResult(res Result) StrategyStats {
+	st := StrategyStats{
+		Solves:           1,
+		Episodes:         int64(len(res.Reconstructions)),
+		RedoneIterations: int64(res.WorkIterations - res.Iterations),
+		RecoveryTime:     res.ReconstructTime,
+	}
+	for _, rec := range res.Reconstructions {
+		st.Restarts += int64(rec.Restarts)
+	}
+	return st
+}
+
+// esrStrategy is the paper's exact-state-reconstruction scheme.
+type esrStrategy struct{}
+
+// NewESRStrategy returns the exact-state-reconstruction strategy (the
+// paper's contribution): zero explicit overhead work per iteration — the phi
+// redundant copies of the search direction ride the SpMV — and an in-place
+// Alg. 2 reconstruction on failure.
+func NewESRStrategy() Strategy { return esrStrategy{} }
+
+func (esrStrategy) Name() string { return StrategyESR }
+
+func (esrStrategy) Init(st *SolverState) error {
+	if !st.Sched.Empty() && st.A.Ret == nil {
+		return fmt.Errorf("core: ESR recovery needs a resilience-enabled matrix (phi >= 1) to honour a failure schedule")
+	}
+	return nil
+}
+
+func (esrStrategy) Overhead(*SolverState, int) error { return nil }
+
+func (esrStrategy) Recover(st *SolverState, j int, victims []int) (int, Reconstruction, error) {
+	rec, err := st.recoverEpisode(j, victims)
+	return -1, rec, err
+}
+
+// restartStrategy is the null scheme: cold restart from x0.
+type restartStrategy struct{}
+
+// NewRestartStrategy returns the cold-restart strategy: no steady-state
+// protection work at all; on failure, every rank resets to the initial guess
+// x0 and the whole solve is redone. The cheapest possible steady state and
+// the most expensive possible recovery — the lower bound every protection
+// scheme must beat.
+func NewRestartStrategy() Strategy { return restartStrategy{} }
+
+func (restartStrategy) Name() string { return StrategyRestart }
+
+func (restartStrategy) Init(st *SolverState) error {
+	st.X0 = vec.Clone(st.X.Local)
+	return nil
+}
+
+func (restartStrategy) Overhead(*SolverState, int) error { return nil }
+
+func (restartStrategy) Recover(st *SolverState, j int, victims []int) (int, Reconstruction, error) {
+	startT := time.Now()
+	rec := Reconstruction{Iteration: j}
+	ef := NewEpisodeFailures(st.Sched, j, st.E.Pos, st.Wipe, victims)
+	// Overlapping failures at the recovery-phase grid only enlarge the
+	// failed set — a cold restart resets everything regardless — but each
+	// batch still restarts the episode for the Sec. 4.1 accounting.
+	for phase := 1; phase <= NumRecoveryPhases; phase++ {
+		if ef.AtPhase(phase) {
+			rec.Restarts++
+		}
+	}
+	rec.FailedRanks = ef.Ranks()
+	// Every rank resets to the initial guess and rebuilds the iteration-0
+	// state; the replacements read x0 from reliable storage like the other
+	// static data.
+	copy(st.X.Local, st.X0)
+	if err := initIteration0(st); err != nil {
+		return 0, rec, err
+	}
+	rec.Duration = time.Since(startT)
+	return 0, rec, nil
+}
+
+// initIteration0 (re)builds the iteration-0 solver state on every rank from
+// X and B: r(0) = b - A x(0), z(0) = M^{-1} r(0), p(0) = z(0), and the
+// replicated scalars. Shared by the driver's setup and the cold-restart
+// recovery, so a restarted solve replays a fresh solve bit-identically.
+func initIteration0(st *SolverState) error {
+	if err := st.A.Residual(st.E, st.R, st.B, st.X, -1); err != nil {
+		return err
+	}
+	if err := st.M.Apply(st.E, st.Z, st.R); err != nil {
+		return err
+	}
+	vec.Copy(st.P.Local, st.Z.Local)
+	norms, err := st.E.Grp.Allreduce(cluster.OpSum,
+		[]float64{vec.ParNrm2Sq(st.R.Local), vec.ParDot(st.R.Local, st.Z.Local)})
+	if err != nil {
+		return err
+	}
+	st.R0 = math.Sqrt(norms[0])
+	st.RZ = norms[1]
+	st.E.Grp.Recycle(norms)
+	st.Beta = 0
+	return nil
+}
+
+// ResilientPCG runs the preconditioned conjugate gradient method protected
+// by the given recovery strategy: the reference Alg. 1 iteration loop with
+// the strategy's steady-state overhead work at the top of every iteration
+// and its recovery episode at the paper's post-SpMV failure poll point.
+// ESRPCG is exactly this driver with NewESRStrategy; the checkpoint/restart
+// baseline (internal/checkpoint) and the cold-restart lower bound plug into
+// the same loop, so all strategies are compared on one code path.
+//
+// Failure semantics follow the paper's experimental methodology (Sec. 6):
+// victims are wiped at deterministic poll points and the same rank slot then
+// executes the strategy's recovery protocol. Overlapping failures fire at
+// recovery-phase boundaries and restart the episode with the enlarged failed
+// set (Sec. 4.1; rollback strategies redo the rollback — a cascading
+// rollback).
+func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts Options, sched *faults.Schedule, strat Strategy) (Result, error) {
+	if m == nil {
+		m = IdentityPrecond()
+	}
+	if strat == nil {
+		strat = NewESRStrategy()
+	}
+	opts = opts.withDefaults(a.P.N())
+	if err := sched.Validate(e.Size()); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+
+	st := &SolverState{
+		E: e, A: a, M: m, B: b, Opts: opts, Sched: sched,
+		X: x,
+		R: distmat.NewVector(a.P, e.Pos),
+		Z: distmat.NewVector(a.P, e.Pos),
+		P: distmat.NewVector(a.P, e.Pos),
+		U: distmat.NewVector(a.P, e.Pos),
+	}
+	// Init before any collective (and before the r0 == 0 early return): a
+	// misconfiguration such as an ESR schedule without redundancy must
+	// surface even when the initial guess already solves the system.
+	if err := strat.Init(st); err != nil {
+		return Result{}, err
+	}
+
+	// r(0) = b - A x(0); z(0) = M^{-1} r(0); p(0) = z(0).
+	if err := initIteration0(st); err != nil {
+		return Result{}, err
+	}
+	res := Result{InitialResidual: st.R0, FinalResidual: st.R0}
+	if st.R0 == 0 {
+		res.Converged = true
+		res.SolveTime = time.Since(start)
+		return res, nil
+	}
+	target := func() float64 { return opts.Tol * st.R0 }
+
+	// fired tracks handled failure iterations, so rollback strategies that
+	// redo iterations do not re-trigger the same event on the replay.
+	fired := map[int]bool{}
+	j := 0
+	for j < opts.MaxIter {
+		if err := opts.poll(); err != nil {
+			return res, err
+		}
+		// Steady-state protection work (checkpoint saves; nothing for
+		// ESR — its redundancy rides the SpMV below — or restart).
+		if err := strat.Overhead(st, j); err != nil {
+			return res, err
+		}
+		res.WorkIterations++
+		// u = A p(j): the SpMV that distributes the redundant copies of
+		// p(j) (when the matrix is resilience-enabled) and retains
+		// generation j.
+		if err := a.MatVec(e, st.U, st.P, j); err != nil {
+			return res, err
+		}
+		// Poll point: the paper's failures strike here, after the copies of
+		// p(j) exist on phi other ranks.
+		if victims := sched.AtIteration(j); len(victims) > 0 && !fired[j] {
+			fired[j] = true
+			resume, rec, err := strat.Recover(st, j, victims)
+			if err != nil {
+				return res, err
+			}
+			res.Reconstructions = append(res.Reconstructions, rec)
+			res.ReconstructTime += rec.Duration
+			recCopy := rec
+			opts.notify(ProgressEvent{
+				Iteration: j, Residual: res.FinalResidual,
+				RelResidual: relTo(res.FinalResidual, st.R0), Reconstruction: &recCopy,
+			})
+			if resume >= 0 {
+				// Rollback-style recovery: redo the lost iterations.
+				j = resume
+				continue
+			}
+			// In-place reconstruction: redo the SpMV of iteration j —
+			// recomputes u everywhere and re-establishes the redundancy
+			// copies on the replacements.
+			if err := a.MatVec(e, st.U, st.P, j); err != nil {
+				return res, err
+			}
+			// r'z involves reconstructed blocks: recompute it.
+			rz, err := distmat.Dot(e, st.R, st.Z)
+			if err != nil {
+				return res, err
+			}
+			st.RZ = rz
+		}
+		pu, err := distmat.Dot(e, st.P, st.U)
+		if err != nil {
+			return res, err
+		}
+		// Negated comparison so NaN (from an overflowed iterate) also trips
+		// the breakdown instead of spinning NaN arithmetic to MaxIter.
+		if !(pu > 0) {
+			return res, fmt.Errorf("core: %s-PCG breakdown, p'Ap = %g at iteration %d", strat.Name(), pu, j)
+		}
+		alpha := st.RZ / pu
+		vec.Axpy(alpha, st.P.Local, x.Local)
+		vec.Axpy(-alpha, st.U.Local, st.R.Local)
+		if err := m.Apply(e, st.Z, st.R); err != nil {
+			return res, err
+		}
+		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(st.R.Local), vec.ParDot(st.R.Local, st.Z.Local)})
+		if err != nil {
+			return res, err
+		}
+		rn := math.Sqrt(norms[0])
+		rzNew := norms[1]
+		e.Grp.Recycle(norms)
+		res.Iterations = j + 1
+		res.FinalResidual = rn
+		if math.IsNaN(rn) || math.IsInf(rn, 0) {
+			return res, fmt.Errorf("core: %s-PCG diverged, ||r|| = %g at iteration %d", strat.Name(), rn, j)
+		}
+		opts.notify(ProgressEvent{Iteration: j + 1, Residual: rn, RelResidual: relTo(rn, st.R0)})
+		if rn <= target() {
+			res.Converged = true
+			break
+		}
+		st.Beta = rzNew / st.RZ
+		st.RZ = rzNew
+		vec.Axpby(1, st.Z.Local, st.Beta, st.P.Local)
+		j++
+	}
+
+	if err := finishResult(e, a, x, b, &res); err != nil {
+		return res, err
+	}
+	res.SolveTime = time.Since(start)
+	return res, nil
+}

@@ -13,6 +13,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -36,6 +37,23 @@ const (
 	MethodPCG    = "pcg"
 	MethodESRPCG = "esrpcg"
 	MethodSPCG   = "spcg"
+)
+
+// Strategy names accepted by Config (mirroring internal/core). The empty
+// string selects the default ESR strategy.
+const (
+	// StrategyESR recovers with the paper's exact state reconstruction:
+	// zero explicit per-iteration work (the redundancy rides the SpMV) and
+	// an in-place Alg. 2 reconstruction on failure. Needs Phi >= 1 to
+	// honour a failure schedule.
+	StrategyESR = core.StrategyESR
+	// StrategyCheckpoint is the checkpoint/restart baseline: a coordinated
+	// save to reliable storage every CheckpointInterval iterations, and a
+	// rollback-and-redo on failure. Works at Phi 0.
+	StrategyCheckpoint = core.StrategyCheckpoint
+	// StrategyRestart is the null strategy: no protection work at all; a
+	// failure restarts the solve from the initial guess. Works at Phi 0.
+	StrategyRestart = core.StrategyRestart
 )
 
 // Transport names accepted by Config (mirroring internal/cluster). The
@@ -95,6 +113,18 @@ type Config struct {
 	// TransportSeed seeds the chaos transport's deterministic delay
 	// sequence (default 1; ignored by the other transports).
 	TransportSeed int64 `json:"transport_seed,omitempty"`
+	// Strategy selects the failure-recovery strategy: StrategyESR
+	// (default; the paper's exact state reconstruction), StrategyCheckpoint
+	// (the periodic-save/rollback baseline) or StrategyRestart (cold
+	// restart from the initial guess). Preparation-scoped: a prepared
+	// session runs every solve under its strategy, and the field keys the
+	// prepared-session cache.
+	Strategy string `json:"strategy,omitempty"`
+	// CheckpointInterval is the coordinated-save period in iterations of
+	// the checkpoint strategy (default 10; ignored by the others).
+	// Negative values are rejected with *InvalidCheckpointIntervalError.
+	// Preparation-scoped, like Strategy.
+	CheckpointInterval int `json:"checkpoint_interval,omitempty"`
 	// Schedule injects node failures (nil for a failure-free run).
 	Schedule *faults.Schedule `json:"schedule,omitempty"`
 	// Progress, when non-nil, observes the solve from rank 0: one event per
@@ -131,6 +161,12 @@ func (c Config) WithDefaults() Config {
 	if c.TransportSeed == 0 {
 		c.TransportSeed = 1
 	}
+	if c.Strategy == "" {
+		c.Strategy = StrategyESR
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = checkpoint.DefaultInterval
+	}
 	return c
 }
 
@@ -144,6 +180,31 @@ type InvalidOmegaError struct {
 // Error implements the error interface.
 func (e *InvalidOmegaError) Error() string {
 	return fmt.Sprintf("engine: SSOR omega %g outside (0, 2)", e.Omega)
+}
+
+// InvalidStrategyError reports an unknown failure-recovery strategy name.
+type InvalidStrategyError struct {
+	// Strategy is the rejected name.
+	Strategy string
+}
+
+// Error implements the error interface.
+func (e *InvalidStrategyError) Error() string {
+	return fmt.Sprintf("engine: unknown strategy %q (want %q, %q or %q)",
+		e.Strategy, StrategyESR, StrategyCheckpoint, StrategyRestart)
+}
+
+// InvalidCheckpointIntervalError reports a non-positive checkpoint interval:
+// a save period of zero or fewer iterations never produces a rollback
+// target.
+type InvalidCheckpointIntervalError struct {
+	// Interval is the rejected period.
+	Interval int
+}
+
+// Error implements the error interface.
+func (e *InvalidCheckpointIntervalError) Error() string {
+	return fmt.Sprintf("engine: checkpoint interval %d must be positive", e.Interval)
 }
 
 // Validate checks the configuration after WithDefaults normalization:
@@ -178,9 +239,30 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: unknown transport %q (want %q, %q or %q)",
 			c.Transport, TransportChan, TransportFast, TransportChaos)
 	}
+	switch c.Strategy {
+	case StrategyESR, StrategyCheckpoint, StrategyRestart:
+	default:
+		return &InvalidStrategyError{Strategy: c.Strategy}
+	}
+	if c.CheckpointInterval <= 0 {
+		// WithDefaults resolves the unset zero to the default period, so
+		// only explicitly negative intervals reach this check.
+		return &InvalidCheckpointIntervalError{Interval: c.CheckpointInterval}
+	}
+	if c.Method == MethodSPCG && c.Strategy != StrategyESR {
+		return fmt.Errorf("engine: method %q supports only the %q recovery strategy, got %q",
+			MethodSPCG, StrategyESR, c.Strategy)
+	}
 	if c.Method == MethodPCG && !c.Schedule.Empty() {
 		return fmt.Errorf("engine: method %q cannot honour a failure schedule (use %q)",
 			MethodPCG, MethodESRPCG)
+	}
+	if c.Method == MethodPCG && c.Strategy != StrategyESR {
+		// The reference solver runs no protection at all; accepting it on a
+		// C/R or restart config would silently skip the strategy the caller
+		// asked for (and mislabel the strategy gauges).
+		return fmt.Errorf("engine: method %q is the strategy-free reference solver; use %q or %q with strategy %q",
+			MethodPCG, MethodAuto, MethodESRPCG, c.Strategy)
 	}
 	if c.Phi < 0 || c.Phi >= c.Ranks {
 		return fmt.Errorf("engine: phi %d out of range [0, %d)", c.Phi, c.Ranks)

@@ -231,6 +231,10 @@ type Options struct {
 	// Config.Transport is empty ("" keeps the library default, chan). Must
 	// be a name Config.Validate accepts.
 	DefaultTransport string
+	// DefaultStrategy is the failure-recovery strategy applied to jobs
+	// whose Config.Strategy is empty ("" keeps the library default, esr).
+	// Must be a name Config.Validate accepts.
+	DefaultStrategy string
 }
 
 // Engine is a bounded worker pool draining a FIFO queue of solve jobs, with
@@ -246,9 +250,11 @@ type Engine struct {
 	prep             *prepCache
 	matrices         *matrixStore
 	defaultTransport string
+	defaultStrategy  string
 
 	tmu    sync.Mutex
-	tstats map[string]*TransportUsage // per-transport aggregates, by name
+	tstats map[string]*TransportUsage     // per-transport aggregates, by name
+	sstats map[string]*core.StrategyStats // per-strategy aggregates, by name
 
 	janitorQuit chan struct{}
 	janitorDone chan struct{}
@@ -293,6 +299,13 @@ func New(opts Options) *Engine {
 			panic(fmt.Sprintf("engine: invalid Options.DefaultTransport %q", opts.DefaultTransport))
 		}
 	}
+	if opts.DefaultStrategy != "" {
+		// Same rationale as DefaultTransport: fail loudly at construction,
+		// not on some future strategy-less job.
+		if err := (Config{Strategy: opts.DefaultStrategy}).Validate(); err != nil {
+			panic(fmt.Sprintf("engine: invalid Options.DefaultStrategy %q", opts.DefaultStrategy))
+		}
+	}
 	e := &Engine{
 		queue:            make(chan *job, opts.QueueCap),
 		jobs:             map[string]*job{},
@@ -301,7 +314,9 @@ func New(opts Options) *Engine {
 		prep:             newPrepCache(opts.PrepCacheSize, opts.PrepCacheTTL),
 		matrices:         newMatrixStore(opts.MaxMatrices),
 		defaultTransport: opts.DefaultTransport,
+		defaultStrategy:  opts.DefaultStrategy,
 		tstats:           map[string]*TransportUsage{},
+		sstats:           map[string]*core.StrategyStats{},
 		janitorQuit:      make(chan struct{}),
 		janitorDone:      make(chan struct{}),
 	}
@@ -594,6 +609,33 @@ func (e *Engine) TransportStats() map[string]TransportUsage {
 	return out
 }
 
+// recordStrategyStats folds one solve's strategy observables into the
+// per-strategy aggregate. It is the strategy sink installed on every
+// prepared session the engine builds. (Unlike the transport gauges there is
+// no separate run counter: StrategyStats.Solves already counts solves.)
+func (e *Engine) recordStrategyStats(name string, delta core.StrategyStats) {
+	e.tmu.Lock()
+	u, ok := e.sstats[name]
+	if !ok {
+		u = &core.StrategyStats{}
+		e.sstats[name] = u
+	}
+	u.Add(delta)
+	e.tmu.Unlock()
+}
+
+// StrategyStats snapshots the per-strategy usage gauges (the healthz
+// "strategies" block). Strategies that never ran are absent.
+func (e *Engine) StrategyStats() map[string]core.StrategyStats {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	out := make(map[string]core.StrategyStats, len(e.sstats))
+	for name, u := range e.sstats {
+		out[name] = *u
+	}
+	return out
+}
+
 // Get returns a snapshot of the job.
 func (e *Engine) Get(id string) (JobStatus, error) {
 	j, err := e.lookup(id)
@@ -790,6 +832,13 @@ func (e *Engine) run(j *job) {
 		// pick one; it participates in the prep cache key below.
 		cfg.Transport = e.defaultTransport
 	}
+	if cfg.Strategy == "" && cfg.Method != MethodSPCG && cfg.Method != MethodPCG {
+		// Likewise for the daemon-level default recovery strategy. SPCG and
+		// reference-PCG jobs are exempt: spcg's recovery protocol is
+		// ESR-shaped and pcg runs no strategy at all, so a non-ESR daemon
+		// default would fail a job its client validly submitted.
+		cfg.Strategy = e.defaultStrategy
+	}
 	// Acquire the prepared session for (matrix content, preparation config)
 	// from the cache: repeated jobs on the same system skip partitioning,
 	// the distributed symbolic phase, and preconditioner factorization. On a
@@ -834,8 +883,10 @@ func (e *Engine) run(j *job) {
 		}
 		// Feed the session's future per-runtime transport deltas into the
 		// engine's gauges, and account the preparation run that already
-		// happened (its delta is the aggregate so far).
+		// happened (its delta is the aggregate so far). Strategy deltas are
+		// per solve, so the sink alone suffices.
 		p.statsSink = e.recordTransportStats
+		p.strategySink = e.recordStrategyStats
 		e.recordTransportStats(p.TransportName(), p.TransportStats())
 		return p, nil
 	}

@@ -209,7 +209,11 @@ func (ms MatrixSpec) contentHash() string {
 // through the preconditioner it implies (spcg -> ic0), which WithDefaults
 // has already resolved into the Preconditioner field here. Transport is
 // preparation-scoped — a session runs every solve on its transport — so it
-// (and, for chaos only, the seed) keys the cache too.
+// (and, for chaos only, the seed) keys the cache too. The recovery
+// strategy (and, for checkpoint only, the interval) is preparation-scoped
+// the same way — a session runs every solve under one strategy and owns its
+// checkpoint state — so sessions differing only in strategy or interval
+// must not share an entry.
 func prepKey(matrixHash string, cfg Config) string {
 	cfg = cfg.WithDefaults()
 	omega := 0.0
@@ -224,6 +228,14 @@ func prepKey(matrixHash string, cfg Config) string {
 		// would fragment the cache over an unused field.
 		seed = cfg.TransportSeed
 	}
-	return fmt.Sprintf("%s|r=%d|phi=%d|prec=%s|omega=%g|tr=%s|seed=%d",
-		matrixHash, cfg.Ranks, cfg.Phi, cfg.Preconditioner, omega, cfg.Transport, seed)
+	interval := 0
+	if cfg.Strategy == StrategyCheckpoint {
+		// The interval shapes solves only under the checkpoint strategy;
+		// folding it in otherwise would fragment the cache over an unused
+		// field.
+		interval = cfg.CheckpointInterval
+	}
+	return fmt.Sprintf("%s|r=%d|phi=%d|prec=%s|omega=%g|tr=%s|seed=%d|st=%s|ckpt=%d",
+		matrixHash, cfg.Ranks, cfg.Phi, cfg.Preconditioner, omega, cfg.Transport, seed,
+		cfg.Strategy, interval)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/distmat"
@@ -80,12 +81,17 @@ type Prepared struct {
 	// its health gauges). Set before the session is shared; never mutated
 	// afterwards.
 	statsSink func(name string, delta cluster.TransportStats)
+	// strategySink, when non-nil, receives the per-solve strategy-stats
+	// delta after every solve, keyed by the session's strategy name (the
+	// engine aggregates these for its health gauges, mirroring statsSink).
+	strategySink func(name string, delta core.StrategyStats)
 
 	mu     sync.Mutex
 	closed bool
 	active map[*cluster.Runtime]struct{}
 	wg     sync.WaitGroup
 	tstats cluster.TransportStats // aggregated across prepare + all solves
+	sstats core.StrategyStats     // aggregated across all solves
 }
 
 // newTransport builds a fresh transport instance for one runtime of this
@@ -122,9 +128,57 @@ func (ps *Prepared) TransportStats() cluster.TransportStats {
 	return ps.tstats
 }
 
+// StrategyName returns the session's failure-recovery strategy name.
+func (ps *Prepared) StrategyName() string { return ps.cfg.Strategy }
+
+// StrategyStats returns the session's aggregated recovery-strategy counters
+// (every finished solve so far): steady-state protection volumes, recovery
+// episodes, redone iterations.
+func (ps *Prepared) StrategyStats() core.StrategyStats {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.sstats
+}
+
+// newStrategy builds this solve's recovery strategy (and, for the
+// checkpoint strategy, its per-solve reliable store, accounting its traffic
+// on the solve runtime's counters). One strategy instance is shared by the
+// solve's ranks; concurrent solves never share checkpoint state.
+func (ps *Prepared) newStrategy(rt *cluster.Runtime) (core.Strategy, *checkpoint.Store) {
+	switch ps.cfg.Strategy {
+	case StrategyCheckpoint:
+		store := checkpoint.NewStore(rt.Counters())
+		return checkpoint.NewStrategy(store, ps.cfg.CheckpointInterval), store
+	case StrategyRestart:
+		return core.NewRestartStrategy(), nil
+	default:
+		return core.NewESRStrategy(), nil
+	}
+}
+
+// recordStrategyStats folds one finished solve's strategy observables into
+// the session aggregate and the engine's sink.
+func (ps *Prepared) recordStrategyStats(res core.Result, store *checkpoint.Store, rt *cluster.Runtime) {
+	delta := core.StatsFromResult(res)
+	if store != nil {
+		delta.Checkpoints = int64(store.Checkpoints())
+	}
+	ctrs := rt.Counters()
+	delta.CheckpointFloats = ctrs.Floats(cluster.CatCheckpoint)
+	delta.RedundancyFloats = ctrs.Floats(cluster.CatRedundancy)
+	delta.RecoveryFloats = ctrs.Floats(cluster.CatRecovery)
+	ps.mu.Lock()
+	ps.sstats.Add(delta)
+	ps.mu.Unlock()
+	if ps.strategySink != nil {
+		ps.strategySink(ps.cfg.Strategy, delta)
+	}
+}
+
 // Prepare builds a reusable solver session for the SPD system matrix a. Only
 // the preparation-scoped fields of cfg are used (Ranks, Phi, Preconditioner,
-// SSOROmega, Method); per-solve parameters (tolerances, schedule, progress)
+// SSOROmega, Method, Transport, TransportSeed, Strategy,
+// CheckpointInterval); per-solve parameters (tolerances, schedule, progress)
 // are passed to each Solve. The caller must Close the session when done.
 func Prepare(a *sparse.CSR, cfg Config) (*Prepared, error) {
 	return PrepareContext(context.Background(), a, cfg)
@@ -215,7 +269,12 @@ func (ps *Prepared) method(opts SolveOpts) (string, error) {
 	}
 	switch m {
 	case MethodAuto:
-		if ps.cfg.Phi == 0 && opts.Schedule.Empty() {
+		if ps.cfg.Strategy == StrategyESR && ps.cfg.Phi == 0 && opts.Schedule.Empty() {
+			// Nothing for the resilient driver to do: no redundancy, no
+			// failures, and the ESR strategy adds no steady-state work.
+			// Non-ESR strategies always take the driver so their overhead
+			// (periodic checkpoints) is exercised and measurable even on
+			// failure-free solves.
 			return MethodPCG, nil
 		}
 		return MethodESRPCG, nil
@@ -224,10 +283,18 @@ func (ps *Prepared) method(opts SolveOpts) (string, error) {
 			return "", fmt.Errorf("engine: method %q cannot honour a failure schedule (use %q)",
 				MethodPCG, MethodESRPCG)
 		}
+		if ps.cfg.Strategy != StrategyESR {
+			return "", fmt.Errorf("engine: method %q is the strategy-free reference solver; use %q or %q with strategy %q",
+				MethodPCG, MethodAuto, MethodESRPCG, ps.cfg.Strategy)
+		}
 		return m, nil
 	case MethodESRPCG:
 		return m, nil
 	case MethodSPCG:
+		if ps.cfg.Strategy != StrategyESR {
+			return "", fmt.Errorf("engine: method %q supports only the %q recovery strategy, got %q",
+				MethodSPCG, StrategyESR, ps.cfg.Strategy)
+		}
 		if ps.prep[0].split == nil {
 			return "", fmt.Errorf("engine: method %q needs a session prepared with the split preconditioner %q, got %q",
 				MethodSPCG, PrecondIC0, ps.cfg.Preconditioner)
@@ -249,10 +316,11 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 	if err := opts.Schedule.Validate(ps.cfg.Ranks); err != nil {
 		return Solution{}, err
 	}
-	if !opts.Schedule.Empty() && ps.cfg.Phi == 0 {
+	if !opts.Schedule.Empty() && ps.cfg.Phi == 0 && ps.cfg.Strategy == StrategyESR {
 		// Reject at the door instead of spinning up the runtime just for
-		// the solver's own resilience-enabled check to fail.
-		return Solution{}, fmt.Errorf("esr: a failure schedule needs a session prepared with phi >= 1")
+		// the solver's own resilience-enabled check to fail. Only the ESR
+		// strategy needs redundancy; checkpoint/restart recover without it.
+		return Solution{}, fmt.Errorf("esr: a failure schedule needs a session prepared with phi >= 1 (or a non-ESR recovery strategy)")
 	}
 	method, err := ps.method(opts)
 	if err != nil {
@@ -276,6 +344,8 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 		ps.wg.Done()
 	}()
 
+	strat, store := ps.newStrategy(rt)
+
 	var mu sync.Mutex
 	sol := Solution{X: make([]float64, ps.n)}
 	err = rt.RunContext(ctx, func(c *cluster.Comm) error {
@@ -296,7 +366,7 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 		case MethodSPCG:
 			res, err = core.SPCG(e, m, x, bv, pr.split, copts, opts.Schedule)
 		default:
-			res, err = core.ESRPCG(e, m, x, bv, pr.prec, copts, opts.Schedule)
+			res, err = core.ResilientPCG(e, m, x, bv, pr.prec, copts, opts.Schedule, strat)
 		}
 		if err != nil {
 			return err
@@ -321,6 +391,7 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 		}
 		return Solution{}, err
 	}
+	ps.recordStrategyStats(sol.Result, store, rt)
 	return sol, nil
 }
 

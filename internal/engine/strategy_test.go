@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/matgen"
+)
+
+// TestQuickStrategyConfigValidation: strategy names and checkpoint intervals
+// are validated at the door with typed errors, at both submit and prepare.
+func TestQuickStrategyConfigValidation(t *testing.T) {
+	a := matgen.Poisson2D(8, 8)
+
+	var stratErr *InvalidStrategyError
+	cfg := Config{Strategy: "prayer"}
+	if err := cfg.Validate(); !errors.As(err, &stratErr) || stratErr.Strategy != "prayer" {
+		t.Fatalf("Validate: want *InvalidStrategyError, got %v", err)
+	}
+	eng := New(Options{Workers: 1})
+	defer eng.Close()
+	spec := JobSpec{
+		Matrix: MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 8}},
+		Config: cfg,
+	}
+	if _, err := eng.Submit(spec); !errors.As(err, &stratErr) {
+		t.Fatalf("Submit: want *InvalidStrategyError, got %v", err)
+	}
+	if _, err := Prepare(a, cfg); !errors.As(err, &stratErr) {
+		t.Fatalf("Prepare: want *InvalidStrategyError, got %v", err)
+	}
+
+	var ivalErr *InvalidCheckpointIntervalError
+	bad := Config{Strategy: StrategyCheckpoint, CheckpointInterval: -5}
+	if err := bad.Validate(); !errors.As(err, &ivalErr) || ivalErr.Interval != -5 {
+		t.Fatalf("Validate: want *InvalidCheckpointIntervalError, got %v", err)
+	}
+	spec.Config = bad
+	if _, err := eng.Submit(spec); !errors.As(err, &ivalErr) {
+		t.Fatalf("Submit: want *InvalidCheckpointIntervalError, got %v", err)
+	}
+	if _, err := Prepare(a, bad); !errors.As(err, &ivalErr) {
+		t.Fatalf("Prepare: want *InvalidCheckpointIntervalError, got %v", err)
+	}
+
+	// SPCG's recovery protocol is ESR-shaped; other strategies are rejected.
+	spcg := Config{Method: MethodSPCG, Strategy: StrategyCheckpoint}
+	if err := spcg.Validate(); err == nil || !strings.Contains(err.Error(), "strategy") {
+		t.Fatalf("spcg+checkpoint: want strategy error, got %v", err)
+	}
+	// The reference solver runs no strategy; pairing it with one would
+	// silently skip the requested protection.
+	pcg := Config{Method: MethodPCG, Strategy: StrategyRestart}
+	if err := pcg.Validate(); err == nil || !strings.Contains(err.Error(), "strategy-free") {
+		t.Fatalf("pcg+restart: want strategy error, got %v", err)
+	}
+	prepCk, err := Prepare(a, Config{Ranks: 4, Strategy: StrategyCheckpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prepCk.Close()
+	ones := make([]float64, a.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if _, err := prepCk.Solve(context.Background(), ones, SolveOpts{Method: MethodPCG}); err == nil ||
+		!strings.Contains(err.Error(), "strategy-free") {
+		t.Fatalf("per-solve pcg on a checkpoint session: want strategy error, got %v", err)
+	}
+
+	// The valid names (and the empty default) all pass.
+	for _, s := range []string{"", StrategyESR, StrategyCheckpoint, StrategyRestart} {
+		if err := (Config{Strategy: s}).Validate(); err != nil {
+			t.Fatalf("strategy %q should validate: %v", s, err)
+		}
+	}
+	if got := (Config{}).WithDefaults().Strategy; got != StrategyESR {
+		t.Fatalf("default strategy = %q, want %q", got, StrategyESR)
+	}
+	if got := (Config{}).WithDefaults().CheckpointInterval; got != 10 {
+		t.Fatalf("default checkpoint interval = %d, want 10", got)
+	}
+}
+
+// TestQuickStrategyPrepKey: strategy (and, under checkpoint, the interval)
+// is preparation-scoped and must fragment the prepared-session cache key;
+// the interval must not fragment it for the other strategies.
+func TestQuickStrategyPrepKey(t *testing.T) {
+	base := Config{Ranks: 4}
+	if prepKey("h", base) == prepKey("h", Config{Ranks: 4, Strategy: StrategyCheckpoint}) {
+		t.Fatal("strategy must key the prep cache")
+	}
+	if prepKey("h", base) == prepKey("h", Config{Ranks: 4, Strategy: StrategyRestart}) {
+		t.Fatal("restart strategy must key the prep cache")
+	}
+	if prepKey("h", base) != prepKey("h", Config{Ranks: 4, CheckpointInterval: 25}) {
+		t.Fatal("interval must not key the cache for non-checkpoint strategies")
+	}
+	ck := Config{Ranks: 4, Strategy: StrategyCheckpoint}
+	ck25 := ck
+	ck25.CheckpointInterval = 25
+	if prepKey("h", ck) == prepKey("h", ck25) {
+		t.Fatal("interval must key the cache for the checkpoint strategy")
+	}
+}
+
+// TestStrategyCacheKeying: jobs differing only in strategy (or only in the
+// checkpoint interval) must miss the prepared-session cache, while identical
+// configs share one session.
+func TestStrategyCacheKeying(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	defer eng.Close()
+	rec, err := eng.PutMatrix(MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg Config) {
+		t.Helper()
+		id, err := eng.Submit(JobSpec{MatrixID: rec.ID, Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitTerminal(t, eng, id, 30*time.Second)
+		if st.State != StateDone {
+			t.Fatalf("job state %s: %s", st.State, st.Error)
+		}
+	}
+	run(Config{Ranks: 4})                                                       // miss 1
+	run(Config{Ranks: 4})                                                       // hit
+	run(Config{Ranks: 4, Strategy: StrategyCheckpoint})                         // miss 2
+	run(Config{Ranks: 4, Strategy: StrategyCheckpoint})                         // hit
+	run(Config{Ranks: 4, Strategy: StrategyCheckpoint, CheckpointInterval: 25}) // miss 3
+	run(Config{Ranks: 4, Strategy: StrategyRestart})                            // miss 4
+	run(Config{Ranks: 4, Strategy: StrategyRestart, CheckpointInterval: 25})    // hit: interval unused
+	cs := eng.CacheStats()
+	if cs.Misses != 4 || cs.Hits != 3 {
+		t.Fatalf("cache stats = %+v, want 4 misses / 3 hits", cs)
+	}
+}
+
+// TestStrategySessionAndEngineGauges: solves under checkpoint/restart
+// strategies populate the session's StrategyStats and the engine's
+// per-strategy gauges, and the daemon-level default strategy applies to jobs
+// that did not pick one.
+func TestStrategySessionAndEngineGauges(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	sched := faults.NewSchedule(faults.Simultaneous(12, 1, 2))
+
+	prep, err := Prepare(a, Config{Ranks: 4, Strategy: StrategyCheckpoint, CheckpointInterval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prep.Close()
+	if prep.StrategyName() != StrategyCheckpoint {
+		t.Fatalf("StrategyName = %q", prep.StrategyName())
+	}
+	sol, err := prep.Solve(context.Background(), b, SolveOpts{Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Result.Converged {
+		t.Fatal("did not converge")
+	}
+	ss := prep.StrategyStats()
+	if ss.Solves != 1 || ss.Episodes != 1 {
+		t.Fatalf("session strategy stats = %+v", ss)
+	}
+	if ss.Checkpoints == 0 || ss.CheckpointFloats == 0 {
+		t.Fatalf("checkpoint activity not accounted: %+v", ss)
+	}
+	// Failure at 12 with interval 5 rolls back to 10: the aborted pass plus
+	// the two redone iterations.
+	if ss.RedoneIterations != 3 {
+		t.Fatalf("redone iterations = %d, want 3", ss.RedoneIterations)
+	}
+
+	eng := New(Options{Workers: 1, DefaultStrategy: StrategyRestart})
+	defer eng.Close()
+	id, err := eng.Submit(JobSpec{
+		Matrix: MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 12}},
+		Config: Config{Ranks: 4, Schedule: faults.NewSchedule(faults.Simultaneous(6, 1))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, eng, id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	usage := eng.StrategyStats()
+	u, ok := usage[StrategyRestart]
+	if !ok || u.Solves != 1 || u.Episodes != 1 {
+		t.Fatalf("engine strategy gauges = %+v", usage)
+	}
+	if u.RedoneIterations != 7 { // restart at iteration 6 redoes passes 0..6
+		t.Fatalf("restart redone iterations = %d, want 7", u.RedoneIterations)
+	}
+	if _, ok := usage[StrategyESR]; ok {
+		t.Fatalf("no ESR solve should have run: %+v", usage)
+	}
+}
+
+// TestStrategyScheduleNeedsPhiOnlyForESR: a failure schedule without
+// redundancy is rejected under ESR but served under checkpoint/restart.
+func TestStrategyScheduleNeedsPhiOnlyForESR(t *testing.T) {
+	a := matgen.Poisson2D(12, 12)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	sched := faults.NewSchedule(faults.Simultaneous(4, 1))
+
+	prep, err := Prepare(a, Config{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prep.Close()
+	if _, err := prep.Solve(context.Background(), b, SolveOpts{Schedule: sched}); err == nil ||
+		!strings.Contains(err.Error(), "phi") {
+		t.Fatalf("ESR at phi 0 must reject a schedule, got %v", err)
+	}
+
+	for _, strat := range []string{StrategyCheckpoint, StrategyRestart} {
+		sol, err := SolveSystem(context.Background(), a, b, Config{
+			Ranks: 4, Strategy: strat, Schedule: sched,
+		})
+		if err != nil {
+			t.Fatalf("strategy %q: %v", strat, err)
+		}
+		if !sol.Result.Converged || len(sol.Result.Reconstructions) != 1 {
+			t.Fatalf("strategy %q: %+v", strat, sol.Result)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+)
+
+// StrategyMeasurement is one protected solve's observables under a recovery
+// strategy, including the Sec. 4.2-style traffic accounting that the plain
+// Measurement omits.
+type StrategyMeasurement struct {
+	Measurement
+	// WorkIterations counts executed iterations including redone ones.
+	WorkIterations int
+	// Episodes counts recovery episodes.
+	Episodes int
+	// Checkpoints counts complete coordinated checkpoints.
+	Checkpoints int
+	// RedundancyFloats is the extra ESR element volume (cluster.CatRedundancy).
+	RedundancyFloats int64
+	// RecoveryFloats is the reconstruction traffic (cluster.CatRecovery).
+	RecoveryFloats int64
+	// CheckpointFloats is the reliable-storage volume (cluster.CatCheckpoint).
+	CheckpointFloats int64
+}
+
+// OverheadFloats is the steady-state protection volume of the run: the
+// redundant SpMV copies for ESR, the reliable-storage traffic for C/R.
+func (m StrategyMeasurement) OverheadFloats() int64 {
+	return m.RedundancyFloats + m.CheckpointFloats
+}
+
+// SolveStrategyOnce runs one distributed solve of A x = b protected by the
+// named recovery strategy (core.StrategyESR / StrategyCheckpoint /
+// StrategyRestart), through the same core.ResilientPCG driver the engine
+// uses, and returns the rank-0 measurement with the per-category traffic
+// volumes. interval is the checkpoint period (ignored by the other
+// strategies); phi is the ESR redundancy level (0 for the others).
+func SolveStrategyOnce(a *sparse.CSR, ranks, phi int, sched *faults.Schedule, strategy string, interval int, tol, localTol float64) (StrategyMeasurement, error) {
+	rt := cluster.New(ranks)
+	var strat core.Strategy
+	var store *checkpoint.Store
+	switch strategy {
+	case core.StrategyESR:
+		strat = core.NewESRStrategy()
+	case core.StrategyCheckpoint:
+		store = checkpoint.NewStore(rt.Counters())
+		strat = checkpoint.NewStrategy(store, interval)
+	case core.StrategyRestart:
+		strat = core.NewRestartStrategy()
+	default:
+		return StrategyMeasurement{}, fmt.Errorf("experiments: unknown strategy %q", strategy)
+	}
+	p := partition.NewBlockRow(a.Rows, ranks)
+	var mu sync.Mutex
+	var meas StrategyMeasurement
+	err := rt.Run(func(c *cluster.Comm) error {
+		e := distmat.WorldEnv(c)
+		lo, hi := p.Range(e.Pos)
+		m, err := distmat.NewMatrix(e, a.RowBlock(lo, hi), p, phi, 0)
+		if err != nil {
+			return err
+		}
+		bj, err := precond.NewJacobi(m.Diag())
+		if err != nil {
+			return err
+		}
+		prec := core.LocalPrecond{P: bj}
+		b := distmat.Vector{P: p, Pos: e.Pos, Local: rhsFor(lo, hi)}
+		x := distmat.NewVector(p, e.Pos)
+		opts := core.Options{Tol: tol, LocalTol: localTol}
+		res, err := core.ResilientPCG(e, m, x, b, prec, opts, sched, strat)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			meas = StrategyMeasurement{
+				Measurement: Measurement{
+					Runtime:         res.SolveTime,
+					ReconstructTime: res.ReconstructTime,
+					Iterations:      res.Iterations,
+					Delta:           res.Delta,
+					Converged:       res.Converged,
+				},
+				WorkIterations: res.WorkIterations,
+				Episodes:       len(res.Reconstructions),
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return meas, err
+	}
+	ctrs := rt.Counters()
+	meas.RedundancyFloats = ctrs.Floats(cluster.CatRedundancy)
+	meas.RecoveryFloats = ctrs.Floats(cluster.CatRecovery)
+	meas.CheckpointFloats = ctrs.Floats(cluster.CatCheckpoint)
+	if store != nil {
+		meas.Checkpoints = store.Checkpoints()
+		// The rollback restores are recovery cost, not steady-state
+		// overhead: move them from the checkpoint volume to the recovery
+		// volume so the columns compare like with like.
+		loaded := store.LoadedFloats()
+		meas.RecoveryFloats += loaded
+		meas.CheckpointFloats -= loaded
+	}
+	return meas, nil
+}
+
+// StrategyCell aggregates the runs of one recovery strategy on one matrix:
+// its steady-state overhead (failure-free, vs the unprotected reference t0)
+// and its recovery cost under the failure schedule.
+type StrategyCell struct {
+	// Strategy is the wire name; Interval is the checkpoint period (0 when
+	// not applicable); Phi is the ESR redundancy level (0 otherwise).
+	Strategy string
+	Interval int
+	Phi      int
+	// OverheadPct is the failure-free runtime overhead vs t0, in percent.
+	OverheadPct float64
+	// OverheadFloats is the failure-free steady-state protection volume
+	// (redundant copies for ESR, reliable-storage saves for C/R).
+	OverheadFloats int64
+	// WithFailurePct is the total runtime overhead vs t0 with the failure
+	// schedule injected, in percent (mean over reps).
+	WithFailurePct float64
+	// RecoveryPct is the recovery-episode time vs t0, in percent (mean).
+	RecoveryPct float64
+	// RedoneIters is the mean number of iterations redone after rollbacks
+	// (0 for ESR, which resumes at the failure iteration).
+	RedoneIters float64
+	// RecoveryFloats is the recovery-episode traffic of the failure runs
+	// (reconstruction gathers for ESR, checkpoint restores for C/R).
+	RecoveryFloats int64
+	// Converged reports whether every run met the tolerance.
+	Converged bool
+}
+
+// StrategyRow is one matrix's strategy comparison.
+type StrategyRow struct {
+	ID string
+	// T0 is the mean unprotected reference runtime in seconds; RefIters its
+	// iteration count.
+	T0       float64
+	RefIters int
+	// FailAt and Failures describe the injected schedule: Failures
+	// contiguous ranks from rank 0 at iteration FailAt.
+	FailAt, Failures int
+	Cells            []StrategyCell
+}
+
+// StrategyTable runs the head-to-head comparison the paper argues for
+// (Sec. 1.2, 2.2): exact state reconstruction versus checkpoint/restart
+// versus cold restart, on the same matrices, right-hand side and failure
+// schedule, reporting steady-state overhead and recovery cost side by side
+// in both wall-clock and float-volume terms. failures selects the batch
+// size (psi = phi contiguous ranks at 50% progress); intervals are the C/R
+// periods to evaluate (nil selects 10 and 50).
+func (cfg Config) StrategyTable(ids []string, failures int, intervals []int) ([]StrategyRow, error) {
+	if len(intervals) == 0 {
+		intervals = []int{10, 50}
+	}
+	entries, err := selectEntries(ids)
+	if err != nil {
+		return nil, err
+	}
+	var rows []StrategyRow
+	for _, e := range entries {
+		a := e.Build(cfg.Scale)
+		row, err := cfg.strategyRow(e.ID, a, failures, intervals)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (cfg Config) strategyRow(id string, a *sparse.CSR, failures int, intervals []int) (StrategyRow, error) {
+	row := StrategyRow{ID: id, Failures: failures}
+	ref, err := cfg.ReferenceRun(a)
+	if err != nil {
+		return row, err
+	}
+	row.T0 = stats.Mean(runtimes(ref))
+	row.RefIters = ref[0].Iterations
+	row.FailAt = faults.IterationAtProgress(0.5, row.RefIters)
+	victims := faults.ContiguousRanks(0, failures, cfg.Ranks)
+	sched := faults.NewSchedule(faults.Simultaneous(row.FailAt, victims...))
+
+	type variant struct {
+		strategy string
+		interval int
+		phi      int
+	}
+	variants := []variant{{core.StrategyESR, 0, failures}}
+	for _, iv := range intervals {
+		variants = append(variants, variant{core.StrategyCheckpoint, iv, 0})
+	}
+	variants = append(variants, variant{core.StrategyRestart, 0, 0})
+
+	for _, v := range variants {
+		cell := StrategyCell{Strategy: v.strategy, Interval: v.interval, Phi: v.phi, Converged: true}
+		// Failure-free runs: the strategy's steady-state overhead.
+		var undT []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			m, err := SolveStrategyOnce(a, cfg.Ranks, v.phi, nil, v.strategy, v.interval, cfg.Tol, cfg.LocalTol)
+			if err != nil {
+				return row, err
+			}
+			cell.Converged = cell.Converged && m.Converged
+			undT = append(undT, m.Runtime.Seconds())
+			if rep == 0 {
+				cell.OverheadFloats = m.OverheadFloats()
+			}
+		}
+		cell.OverheadPct = 100 * (stats.Mean(undT) - row.T0) / row.T0
+		// Failure runs: the strategy's recovery cost.
+		var failT, recT, redo []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			m, err := SolveStrategyOnce(a, cfg.Ranks, v.phi, sched, v.strategy, v.interval, cfg.Tol, cfg.LocalTol)
+			if err != nil {
+				return row, err
+			}
+			cell.Converged = cell.Converged && m.Converged
+			failT = append(failT, m.Runtime.Seconds())
+			recT = append(recT, m.ReconstructTime.Seconds())
+			redo = append(redo, float64(m.WorkIterations-m.Iterations))
+			if rep == 0 {
+				cell.RecoveryFloats = m.RecoveryFloats
+			}
+		}
+		cell.WithFailurePct = 100 * (stats.Mean(failT) - row.T0) / row.T0
+		cell.RecoveryPct = 100 * stats.Mean(recT) / row.T0
+		cell.RedoneIters = stats.Mean(redo)
+		row.Cells = append(row.Cells, cell)
+	}
+	return row, nil
+}
+
+// FormatStrategyTable renders the comparison as aligned text.
+func FormatStrategyTable(rows []StrategyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Strategy comparison: ESR vs checkpoint/restart vs cold restart (overheads in %% of reference t0)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s t0 = %8.4fs  iters = %-5d failures: %d ranks at iteration %d\n",
+			r.ID, r.T0, r.RefIters, r.Failures, r.FailAt)
+		fmt.Fprintf(&b, "      %-22s %10s %14s %12s %12s %10s %14s\n",
+			"strategy", "overhead", "extra floats", "w/ failures", "recovery", "redone", "rec floats")
+		for _, c := range r.Cells {
+			name := c.Strategy
+			switch {
+			case c.Interval > 0:
+				name = fmt.Sprintf("%s (every %d)", c.Strategy, c.Interval)
+			case c.Phi > 0:
+				name = fmt.Sprintf("%s (phi=%d)", c.Strategy, c.Phi)
+			}
+			mark := ""
+			if !c.Converged {
+				mark = " !"
+			}
+			fmt.Fprintf(&b, "      %-22s %9.1f%% %14d %11.1f%% %11.1f%% %10.1f %14d%s\n",
+				name, c.OverheadPct, c.OverheadFloats, c.WithFailurePct, c.RecoveryPct,
+				c.RedoneIters, c.RecoveryFloats, mark)
+		}
+	}
+	b.WriteString("'extra floats' is the steady-state protection volume per solve: the redundant\n")
+	b.WriteString("search-direction elements ESR piggybacks on the SpMV vs the state C/R ships to\n")
+	b.WriteString("reliable storage. 'redone' counts iterations repeated after rollbacks; ESR\n")
+	b.WriteString("resumes at the failure iteration, C/R redoes up to a full interval, restart\n")
+	b.WriteString("redoes everything. C/R wins only when checkpoints are cheap relative to the\n")
+	b.WriteString("iteration volume they protect; see README 'Resilience strategies'.\n")
+	return b.String()
+}

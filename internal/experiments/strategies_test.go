@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/matgen"
+)
+
+// TestQuickStrategyComparison: the three strategies solve the same system
+// and schedule through the shared driver, and the accounting separates
+// steady-state overhead from recovery cost correctly per scheme.
+func TestQuickStrategyComparison(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	const ranks = 4
+	sched := faults.NewSchedule(faults.Simultaneous(8, 1, 2))
+
+	esr, err := SolveStrategyOnce(a, ranks, 2, sched, core.StrategyESR, 0, 1e-8, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := SolveStrategyOnce(a, ranks, 0, sched, core.StrategyCheckpoint, 5, 1e-8, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := SolveStrategyOnce(a, ranks, 0, sched, core.StrategyRestart, 0, 1e-8, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]StrategyMeasurement{"esr": esr, "checkpoint": ck, "restart": re} {
+		if !m.Converged || m.Episodes != 1 {
+			t.Fatalf("%s: %+v", name, m)
+		}
+	}
+	// ESR: redundancy but no checkpoint traffic, no redone iterations.
+	if esr.RedundancyFloats == 0 || esr.CheckpointFloats != 0 || esr.WorkIterations != esr.Iterations {
+		t.Fatalf("esr accounting: %+v", esr)
+	}
+	// C/R: checkpoint traffic split into saves (overhead) and restores
+	// (recovery), no redundancy, failure at 8 with interval 5 redoes 4.
+	if ck.CheckpointFloats == 0 || ck.RecoveryFloats == 0 || ck.RedundancyFloats != 0 {
+		t.Fatalf("checkpoint accounting: %+v", ck)
+	}
+	if ck.Checkpoints == 0 || ck.WorkIterations-ck.Iterations != 4 {
+		t.Fatalf("checkpoint rollback: %+v", ck)
+	}
+	// Restart: zero protection volume, redoes everything before the failure.
+	if re.OverheadFloats() != 0 || re.WorkIterations-re.Iterations != 9 {
+		t.Fatalf("restart accounting: %+v", re)
+	}
+}
+
+// TestQuickStrategyTable: the table harness aggregates all variants on a
+// tiny problem.
+func TestQuickStrategyTable(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Reps = 1
+	rows, err := cfg.StrategyTable([]string{"M1"}, 2, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.RefIters == 0 || len(r.Cells) != 3 { // esr, checkpoint@5, restart
+		t.Fatalf("row = %+v", r)
+	}
+	for _, c := range r.Cells {
+		if !c.Converged {
+			t.Fatalf("cell %q did not converge: %+v", c.Strategy, c)
+		}
+	}
+	if r.Cells[0].Strategy != core.StrategyESR || r.Cells[0].OverheadFloats == 0 {
+		t.Fatalf("esr cell: %+v", r.Cells[0])
+	}
+	if r.Cells[1].Interval != 5 || r.Cells[1].OverheadFloats == 0 {
+		t.Fatalf("checkpoint cell: %+v", r.Cells[1])
+	}
+	if r.Cells[2].Strategy != core.StrategyRestart || r.Cells[2].OverheadFloats != 0 {
+		t.Fatalf("restart cell: %+v", r.Cells[2])
+	}
+	if s := FormatStrategyTable(rows); len(s) == 0 {
+		t.Fatal("empty formatted table")
+	}
+}

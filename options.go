@@ -52,6 +52,28 @@ const (
 	ChaosTransport Transport = engine.TransportChaos
 )
 
+// Strategy is a typed failure-recovery selector for WithStrategy. Its
+// values are the wire names accepted by Config.Strategy.
+type Strategy string
+
+// The available recovery strategies.
+const (
+	// ESRStrategy (the default) is the paper's exact state reconstruction:
+	// no explicit steady-state work — phi redundant copies of the search
+	// direction ride the SpMV — and an in-place Alg. 2 reconstruction on
+	// failure. Needs a session with phi >= 1 to honour a failure schedule.
+	ESRStrategy Strategy = engine.StrategyESR
+	// CheckpointStrategy is the checkpoint/restart baseline the paper
+	// compares against: a coordinated save of the full solver state to
+	// reliable storage every WithCheckpointInterval iterations, and a
+	// rollback-and-redo of the lost iterations on failure. Works at phi 0.
+	CheckpointStrategy Strategy = engine.StrategyCheckpoint
+	// RestartStrategy is the null strategy: no protection work at all; on
+	// failure the solve restarts from the initial guess. The lower bound
+	// every protection scheme must beat. Works at phi 0.
+	RestartStrategy Strategy = engine.StrategyRestart
+)
+
 // Method is a typed solver selector for WithMethod. Its values are the wire
 // names accepted by Config.Method.
 type Method string
@@ -74,6 +96,13 @@ const (
 
 // InvalidOmegaError reports an SSOR relaxation factor outside (0, 2).
 type InvalidOmegaError = engine.InvalidOmegaError
+
+// InvalidStrategyError reports an unknown failure-recovery strategy name.
+type InvalidStrategyError = engine.InvalidStrategyError
+
+// InvalidCheckpointIntervalError reports a non-positive checkpoint save
+// period.
+type InvalidCheckpointIntervalError = engine.InvalidCheckpointIntervalError
 
 // Option is a typed functional configuration knob for NewSolver (and, for
 // the solve-scoped subset, Solver.Solve). Options lower onto the same
@@ -141,6 +170,29 @@ func WithTransport(t Transport) Option {
 func WithTransportSeed(seed int64) Option {
 	return func(c *Config) error {
 		c.TransportSeed = seed
+		return nil
+	}
+}
+
+// WithStrategy selects the failure-recovery strategy every solve of the
+// session runs under: exact state reconstruction (the default), the
+// checkpoint/restart baseline, or cold restart. Preparation-scoped.
+func WithStrategy(s Strategy) Option {
+	return func(c *Config) error {
+		c.Strategy = string(s)
+		return nil
+	}
+}
+
+// WithCheckpointInterval sets the coordinated-save period (in iterations)
+// of the checkpoint strategy; n must be positive (ignored by the other
+// strategies; the default is 10). Preparation-scoped.
+func WithCheckpointInterval(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return &InvalidCheckpointIntervalError{Interval: n}
+		}
+		c.CheckpointInterval = n
 		return nil
 	}
 }

@@ -67,6 +67,17 @@ func (s *Solver) Phi() int { return s.prep.Phi() }
 // equivalent of the options it was built with).
 func (s *Solver) Config() Config { return s.cfg }
 
+// StrategyName returns the session's failure-recovery strategy (one of the
+// Strategy* wire names).
+func (s *Solver) StrategyName() string { return s.prep.StrategyName() }
+
+// StrategyStats returns the session's aggregated recovery-strategy
+// observables across every finished solve: steady-state protection volumes
+// (redundant copies for ESR, reliable-storage traffic for checkpoint),
+// recovery episodes, cascading restarts, and redone iterations. Use it to
+// compare the strategies' overhead and recovery cost on live workloads.
+func (s *Solver) StrategyStats() StrategyStats { return s.prep.StrategyStats() }
+
 // solveOpts resolves the per-call configuration: the session defaults,
 // overridden by the solve-scoped opts. Preparation-scoped fields must not
 // change — the session's partition, redundancy protocol and preconditioner
@@ -90,9 +101,10 @@ func (s *Solver) solveOpts(opts []Option) (engine.SolveOpts, error) {
 	}
 	if cfg.Ranks != s.cfg.Ranks || cfg.Phi != s.cfg.Phi ||
 		cfg.Preconditioner != s.cfg.Preconditioner || cfg.SSOROmega != s.cfg.SSOROmega ||
-		cfg.Transport != s.cfg.Transport || cfg.TransportSeed != s.cfg.TransportSeed {
+		cfg.Transport != s.cfg.Transport || cfg.TransportSeed != s.cfg.TransportSeed ||
+		cfg.Strategy != s.cfg.Strategy || cfg.CheckpointInterval != s.cfg.CheckpointInterval {
 		return engine.SolveOpts{}, fmt.Errorf(
-			"esr: preparation-scoped option (ranks, phi, preconditioner, ssor omega, transport) passed to Solve; set it on NewSolver")
+			"esr: preparation-scoped option (ranks, phi, preconditioner, ssor omega, transport, strategy, checkpoint interval) passed to Solve; set it on NewSolver")
 	}
 	return engine.SolveOpts{
 		Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol,

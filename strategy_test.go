@@ -1,0 +1,194 @@
+package esr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestQuickStrategyOptions: the typed option constructors validate at the
+// door and the prep-scoped strategy options are rejected per solve.
+func TestQuickStrategyOptions(t *testing.T) {
+	a := Poisson2D(12, 12)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+
+	var ivalErr *InvalidCheckpointIntervalError
+	if _, err := NewSolver(a, WithCheckpointInterval(0)); !errors.As(err, &ivalErr) {
+		t.Fatalf("WithCheckpointInterval(0): want *InvalidCheckpointIntervalError, got %v", err)
+	}
+	if _, err := NewSolver(a, WithCheckpointInterval(-3)); !errors.As(err, &ivalErr) {
+		t.Fatalf("WithCheckpointInterval(-3): want *InvalidCheckpointIntervalError, got %v", err)
+	}
+	var stratErr *InvalidStrategyError
+	if _, err := NewSolver(a, WithStrategy("prayer")); !errors.As(err, &stratErr) {
+		t.Fatalf("WithStrategy(bogus): want *InvalidStrategyError, got %v", err)
+	}
+
+	s, err := NewSolver(a, WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Solve(context.Background(), b, WithStrategy(CheckpointStrategy)); err == nil ||
+		!strings.Contains(err.Error(), "preparation-scoped") {
+		t.Fatalf("per-solve WithStrategy must be rejected, got %v", err)
+	}
+	if _, err := s.Solve(context.Background(), b, WithCheckpointInterval(7)); err == nil ||
+		!strings.Contains(err.Error(), "preparation-scoped") {
+		t.Fatalf("per-solve WithCheckpointInterval must be rejected, got %v", err)
+	}
+}
+
+// TestChaosStrategySoak: the seeded chaos wire (message reordering across
+// wires plus lagged failure notification) under every recovery strategy,
+// with overlapping failures in the mix. The schedule-driven wipe/recover
+// protocol must converge to tolerance regardless of delivery order on all
+// three strategies. SOAK_SEEDS widens the seed sweep (the nightly CI runs
+// more; the default keeps tier-1 fast).
+func TestChaosStrategySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	seeds := 2
+	if v := os.Getenv("SOAK_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SOAK_SEEDS %q", v)
+		}
+		seeds = n
+	}
+	a := Poisson2D(16, 16)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%3)
+	}
+	sched := NewSchedule(
+		Simultaneous(6, 1, 2),
+		Overlapping(6, 3, 3),
+	)
+	strategies := []struct {
+		name string
+		opts []Option
+	}{
+		{"esr", []Option{WithStrategy(ESRStrategy), WithPhi(3)}},
+		{"checkpoint", []Option{WithStrategy(CheckpointStrategy), WithCheckpointInterval(4)}},
+		{"restart", []Option{WithStrategy(RestartStrategy)}},
+	}
+	for _, strat := range strategies {
+		strat := strat
+		t.Run(strat.name, func(t *testing.T) {
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				opts := append([]Option{
+					WithRanks(4),
+					WithTransport(ChaosTransport),
+					WithTransportSeed(seed),
+					WithSchedule(sched),
+				}, strat.opts...)
+				s, err := NewSolver(a, opts...)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				sol, err := s.Solve(context.Background(), b)
+				s.Close()
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !sol.Result.Converged {
+					t.Fatalf("seed %d: did not converge: %+v", seed, sol.Result)
+				}
+				if len(sol.Result.Reconstructions) != 1 {
+					t.Fatalf("seed %d: episodes = %d", seed, len(sol.Result.Reconstructions))
+				}
+				if rec := sol.Result.Reconstructions[0]; rec.Restarts != 1 {
+					t.Fatalf("seed %d: overlapping failure did not restart the episode: %+v", seed, rec)
+				}
+				if rn := ResidualNorm(a, sol.X, b); rn > 1e-4 {
+					t.Fatalf("seed %d: true residual %g", seed, rn)
+				}
+			}
+		})
+	}
+}
+
+// TestStrategyRollbackDeterminism: under the checkpoint strategy the
+// rollback replays bit-identically, so the converged iteration count matches
+// the failure-free solve and every strategy reaches the same solution.
+func TestStrategyRollbackDeterminism(t *testing.T) {
+	a := Poisson2D(24, 24)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)/7
+	}
+	solve := func(sched *Schedule, opts ...Option) Solution {
+		t.Helper()
+		s, err := NewSolver(a, append([]Option{WithRanks(4)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		sol, err := s.Solve(context.Background(), b, WithSchedule(sched))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Result.Converged {
+			t.Fatal("did not converge")
+		}
+		return sol
+	}
+	ref := solve(nil)
+	sched := NewSchedule(Simultaneous(9, 2))
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"checkpoint", []Option{WithStrategy(CheckpointStrategy), WithCheckpointInterval(6)}},
+		{"restart", []Option{WithStrategy(RestartStrategy)}},
+	} {
+		got := solve(sched, tc.opts...)
+		// Rolled-back iterations replay the exact arithmetic, so the
+		// converged count (and the iterates) match the undisturbed run.
+		if got.Result.Iterations != ref.Result.Iterations {
+			t.Fatalf("%s: iterations %d != reference %d", tc.name, got.Result.Iterations, ref.Result.Iterations)
+		}
+		for i := range ref.X {
+			if got.X[i] != ref.X[i] {
+				t.Fatalf("%s: x[%d] = %g differs from reference %g", tc.name, i, got.X[i], ref.X[i])
+			}
+		}
+	}
+}
+
+// ExampleWithStrategy shows selecting the checkpoint/restart baseline
+// through the session API.
+func ExampleWithStrategy() {
+	a := Poisson2D(16, 16)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	s, err := NewSolver(a,
+		WithRanks(4),
+		WithStrategy(CheckpointStrategy),
+		WithCheckpointInterval(5),
+		WithSchedule(NewSchedule(Simultaneous(8, 1))),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	sol, err := s.Solve(context.Background(), b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", sol.Result.Converged,
+		"rollbacks:", len(sol.Result.Reconstructions),
+		"redone:", sol.Result.WorkIterations-sol.Result.Iterations)
+	// Output: converged: true rollbacks: 1 redone: 4
+}
