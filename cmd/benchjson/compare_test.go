@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRows(t *testing.T, dir, name string, rows []Row) string {
+	t.Helper()
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCanonicalName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkMatVecIter/fast-8":                          "BenchmarkMatVecIter/fast",
+		"BenchmarkStrategyOverhead/checkpoint-10-4":           "BenchmarkStrategyOverhead/checkpoint-10",
+		"BenchmarkMatVecOverlap/fast/split=true/threads=1-16": "BenchmarkMatVecOverlap/fast/split=true/threads=1",
+		"BenchmarkNoSuffix":                                   "BenchmarkNoSuffix",
+	}
+	for in, want := range cases {
+		if got := canonicalName(in); got != want {
+			t.Fatalf("canonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestComparePassesWithinThreshold: rows within the threshold (including
+// improvements and a tolerable +10%) pass; the GOMAXPROCS suffix must not
+// prevent matching across machines, and ungated rows are ignored.
+func TestComparePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	seed := writeRows(t, dir, "seed.json", []Row{
+		{Name: "BenchmarkMatVecIter/fast-8", NsPerOp: 100_000},
+		{Name: "BenchmarkPreparedVsOneShot/prepared-8", NsPerOp: 1_000_000},
+		{Name: "BenchmarkTable1Catalogue-8", NsPerOp: 5}, // ungated family
+	})
+	fresh := writeRows(t, dir, "fresh.json", []Row{
+		{Name: "BenchmarkMatVecIter/fast-4", NsPerOp: 60_000},               // improvement
+		{Name: "BenchmarkPreparedVsOneShot/prepared-4", NsPerOp: 1_100_000}, // +10%
+	})
+	var out bytes.Buffer
+	if err := compareFiles(&out, seed, fresh, defaultGate, 0.15); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 gated row(s)") {
+		t.Fatalf("summary missing gated count:\n%s", out.String())
+	}
+}
+
+// TestCompareSuffixedSubBenchmarkNames: a seed recorded without GOMAXPROCS
+// suffixes (1-CPU runner) must still match a suffixed fresh run, including
+// sub-benchmark names that legitimately end in "-N" (where a naive double
+// strip would lose the real name component).
+func TestCompareSuffixedSubBenchmarkNames(t *testing.T) {
+	dir := t.TempDir()
+	seed := writeRows(t, dir, "seed.json", []Row{
+		{Name: "BenchmarkStrategyOverhead/checkpoint-10", NsPerOp: 10_000},
+		{Name: "BenchmarkMatVecIter/fast", NsPerOp: 100_000},
+	})
+	fresh := writeRows(t, dir, "fresh.json", []Row{
+		{Name: "BenchmarkStrategyOverhead/checkpoint-10-8", NsPerOp: 10_100},
+		{Name: "BenchmarkMatVecIter/fast-8", NsPerOp: 100_100},
+	})
+	var out bytes.Buffer
+	if err := compareFiles(&out, seed, fresh, "^Benchmark(StrategyOverhead|MatVecIter)", 0.15); err != nil {
+		t.Fatalf("suffix pairing failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 gated row(s)") {
+		t.Fatalf("expected both rows gated:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnRegression: a fresh ns/op beyond the threshold fails the
+// gate and names the offending row.
+func TestCompareFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	seed := writeRows(t, dir, "seed.json", []Row{
+		{Name: "BenchmarkMatVecIter/fast-8", NsPerOp: 100_000},
+	})
+	fresh := writeRows(t, dir, "fresh.json", []Row{
+		{Name: "BenchmarkMatVecIter/fast-8", NsPerOp: 120_000},
+	})
+	var out bytes.Buffer
+	err := compareFiles(&out, seed, fresh, defaultGate, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkMatVecIter/fast") {
+		t.Fatalf("want regression error naming the row, got %v", err)
+	}
+}
+
+// TestCompareFailsOnMissingRow: a gated seed row absent from the fresh run
+// fails the gate (a deleted benchmark must not pass silently).
+func TestCompareFailsOnMissingRow(t *testing.T) {
+	dir := t.TempDir()
+	seed := writeRows(t, dir, "seed.json", []Row{
+		{Name: "BenchmarkHaloExchange/chan-8", NsPerOp: 50_000},
+	})
+	fresh := writeRows(t, dir, "fresh.json", []Row{})
+	var out bytes.Buffer
+	err := compareFiles(&out, seed, fresh, defaultGate, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "missing from fresh run") {
+		t.Fatalf("want missing-row error, got %v", err)
+	}
+}
+
+// TestCompareFailsVacuously: a match regexp hitting nothing must error
+// rather than pass an empty gate.
+func TestCompareFailsVacuously(t *testing.T) {
+	dir := t.TempDir()
+	seed := writeRows(t, dir, "seed.json", []Row{
+		{Name: "BenchmarkHaloExchange/chan-8", NsPerOp: 50_000},
+	})
+	fresh := writeRows(t, dir, "fresh.json", []Row{
+		{Name: "BenchmarkHaloExchange/chan-8", NsPerOp: 50_000},
+	})
+	var out bytes.Buffer
+	err := compareFiles(&out, seed, fresh, "^BenchmarkDoesNotExist", 0.15)
+	if err == nil || !strings.Contains(err.Error(), "vacuously") {
+		t.Fatalf("want vacuous-gate error, got %v", err)
+	}
+}
+
+// TestCompareGateAgainstCommittedSeed: the committed repository seed must
+// contain gated rows (the CI gate step depends on it).
+func TestCompareGateAgainstCommittedSeed(t *testing.T) {
+	seedPath := filepath.Join("..", "..", "BENCH_ci.json")
+	rows, err := loadRows(seedPath)
+	if err != nil {
+		t.Skipf("no committed seed: %v", err)
+	}
+	var out bytes.Buffer
+	// Seed vs itself: zero delta everywhere, must pass.
+	if err := compareFiles(&out, seedPath, seedPath, defaultGate, 0.15); err != nil {
+		t.Fatalf("seed vs itself failed: %v", err)
+	}
+	gated := 0
+	for _, r := range rows {
+		if strings.HasPrefix(canonicalName(r.Name), "BenchmarkMatVecIter") {
+			gated++
+		}
+	}
+	if gated == 0 {
+		t.Fatal("committed seed lacks the MatVecIter rows the acceptance gate compares against")
+	}
+}

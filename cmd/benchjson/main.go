@@ -10,13 +10,29 @@
 // ignored, so the raw `go test` stream can be piped in directly. The CI
 // bench step uses this to publish a comparable artifact on every push, so
 // perf regressions show up as a trajectory rather than anecdotes.
+//
+// Compare mode turns the trajectory into a gate (flags must precede the
+// positional file args — Go's flag parsing stops at the first non-flag):
+//
+//	benchjson -compare [-threshold 0.15] [-match re] seed.json fresh.json
+//
+// loads two row files, matches rows by name (the GOMAXPROCS "-N" suffix is
+// stripped, so seeds recorded on different core counts still line up),
+// restricts to names matching the -match regexp (default: the session and
+// transport benchmark families), and exits non-zero when any fresh ns/op
+// exceeds its seed by more than the threshold fraction — or when a gated
+// seed row is missing from the fresh run, which would otherwise let a
+// deleted benchmark pass silently.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -38,7 +54,32 @@ type Row struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// defaultGate restricts the regression gate to the benchmark families whose
+// seeds are stable enough to compare across pushes: the prepared-session
+// throughput and the steady-state transport shapes.
+const defaultGate = `^Benchmark(PreparedVsOneShot|Allreduce|HaloExchange|MatVecIter)`
+
 func main() {
+	compare := flag.Bool("compare", false,
+		"compare two row files (seed, fresh) instead of converting bench text")
+	threshold := flag.Float64("threshold", 0.15,
+		"with -compare: maximum tolerated ns/op regression fraction")
+	match := flag.String("match", defaultGate,
+		"with -compare: regexp restricting which rows are gated")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr,
+				"benchjson: -compare needs exactly two files: benchjson -compare [-threshold F] [-match RE] seed.json fresh.json (flags before the files)")
+			os.Exit(2)
+		}
+		if err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *match, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rows, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -50,6 +91,101 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// procSuffix is the trailing "-N" GOMAXPROCS marker of a benchmark name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// canonicalName strips the GOMAXPROCS suffix so rows recorded on machines
+// with different core counts still match.
+func canonicalName(name string) string { return procSuffix.ReplaceAllString(name, "") }
+
+// loadRows reads one JSON row file.
+func loadRows(path string) ([]Row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// compareFiles gates fresh against seed: every gated seed row must be
+// present in fresh and within (1+threshold) of the seed's ns/op. Improvements
+// and ungated rows are reported but never fail.
+func compareFiles(w io.Writer, seedPath, freshPath, match string, threshold float64) error {
+	gate, err := regexp.Compile(match)
+	if err != nil {
+		return fmt.Errorf("bad -match regexp: %w", err)
+	}
+	seed, err := loadRows(seedPath)
+	if err != nil {
+		return err
+	}
+	fresh, err := loadRows(freshPath)
+	if err != nil {
+		return err
+	}
+	// Index fresh rows under both their raw and suffix-stripped names, and
+	// resolve seed rows raw-first. Stripping alone is not idempotent: a
+	// sub-benchmark legitimately named "checkpoint-10" loses its "-10" to a
+	// second strip, so a seed recorded without GOMAXPROCS suffixes (1-CPU
+	// runner) would never match a suffixed fresh run — the fallback chain
+	// (raw, seed-as-canonical, both-canonical) covers every pairing.
+	freshRaw := make(map[string]Row, len(fresh))
+	freshCanon := make(map[string]Row, len(fresh))
+	for _, r := range fresh {
+		freshRaw[r.Name] = r
+		freshCanon[canonicalName(r.Name)] = r
+	}
+	lookup := func(name string) (Row, bool) {
+		if r, ok := freshRaw[name]; ok {
+			return r, true // identical naming on both sides
+		}
+		if r, ok := freshCanon[name]; ok {
+			return r, true // seed unsuffixed, fresh suffixed
+		}
+		r, ok := freshCanon[canonicalName(name)]
+		return r, ok // both suffixed, different core counts
+	}
+	var failures []string
+	gated := 0
+	for _, s := range seed {
+		name := canonicalName(s.Name)
+		if !gate.MatchString(name) && !gate.MatchString(s.Name) {
+			continue
+		}
+		gated++
+		f, ok := lookup(s.Name)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in seed, missing from fresh run", name))
+			continue
+		}
+		if s.NsPerOp <= 0 {
+			continue // a zero seed cannot anchor a ratio
+		}
+		delta := f.NsPerOp/s.NsPerOp - 1
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% > %+.1f%%)",
+				name, s.NsPerOp, f.NsPerOp, 100*delta, 100*threshold))
+		}
+		fmt.Fprintf(w, "%-48s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+			name, s.NsPerOp, f.NsPerOp, 100*delta, status)
+	}
+	if gated == 0 {
+		return fmt.Errorf("no seed rows match %q: the gate would pass vacuously", match)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d ns/op regression(s) beyond %.0f%%:\n  %s",
+			len(failures), 100*threshold, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "benchjson: %d gated row(s) within %.0f%% of seed\n", gated, 100*threshold)
+	return nil
 }
 
 // parse extracts benchmark result lines from a go-test stream. A result

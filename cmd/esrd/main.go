@@ -6,6 +6,7 @@
 //	esrd [-addr :8080] [-workers 4] [-queue 256] [-max-jobs 4096]
 //	     [-job-ttl 0] [-prep-cache 8] [-prep-ttl 10m] [-max-matrices 64]
 //	     [-transport chan|fast|chaos] [-strategy esr|checkpoint|restart]
+//	     [-threads 0] [-pprof addr]
 //
 // Submit a job (a 64x64 Poisson system, phi=2, two ranks failing at
 // iteration 10), then follow its progress:
@@ -35,6 +36,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // handlers on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,15 +58,37 @@ func main() {
 		"default communication fabric for jobs that do not pick one (chan|fast|chaos)")
 	strategy := flag.String("strategy", engine.StrategyESR,
 		"default failure-recovery strategy for jobs that do not pick one (esr|checkpoint|restart)")
+	threads := flag.Int("threads", 0,
+		"default per-rank kernel thread cap for jobs that do not pick one (0 = GOMAXPROCS)")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this separate listener (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
 	// Reuse the engine's validation so the flags and the wire format accept
-	// exactly the same transport/strategy names.
+	// exactly the same transport/strategy/threads values.
 	if err := (engine.Config{Transport: *transport}).Validate(); err != nil {
 		log.Fatalf("esrd: bad -transport: %v", err)
 	}
 	if err := (engine.Config{Strategy: *strategy}).Validate(); err != nil {
 		log.Fatalf("esrd: bad -strategy: %v", err)
+	}
+	if err := (engine.Config{Threads: *threads}).Validate(); err != nil {
+		log.Fatalf("esrd: bad -threads: %v", err)
+	}
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener so the debug surface never
+		// shares a port (or a mux) with the public API: the main mux stays
+		// free of the pprof handlers, and operators can firewall the two
+		// addresses independently. DefaultServeMux carries the handlers via
+		// the net/http/pprof import's side effect. -pprof is an explicit
+		// opt-in, so a bind failure is fatal — like the flag-validation
+		// failures above — rather than a log line the operator discovers
+		// mid-incident when /debug/pprof/ turns out unreachable.
+		go func() {
+			log.Printf("esrd: pprof listening on %s", *pprofAddr)
+			log.Fatalf("esrd: pprof listener failed: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	eng := engine.New(engine.Options{
@@ -72,7 +96,7 @@ func main() {
 		MaxJobs: *maxJobs, JobTTL: *jobTTL,
 		PrepCacheSize: *prepCache, PrepCacheTTL: *prepTTL,
 		MaxMatrices: *maxMatrices, DefaultTransport: *transport,
-		DefaultStrategy: *strategy,
+		DefaultStrategy: *strategy, DefaultThreads: *threads,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

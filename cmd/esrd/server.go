@@ -245,5 +245,8 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 		// Per-strategy overhead/recovery gauges: one entry per recovery
 		// strategy that has finished at least one solve.
 		"strategies": s.eng.StrategyStats(),
+		// Kernel threading posture: daemon default cap, GOMAXPROCS, and the
+		// shared worker pool's resident size.
+		"threads": s.eng.ThreadStats(),
 	})
 }

@@ -39,7 +39,8 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 
 	// Fused allreduce of (||r||^2, r'z); the local partials parallelize for
 	// very large per-rank blocks (vec.Par*).
-	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(r.Local), vec.ParDot(r.Local, z.Local)})
+	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{
+		vec.ParNrm2SqN(r.Local, opts.Threads), vec.ParDotN(r.Local, z.Local, opts.Threads)})
 	if err != nil {
 		return Result{}, err
 	}
@@ -62,7 +63,7 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 		if err := a.MatVec(e, u, p, j); err != nil {
 			return Result{}, err
 		}
-		pu, err := distmat.Dot(e, p, u)
+		pu, err := distmat.DotN(e, p, u, opts.Threads)
 		if err != nil {
 			return Result{}, err
 		}
@@ -72,12 +73,14 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 			return res, fmt.Errorf("core: PCG breakdown, p'Ap = %g at iteration %d", pu, j)
 		}
 		alpha := rz / pu
-		vec.Axpy(alpha, p.Local, x.Local)        // x(j+1) = x(j) + alpha p(j)
-		vec.Axpy(-alpha, u.Local, r.Local)       // r(j+1) = r(j) - alpha A p(j)
+		// x(j+1) = x(j) + alpha p(j); r(j+1) = r(j) - alpha A p(j), fused
+		// into one pass over the blocks (bit-identical to the two Axpys).
+		vec.ParAxpyAxpy(alpha, p.Local, x.Local, -alpha, u.Local, r.Local, opts.Threads)
 		if err := m.Apply(e, z, r); err != nil { // z(j+1) = M^{-1} r(j+1)
 			return Result{}, err
 		}
-		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(r.Local), vec.ParDot(r.Local, z.Local)})
+		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{
+			vec.ParNrm2SqN(r.Local, opts.Threads), vec.ParDotN(r.Local, z.Local, opts.Threads)})
 		if err != nil {
 			return Result{}, err
 		}

@@ -56,8 +56,8 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 	}
 	m.SolveL(st.rhat.Local, r0v.Local)
 	m.SolveLT(st.p.Local, st.rhat.Local)
-	norms, err := e.Grp.Allreduce(cluster.OpSum,
-		[]float64{vec.ParNrm2Sq(r0v.Local), vec.ParNrm2Sq(st.rhat.Local)})
+	norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{
+		vec.ParNrm2SqN(r0v.Local, opts.Threads), vec.ParNrm2SqN(st.rhat.Local, opts.Threads)})
 	if err != nil {
 		return Result{}, err
 	}
@@ -94,13 +94,13 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 			if err := a.MatVec(e, st.u, st.p, j); err != nil {
 				return res, err
 			}
-			rho, err := e.Grp.AllreduceScalar(cluster.OpSum, vec.ParNrm2Sq(st.rhat.Local))
+			rho, err := e.Grp.AllreduceScalar(cluster.OpSum, vec.ParNrm2SqN(st.rhat.Local, opts.Threads))
 			if err != nil {
 				return res, err
 			}
 			st.rho = rho
 		}
-		pu, err := distmat.Dot(e, st.p, st.u)
+		pu, err := distmat.DotN(e, st.p, st.u, opts.Threads)
 		if err != nil {
 			return res, err
 		}
@@ -114,8 +114,8 @@ func SPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m precond.Spli
 		vec.Axpy(-alpha, scratch, st.rhat.Local)
 		// True residual norm: r = L rhat block-locally.
 		m.MulL(scratch, st.rhat.Local)
-		norms, err := e.Grp.Allreduce(cluster.OpSum,
-			[]float64{vec.ParNrm2Sq(scratch), vec.ParNrm2Sq(st.rhat.Local)})
+		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{
+			vec.ParNrm2SqN(scratch, opts.Threads), vec.ParNrm2SqN(st.rhat.Local, opts.Threads)})
 		if err != nil {
 			return res, err
 		}

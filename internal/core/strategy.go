@@ -256,8 +256,8 @@ func initIteration0(st *SolverState) error {
 		return err
 	}
 	vec.Copy(st.P.Local, st.Z.Local)
-	norms, err := st.E.Grp.Allreduce(cluster.OpSum,
-		[]float64{vec.ParNrm2Sq(st.R.Local), vec.ParDot(st.R.Local, st.Z.Local)})
+	norms, err := st.E.Grp.Allreduce(cluster.OpSum, []float64{
+		vec.ParNrm2SqN(st.R.Local, st.Opts.Threads), vec.ParDotN(st.R.Local, st.Z.Local, st.Opts.Threads)})
 	if err != nil {
 		return err
 	}
@@ -369,13 +369,13 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 				return res, err
 			}
 			// r'z involves reconstructed blocks: recompute it.
-			rz, err := distmat.Dot(e, st.R, st.Z)
+			rz, err := distmat.DotN(e, st.R, st.Z, opts.Threads)
 			if err != nil {
 				return res, err
 			}
 			st.RZ = rz
 		}
-		pu, err := distmat.Dot(e, st.P, st.U)
+		pu, err := distmat.DotN(e, st.P, st.U, opts.Threads)
 		if err != nil {
 			return res, err
 		}
@@ -385,12 +385,14 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 			return res, fmt.Errorf("core: %s-PCG breakdown, p'Ap = %g at iteration %d", strat.Name(), pu, j)
 		}
 		alpha := st.RZ / pu
-		vec.Axpy(alpha, st.P.Local, x.Local)
-		vec.Axpy(-alpha, st.U.Local, st.R.Local)
+		// Fused PCG update pair: x += alpha p and r -= alpha A p in one pass
+		// (bit-identical to the two Axpys).
+		vec.ParAxpyAxpy(alpha, st.P.Local, x.Local, -alpha, st.U.Local, st.R.Local, opts.Threads)
 		if err := m.Apply(e, st.Z, st.R); err != nil {
 			return res, err
 		}
-		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{vec.ParNrm2Sq(st.R.Local), vec.ParDot(st.R.Local, st.Z.Local)})
+		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{
+			vec.ParNrm2SqN(st.R.Local, opts.Threads), vec.ParDotN(st.R.Local, st.Z.Local, opts.Threads)})
 		if err != nil {
 			return res, err
 		}

@@ -39,6 +39,33 @@ type Matrix struct {
 	xbuf        []float64
 	recvScratch [][]float64 // per-MatVec staging of retained payloads
 	tagBase     int
+
+	// Static kernel plans, precomputed once after the symbolic phase so the
+	// per-iteration MatVec runs without a single map lookup (they used to
+	// dominate its profile). All are immutable after construction and shared
+	// by Forks.
+
+	// split is the interior/boundary partition of the localised CSR:
+	// interior rows read only own-block columns and compute while the halo
+	// receives are still in flight (communication-hiding SpMV).
+	split *sparse.RowSplit
+	// sendLoc[k] are the local (block-relative) indices of sendLists[k].
+	sendLoc [][]int
+	// recvPos[k]/recvDst[k] scatter an incoming payload from source k:
+	// xbuf[recvDst[k][i]] = payload[recvPos[k][i]]. Payload positions that
+	// carry pure redundancy (not needed by this rank's SpMV) are absent.
+	recvPos, recvDst [][]int
+	// ghostRowPtr/Col/Val list, per static row, the entries with external
+	// (ghost) columns — the reconstruction path's GhostProduct operand.
+	ghostRowPtr []int
+	ghostRowCol []int
+	ghostRowVal []float64
+
+	// overlap toggles the communication-hiding schedule (on by default; the
+	// phased reference path is kept for A/B benchmarks and equality tests).
+	overlap bool
+	// threads caps the goroutines of the parallel local kernels (0 = auto).
+	threads int
 }
 
 // matrixTag spaces the SpMV message tags of different matrices sharing an
@@ -99,6 +126,7 @@ func NewMatrixStrategy(e *Env, rows *sparse.CSR, p partition.Partition, phi, ctx
 		m.Ret = commplan.NewRetention(m.recvLists)
 	}
 	m.localize()
+	m.buildKernels()
 	return m, nil
 }
 
@@ -203,8 +231,78 @@ func (m *Matrix) localize() {
 	m.xbuf = make([]float64, loc.Cols)
 }
 
+// buildKernels precomputes the static kernel plans off the symbolic state:
+// the send gather lists, the per-source receive scatter lists, the
+// interior/boundary row split of the localised CSR, and the per-row external
+// entry lists of the static row block. Runs once at construction; everything
+// it builds is immutable and shared by Forks.
+func (m *Matrix) buildKernels() {
+	lo, hi := m.P.Range(m.Pos)
+	bs := hi - lo
+	m.overlap = true
+	m.sendLoc = make([][]int, len(m.sendLists))
+	for k, idx := range m.sendLists {
+		if len(idx) == 0 {
+			continue
+		}
+		loc := make([]int, len(idx))
+		for t, g := range idx {
+			loc[t] = g - lo
+		}
+		m.sendLoc[k] = loc
+	}
+	m.recvPos = make([][]int, len(m.recvLists))
+	m.recvDst = make([][]int, len(m.recvLists))
+	for k, idx := range m.recvLists {
+		for t, g := range idx {
+			if p, ok := m.ghostPos[g]; ok {
+				m.recvPos[k] = append(m.recvPos[k], t)
+				m.recvDst[k] = append(m.recvDst[k], bs+p)
+			}
+		}
+	}
+	m.split = sparse.SplitCSRBound(m.local, bs)
+	m.ghostRowPtr = make([]int, m.Rows.Rows+1)
+	for i := 0; i < m.Rows.Rows; i++ {
+		cols, vals := m.Rows.Row(i)
+		for t, c := range cols {
+			if c < lo || c >= hi {
+				m.ghostRowCol = append(m.ghostRowCol, c)
+				m.ghostRowVal = append(m.ghostRowVal, vals[t])
+			}
+		}
+		m.ghostRowPtr[i+1] = len(m.ghostRowCol)
+	}
+}
+
 // GhostCount returns the number of external vector elements the SpMV needs.
 func (m *Matrix) GhostCount() int { return len(m.ghost) }
+
+// InteriorRows returns the interior/boundary row counts of the localised
+// block: interior rows read no ghost data and overlap the halo exchange.
+func (m *Matrix) InteriorRows() (interior, boundary int) {
+	return m.split.Interior.Rows, m.split.Boundary.Rows
+}
+
+// SetOverlap toggles the communication-hiding MatVec schedule (on by
+// default). The phased reference path computes the whole local block only
+// after every receive has been drained; both schedules are bit-identical —
+// the row split never changes a row's accumulation order — so this knob
+// exists purely for A/B benchmarks and equality tests. Not safe to call
+// concurrently with MatVec; set it before the solve (Forks inherit it).
+func (m *Matrix) SetOverlap(on bool) { m.overlap = on }
+
+// SetThreads caps the goroutine fan-out of the matrix's parallel local
+// kernels (<= 0 restores the automatic GOMAXPROCS default). Thread counts
+// never change results: the row-chunked kernels write disjoint entries. Not
+// safe to call concurrently with MatVec; set it at preparation time (Forks
+// inherit it).
+func (m *Matrix) SetThreads(p int) {
+	if p < 0 {
+		p = 0
+	}
+	m.threads = p
+}
 
 // Fork returns a new Matrix sharing all of m's static state — the row block,
 // the halo plan, the redundancy protocol, the localised CSR and the
@@ -231,6 +329,14 @@ func (m *Matrix) Fork() *Matrix {
 // enabled, retaining the received generation under the iteration number
 // `iter`. x and y are distributed vectors on the matrix's partition.
 //
+// The schedule hides communication behind computation (Levonyak et al.'s
+// prerequisite for scalable resilient PCG): post the owned halo sends,
+// compute the interior rows — which read no ghost data — while the receives
+// are in flight, then drain the receives, scatter the ghosts through the
+// precomputed index lists, and finish with the boundary rows. The row split
+// never changes a row's accumulation order, so the result is bit-identical
+// to the phased schedule (SetOverlap(false)) on every transport.
+//
 // Payload lifetimes follow the transport's zero-copy contract: outgoing
 // payloads are drawn from the transport's buffer recycler and handed off
 // with SendOwned (never touched again here); received payloads are either
@@ -240,6 +346,7 @@ func (m *Matrix) Fork() *Matrix {
 // allocation.
 func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 	lo, hi := m.P.Range(m.Pos)
+	bs := hi - lo
 	tag := m.tagBase + 2
 	// Post sends: one message per destination with merged payload.
 	for k, idx := range m.sendLists {
@@ -247,9 +354,7 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 			continue
 		}
 		payload := e.C.GetFloats(len(idx))
-		for t, g := range idx {
-			payload[t] = x.Local[g-lo]
-		}
+		vec.Gather(payload, x.Local, m.sendLoc[k])
 		cat := cluster.CatHalo
 		nHalo := len(m.Plan.SendTo[k])
 		if nHalo == 0 {
@@ -264,9 +369,16 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 			e.C.Runtime().Counters().Reclassify(cluster.CatHalo, cluster.CatRedundancy, int64(extra))
 		}
 	}
-	// Receive and scatter into the ghost buffer. iter < 0 marks inputs that
-	// are not search directions (initial residual, verification products):
-	// they are not retained, so their payloads recycle immediately.
+	// The interior rows read only the own block [0, bs): with the sends
+	// posted, compute them while the halo messages are on the wire.
+	copy(m.xbuf[:bs], x.Local)
+	if m.overlap {
+		m.split.Interior.MulVecScatterPar(y.Local, m.xbuf, m.split.IntRows, m.threads)
+	}
+	// Drain the receives and scatter into the ghost buffer through the
+	// precomputed lists. iter < 0 marks inputs that are not search directions
+	// (initial residual, verification products): they are not retained, so
+	// their payloads recycle immediately.
 	retain := m.Ret != nil && iter >= 0
 	var recvVals [][]float64
 	if retain {
@@ -289,10 +401,9 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 		if len(msg.F) != len(idx) {
 			return fmt.Errorf("distmat: MatVec from pos %d: %d values, want %d", k, len(msg.F), len(idx))
 		}
-		for t, g := range idx {
-			if p, ok := m.ghostPos[g]; ok {
-				m.xbuf[(hi-lo)+p] = msg.F[t]
-			}
+		f, dst := msg.F, m.recvDst[k]
+		for i, p := range m.recvPos[k] {
+			m.xbuf[dst[i]] = f[p]
 		}
 		if retain {
 			recvVals[k] = msg.F
@@ -300,8 +411,12 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 			e.C.Recycle(msg)
 		}
 	}
-	copy(m.xbuf[:hi-lo], x.Local)
-	m.local.MulVec(y.Local, m.xbuf)
+	if m.overlap {
+		// Only the boundary rows were waiting for the wire.
+		m.split.Boundary.MulVecScatterPar(y.Local, m.xbuf, m.split.BndRows, m.threads)
+	} else {
+		m.local.MulVecPar(y.Local, m.xbuf, m.threads)
+	}
 	if retain {
 		// The retention store owns the new generation's payloads; the
 		// generation it just evicted is unreferenced and recycles.
@@ -327,17 +442,22 @@ func (m *Matrix) MatVecLocal(y []float64, xGlobal []float64) {
 // this rank's own block; columns missing from ghost contribute zero. With
 // ghost filled only with survivor-owned vector entries this evaluates the
 // reconstruction products A_{If, I\If} x_{I\If} and P_{If, I\If} r_{I\If}
-// of the paper's Alg. 2 (lines 5 and 7).
+// of the paper's Alg. 2 (lines 5 and 7). It walks the per-row external-entry
+// lists precomputed at construction, so interior entries (the vast majority)
+// cost nothing; the external entries are visited in stored order, keeping
+// the accumulation bit-identical to a full row sweep.
 func (m *Matrix) GhostProduct(y []float64, ghost map[int]float64) {
-	lo, hi := m.P.Range(m.Pos)
 	for i := 0; i < m.Rows.Rows; i++ {
-		cols, vals := m.Rows.Row(i)
+		glo, ghi := m.ghostRowPtr[i], m.ghostRowPtr[i+1]
+		if glo == ghi {
+			continue
+		}
+		cols := m.ghostRowCol[glo:ghi]
+		vals := m.ghostRowVal[glo:ghi]
 		var s float64
 		for t, c := range cols {
-			if c < lo || c >= hi {
-				if v, ok := ghost[c]; ok {
-					s += vals[t] * v
-				}
+			if v, ok := ghost[c]; ok {
+				s += vals[t] * v
 			}
 		}
 		y[i] += s

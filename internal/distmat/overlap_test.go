@@ -1,0 +1,134 @@
+package distmat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+)
+
+// TestQuickOverlapRowPartitionProperty: for random matrices distributed over
+// random rank counts, every rank's interior/boundary row split must cover
+// its local rows exactly once with disjoint sets, interior rows must read
+// no ghost columns, and boundary rows must read at least one — the
+// structural invariant the communication-hiding schedule rests on.
+func TestQuickOverlapRowPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		n := 40 + rng.Intn(200)
+		a := matgen.BandedRandom(n, 1+rng.Intn(12), 3+4*rng.Float64(), int64(trial))
+		ranks := 1 + rng.Intn(6)
+		p := partition.NewBlockRow(n, ranks)
+		runSPMD(t, ranks, func(c *cluster.Comm) error {
+			e := WorldEnv(c)
+			lo, hi := p.Range(e.Pos)
+			m, err := NewMatrix(e, a.RowBlock(lo, hi), p, 0, 0)
+			if err != nil {
+				return err
+			}
+			bs := hi - lo
+			seen := make([]int, bs)
+			for _, i := range m.split.IntRows {
+				seen[i]++
+			}
+			for _, i := range m.split.BndRows {
+				seen[i] += 10
+			}
+			for i, v := range seen {
+				if v != 1 && v != 10 {
+					return fmt.Errorf("trial %d rank %d: local row %d covered with code %d, want exactly one side",
+						trial, e.Pos, i, v)
+				}
+			}
+			ni, nb := m.InteriorRows()
+			if ni+nb != bs {
+				return fmt.Errorf("trial %d rank %d: %d interior + %d boundary != %d local rows",
+					trial, e.Pos, ni, nb, bs)
+			}
+			for si := 0; si < m.split.Interior.Rows; si++ {
+				cols, _ := m.split.Interior.Row(si)
+				for _, col := range cols {
+					if col >= bs {
+						return fmt.Errorf("trial %d rank %d: interior row %d reads ghost column %d",
+							trial, e.Pos, m.split.IntRows[si], col)
+					}
+				}
+			}
+			for si := 0; si < m.split.Boundary.Rows; si++ {
+				cols, _ := m.split.Boundary.Row(si)
+				touchesGhost := false
+				for _, col := range cols {
+					if col >= bs {
+						touchesGhost = true
+					}
+				}
+				if !touchesGhost {
+					return fmt.Errorf("trial %d rank %d: boundary row %d reads no ghost column",
+						trial, e.Pos, m.split.BndRows[si])
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// TestQuickOverlappedVsPhasedMatVec: the communication-hiding schedule must
+// be bit-identical to the phased reference on every transport, with and
+// without retention, across several random systems.
+func TestQuickOverlappedVsPhasedMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, trName := range []string{cluster.TransportChan, cluster.TransportFast, cluster.TransportChaos} {
+		for trial := 0; trial < 3; trial++ {
+			n := 60 + rng.Intn(120)
+			a := matgen.BandedRandom(n, 2+rng.Intn(9), 4, int64(100+trial))
+			const ranks = 4
+			phi := trial % 3 // 0 exercises the no-retention path
+			p := partition.NewBlockRow(n, ranks)
+			xFull := make([]float64, n)
+			for i := range xFull {
+				xFull[i] = rng.NormFloat64()
+			}
+			run := func(overlap bool) []float64 {
+				tr, err := cluster.NewTransport(trName, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rt := cluster.New(ranks, cluster.WithTransport(tr))
+				out := make([]float64, n)
+				err = rt.Run(func(c *cluster.Comm) error {
+					e := WorldEnv(c)
+					lo, hi := p.Range(e.Pos)
+					m, err := NewMatrix(e, a.RowBlock(lo, hi), p, phi, 0)
+					if err != nil {
+						return err
+					}
+					m.SetOverlap(overlap)
+					x := distribute(xFull, p, e.Pos)
+					y := NewVector(p, e.Pos)
+					for iter := 0; iter < 3; iter++ {
+						if err := m.MatVec(e, y, x, iter); err != nil {
+							return err
+						}
+					}
+					copy(out[lo:hi], y.Local)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			want := run(false)
+			got := run(true)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d: overlapped y[%d] = %x, phased %x",
+						trName, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

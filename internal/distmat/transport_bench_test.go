@@ -1,6 +1,7 @@
 package distmat
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
@@ -16,6 +17,12 @@ var benchTransports = []string{cluster.TransportChan, cluster.TransportFast}
 // optionally chased by the fused 2-element allreduce a PCG iteration issues.
 // Allocation counts (-benchmem) aggregate over all ranks.
 func benchMatVecLoop(b *testing.B, trName string, phi int, withReduce bool) {
+	benchMatVecLoopOpts(b, trName, phi, withReduce, true, 0)
+}
+
+// benchMatVecLoopOpts is benchMatVecLoop with the overlap schedule and the
+// local-kernel thread cap exposed (the BenchmarkMatVecOverlap axes).
+func benchMatVecLoopOpts(b *testing.B, trName string, phi int, withReduce, overlap bool, threads int) {
 	const ranks = 8
 	a := matgen.Poisson2D(64, 64)
 	p := partition.NewBlockRow(a.Rows, ranks)
@@ -32,6 +39,8 @@ func benchMatVecLoop(b *testing.B, trName string, phi int, withReduce bool) {
 		if err != nil {
 			return err
 		}
+		m.SetOverlap(overlap)
+		m.SetThreads(threads)
 		ms[e.Pos] = m
 		return nil
 	})
@@ -83,5 +92,27 @@ func BenchmarkHaloExchange(b *testing.B) {
 func BenchmarkMatVecIter(b *testing.B) {
 	for _, tr := range benchTransports {
 		b.Run(tr, func(b *testing.B) { benchMatVecLoop(b, tr, 2, true) })
+	}
+}
+
+// BenchmarkMatVecOverlap isolates the communication-hiding schedule's win on
+// the MatVecIter shape: chan vs fast transport x interior/boundary split
+// on/off x local-kernel threads 1/GOMAXPROCS. split=off is the phased
+// reference (compute only after every receive drained); both schedules are
+// bit-identical, so the ns/op delta is pure overlap.
+func BenchmarkMatVecOverlap(b *testing.B) {
+	threadCases := []struct {
+		name string
+		n    int
+	}{{"threads=1", 1}, {"threads=N", 0}}
+	for _, tr := range benchTransports {
+		for _, split := range []bool{true, false} {
+			for _, tc := range threadCases {
+				name := fmt.Sprintf("%s/split=%v/%s", tr, split, tc.name)
+				b.Run(name, func(b *testing.B) {
+					benchMatVecLoopOpts(b, tr, 2, true, split, tc.n)
+				})
+			}
+		}
 	}
 }

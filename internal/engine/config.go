@@ -56,6 +56,12 @@ const (
 	StrategyRestart = core.StrategyRestart
 )
 
+// ThreadsAuto is the explicit "automatic" value of Config.Threads: it
+// selects GOMAXPROCS like the zero value, but — unlike 0 — is never
+// overridden by an engine-level default thread cap, so a client can insist
+// on full parallelism against a daemon started with -threads N.
+const ThreadsAuto = -1
+
 // Transport names accepted by Config (mirroring internal/cluster). The
 // empty string selects the default chan transport.
 const (
@@ -125,6 +131,19 @@ type Config struct {
 	// Negative values are rejected with *InvalidCheckpointIntervalError.
 	// Preparation-scoped, like Strategy.
 	CheckpointInterval int `json:"checkpoint_interval,omitempty"`
+	// Threads caps the per-rank goroutine fan-out of the node-local parallel
+	// kernels (SpMV row chunks, reductions, fused vector updates, the Jacobi
+	// preconditioner): 0 (the default) selects GOMAXPROCS automatically.
+	// Thread counts never change results — every parallel kernel works over
+	// a chunk grid fixed by the data size alone — so this is purely a
+	// resource knob for packing many concurrent solves onto one machine.
+	// Because an engine-level default (esrd -threads) applies to jobs that
+	// leave the field at 0, ThreadsAuto (-1) requests the automatic
+	// GOMAXPROCS behaviour *explicitly*, bypassing that default; other
+	// negative values are rejected with *InvalidThreadsError.
+	// Preparation-scoped: the prepared per-rank kernels bake it in, and the
+	// field keys the prepared-session cache.
+	Threads int `json:"threads,omitempty"`
 	// Schedule injects node failures (nil for a failure-free run).
 	Schedule *faults.Schedule `json:"schedule,omitempty"`
 	// Progress, when non-nil, observes the solve from rank 0: one event per
@@ -167,6 +186,14 @@ func (c Config) WithDefaults() Config {
 	if c.CheckpointInterval == 0 {
 		c.CheckpointInterval = checkpoint.DefaultInterval
 	}
+	if c.Threads == ThreadsAuto {
+		// The explicit-automatic sentinel has served its purpose by the time
+		// defaults are applied (the engine's default-threads injection only
+		// touches the zero value); normalize it so prep-cache keys and
+		// session configs treat "explicitly automatic" and "automatic" as
+		// one thing.
+		c.Threads = 0
+	}
 	return c
 }
 
@@ -192,6 +219,19 @@ type InvalidStrategyError struct {
 func (e *InvalidStrategyError) Error() string {
 	return fmt.Sprintf("engine: unknown strategy %q (want %q, %q or %q)",
 		e.Strategy, StrategyESR, StrategyCheckpoint, StrategyRestart)
+}
+
+// InvalidThreadsError reports a meaningless thread cap: 0 means automatic
+// (GOMAXPROCS), ThreadsAuto (-1) means explicitly automatic, positive
+// values cap the per-rank kernel fan-out, and nothing else is meaningful.
+type InvalidThreadsError struct {
+	// Threads is the rejected cap.
+	Threads int
+}
+
+// Error implements the error interface.
+func (e *InvalidThreadsError) Error() string {
+	return fmt.Sprintf("engine: threads %d invalid: use a positive cap, 0 for automatic GOMAXPROCS, or -1 for explicitly automatic", e.Threads)
 }
 
 // InvalidCheckpointIntervalError reports a non-positive checkpoint interval:
@@ -263,6 +303,9 @@ func (c Config) Validate() error {
 		// asked for (and mislabel the strategy gauges).
 		return fmt.Errorf("engine: method %q is the strategy-free reference solver; use %q or %q with strategy %q",
 			MethodPCG, MethodAuto, MethodESRPCG, c.Strategy)
+	}
+	if c.Threads < ThreadsAuto {
+		return &InvalidThreadsError{Threads: c.Threads}
 	}
 	if c.Phi < 0 || c.Phi >= c.Ranks {
 		return fmt.Errorf("engine: phi %d out of range [0, %d)", c.Phi, c.Ranks)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sparse"
+	"repro/internal/vec"
 )
 
 // State is a job lifecycle state. Transitions are
@@ -235,6 +237,10 @@ type Options struct {
 	// whose Config.Strategy is empty ("" keeps the library default, esr).
 	// Must be a name Config.Validate accepts.
 	DefaultStrategy string
+	// DefaultThreads is the per-rank kernel thread cap applied to jobs whose
+	// Config.Threads is 0 (0 keeps the library default: GOMAXPROCS). Must be
+	// non-negative.
+	DefaultThreads int
 }
 
 // Engine is a bounded worker pool draining a FIFO queue of solve jobs, with
@@ -251,6 +257,7 @@ type Engine struct {
 	matrices         *matrixStore
 	defaultTransport string
 	defaultStrategy  string
+	defaultThreads   int
 
 	tmu    sync.Mutex
 	tstats map[string]*TransportUsage     // per-transport aggregates, by name
@@ -306,6 +313,13 @@ func New(opts Options) *Engine {
 			panic(fmt.Sprintf("engine: invalid Options.DefaultStrategy %q", opts.DefaultStrategy))
 		}
 	}
+	if opts.DefaultThreads == ThreadsAuto {
+		opts.DefaultThreads = 0 // explicit-auto is the zero default here
+	}
+	if opts.DefaultThreads < 0 {
+		// And again for the kernel thread cap.
+		panic(fmt.Sprintf("engine: invalid Options.DefaultThreads %d", opts.DefaultThreads))
+	}
 	e := &Engine{
 		queue:            make(chan *job, opts.QueueCap),
 		jobs:             map[string]*job{},
@@ -315,6 +329,7 @@ func New(opts Options) *Engine {
 		matrices:         newMatrixStore(opts.MaxMatrices),
 		defaultTransport: opts.DefaultTransport,
 		defaultStrategy:  opts.DefaultStrategy,
+		defaultThreads:   opts.DefaultThreads,
 		tstats:           map[string]*TransportUsage{},
 		sstats:           map[string]*core.StrategyStats{},
 		janitorQuit:      make(chan struct{}),
@@ -636,6 +651,28 @@ func (e *Engine) StrategyStats() map[string]core.StrategyStats {
 	return out
 }
 
+// ThreadStats reports the engine's kernel-threading posture: the daemon
+// default cap applied to thread-less jobs, the process GOMAXPROCS, and the
+// shared worker pool's resident size (the healthz "threads" block).
+type ThreadStats struct {
+	// Default is the cap applied to jobs whose Config.Threads is 0
+	// (0 = automatic GOMAXPROCS).
+	Default int `json:"default"`
+	// MaxProcs is the process's GOMAXPROCS.
+	MaxProcs int `json:"maxprocs"`
+	// PoolWorkers is the resident size of the shared kernel worker pool.
+	PoolWorkers int `json:"pool_workers"`
+}
+
+// ThreadStats snapshots the threading gauges.
+func (e *Engine) ThreadStats() ThreadStats {
+	return ThreadStats{
+		Default:     e.defaultThreads,
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		PoolWorkers: vec.PoolWorkers(),
+	}
+}
+
 // Get returns a snapshot of the job.
 func (e *Engine) Get(id string) (JobStatus, error) {
 	j, err := e.lookup(id)
@@ -838,6 +875,14 @@ func (e *Engine) run(j *job) {
 		// ESR-shaped and pcg runs no strategy at all, so a non-ESR daemon
 		// default would fail a job its client validly submitted.
 		cfg.Strategy = e.defaultStrategy
+	}
+	if cfg.Threads == 0 {
+		// Daemon-level kernel thread cap for jobs that did not pick one (0
+		// keeps the automatic GOMAXPROCS default); prep-cache keyed below.
+		// Jobs that explicitly want full parallelism against a capped daemon
+		// submit ThreadsAuto (-1), which skips this injection and normalizes
+		// to automatic in WithDefaults.
+		cfg.Threads = e.defaultThreads
 	}
 	// Acquire the prepared session for (matrix content, preparation config)
 	// from the cache: repeated jobs on the same system skip partitioning,

@@ -235,7 +235,10 @@ func prepKey(matrixHash string, cfg Config) string {
 		// field.
 		interval = cfg.CheckpointInterval
 	}
-	return fmt.Sprintf("%s|r=%d|phi=%d|prec=%s|omega=%g|tr=%s|seed=%d|st=%s|ckpt=%d",
+	// Threads is preparation-scoped too: the per-rank kernels bake the cap
+	// in, so sessions differing only in the thread cap must not share an
+	// entry (the cap bounds a session's CPU appetite, not its numerics).
+	return fmt.Sprintf("%s|r=%d|phi=%d|prec=%s|omega=%g|tr=%s|seed=%d|st=%s|ckpt=%d|th=%d",
 		matrixHash, cfg.Ranks, cfg.Phi, cfg.Preconditioner, omega, cfg.Transport, seed,
-		cfg.Strategy, interval)
+		cfg.Strategy, interval, cfg.Threads)
 }

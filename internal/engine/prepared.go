@@ -230,6 +230,10 @@ func PrepareContext(ctx context.Context, a *sparse.CSR, cfg Config) (*Prepared, 
 		if err := c.Check(); err != nil {
 			return err
 		}
+		// Bake the session's kernel thread cap into the per-rank state: the
+		// SpMV row chunks and the Jacobi applications honour it on every
+		// solve (forks inherit it).
+		m.SetThreads(cfg.Threads)
 		prec, split, err := buildPrecond(cfg, m)
 		if err != nil {
 			rt.Abort(err)
@@ -256,6 +260,21 @@ func (ps *Prepared) Phi() int { return ps.cfg.Phi }
 
 // Config returns the normalized preparation-scoped configuration.
 func (ps *Prepared) Config() Config { return ps.cfg }
+
+// Threads returns the session's per-rank kernel thread cap (0 = automatic).
+func (ps *Prepared) Threads() int { return ps.cfg.Threads }
+
+// SetOverlap toggles the communication-hiding SpMV schedule of every solve
+// on this session (on by default). The phased reference schedule computes
+// the local block only after the halo receives are drained; both schedules
+// are bit-identical on every transport, so the knob exists for A/B
+// benchmarking and equality testing, not correctness. It must not be called
+// concurrently with Solve.
+func (ps *Prepared) SetOverlap(on bool) {
+	for i := range ps.prep {
+		ps.prep[i].m.SetOverlap(on)
+	}
+}
 
 // method resolves the solver for one Solve call: a per-solve override wins
 // over the session's configured method; MethodAuto keeps the historical
@@ -354,7 +373,8 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 		m := pr.m.Fork()
 		bv := distmat.Vector{P: ps.part, Pos: e.Pos, Local: append([]float64(nil), b[pr.lo:pr.hi]...)}
 		x := distmat.NewVector(ps.part, e.Pos)
-		copts := core.Options{Tol: opts.Tol, MaxIter: opts.MaxIter, LocalTol: opts.LocalTol, Ctx: ctx}
+		copts := core.Options{Tol: opts.Tol, MaxIter: opts.MaxIter, LocalTol: opts.LocalTol,
+			Threads: ps.cfg.Threads, Ctx: ctx}
 		if c.Rank() == 0 {
 			copts.Progress = opts.Progress
 		}
@@ -423,6 +443,9 @@ func buildPrecond(cfg Config, m *distmat.Matrix) (core.Precond, precond.Split, e
 		if err != nil {
 			return nil, nil, err
 		}
+		// Jacobi is the one preconditioner whose application legally
+		// parallelizes (element-wise); it honours the session's thread cap.
+		j.SetThreads(cfg.Threads)
 		return core.LocalPrecond{P: j}, nil, nil
 	case PrecondBlockJacobiILU:
 		f, err := precond.NewBlockJacobiILU(m.OwnBlock())

@@ -51,47 +51,64 @@ func TestQuickTransportPrepKey(t *testing.T) {
 // failure produces bit-identical solutions on the chan and fast transports
 // (the zero-copy contract must not change a single ulp), and the chaos
 // wire's reordering/latency must not either — the reduction tree and the
-// selective matching pin the numerics.
+// selective matching pin the numerics. The overlapped (communication-hiding)
+// SpMV must equal the phased reference on every transport too, under the
+// same failure schedule: the interior/boundary row split never changes a
+// row's accumulation order, even through a reconstruction episode.
 func TestCrossTransportBitIdentical(t *testing.T) {
 	a := matgen.Poisson2D(32, 32)
 	b := make([]float64, a.Rows)
 	for i := range b {
 		b[i] = 1 + float64(i%7)/7
 	}
-	solve := func(tr string) Solution {
+	sched := func() *faults.Schedule {
+		return faults.NewSchedule(faults.Simultaneous(5, 2, 3))
+	}
+	solve := func(tr string, overlap bool) Solution {
 		t.Helper()
-		sol, err := SolveSystem(context.Background(), a, b, Config{
-			Ranks: 8, Phi: 2, Transport: tr,
-			Schedule: faults.NewSchedule(faults.Simultaneous(5, 2, 3)),
-		})
+		ps, err := Prepare(a, Config{Ranks: 8, Phi: 2, Transport: tr})
 		if err != nil {
 			t.Fatalf("transport %q: %v", tr, err)
 		}
+		defer ps.Close()
+		ps.SetOverlap(overlap)
+		sol, err := ps.Solve(context.Background(), b, SolveOpts{Schedule: sched()})
+		if err != nil {
+			t.Fatalf("transport %q overlap %v: %v", tr, overlap, err)
+		}
 		if !sol.Result.Converged {
-			t.Fatalf("transport %q: did not converge", tr)
+			t.Fatalf("transport %q overlap %v: did not converge", tr, overlap)
 		}
 		if len(sol.Result.Reconstructions) != 1 {
-			t.Fatalf("transport %q: %d reconstructions, want 1", tr, len(sol.Result.Reconstructions))
+			t.Fatalf("transport %q overlap %v: %d reconstructions, want 1",
+				tr, overlap, len(sol.Result.Reconstructions))
 		}
 		return sol
 	}
-	ref := solve(TransportChan)
-	for _, tr := range []string{TransportFast, TransportChaos} {
-		got := solve(tr)
+	same := func(label string, got, ref Solution) {
+		t.Helper()
 		if got.Result.Iterations != ref.Result.Iterations {
-			t.Fatalf("transport %q: %d iterations, chan took %d",
-				tr, got.Result.Iterations, ref.Result.Iterations)
+			t.Fatalf("%s: %d iterations, reference took %d",
+				label, got.Result.Iterations, ref.Result.Iterations)
 		}
 		if got.Result.FinalResidual != ref.Result.FinalResidual {
-			t.Fatalf("transport %q: final residual %g != chan's %g",
-				tr, got.Result.FinalResidual, ref.Result.FinalResidual)
+			t.Fatalf("%s: final residual %g != reference %g",
+				label, got.Result.FinalResidual, ref.Result.FinalResidual)
 		}
 		for i := range ref.X {
 			if got.X[i] != ref.X[i] {
-				t.Fatalf("transport %q: x[%d] = %g differs from chan's %g",
-					tr, i, got.X[i], ref.X[i])
+				t.Fatalf("%s: x[%d] = %g differs from reference %g",
+					label, i, got.X[i], ref.X[i])
 			}
 		}
+	}
+	ref := solve(TransportChan, true)
+	for _, tr := range []string{TransportFast, TransportChaos} {
+		same("transport "+tr, solve(tr, true), ref)
+	}
+	// Overlapped vs phased under the 2-node failure schedule, per transport.
+	for _, tr := range []string{TransportChan, TransportFast, TransportChaos} {
+		same("phased on "+tr, solve(tr, false), ref)
 	}
 }
 

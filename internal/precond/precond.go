@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/localsolve"
 	"repro/internal/sparse"
+	"repro/internal/vec"
 )
 
 // Preconditioner is a node-local block preconditioner M_i.
@@ -59,10 +60,20 @@ func (Identity) ApplyInv(z, r []float64) { copy(z, r) }
 // ApplyM implements Preconditioner.
 func (Identity) ApplyM(y, x []float64) { copy(y, x) }
 
-// Jacobi is the diagonal (point Jacobi) preconditioner M = diag(A).
+// Jacobi is the diagonal (point Jacobi) preconditioner M = diag(A). Its
+// applications are element-wise independent — the one preconditioner family
+// with no cross-row data flow — so, alone among the preconditioners here,
+// they legally parallelize across row chunks (SetThreads); the triangular
+// sweeps of SSOR/ILU/IC carry loop-carried dependences and stay sequential
+// (level scheduling is the ROADMAP follow-up).
 type Jacobi struct {
-	d []float64
+	d       []float64
+	threads int
 }
+
+// jacobiParThreshold is the minimum block length for which the Jacobi
+// applications fan out to the shared worker pool.
+const jacobiParThreshold = 1 << 15
 
 // NewJacobi builds a Jacobi preconditioner from the local diagonal entries,
 // which must all be non-zero.
@@ -75,21 +86,53 @@ func NewJacobi(diag []float64) (*Jacobi, error) {
 	return &Jacobi{d: append([]float64(nil), diag...)}, nil
 }
 
+// SetThreads caps the goroutine fan-out of the parallel applications (<= 0
+// restores the automatic GOMAXPROCS default). Thread counts never change
+// results: the applications are element-wise. Set it at construction time;
+// not safe to call concurrently with ApplyInv/ApplyM.
+func (j *Jacobi) SetThreads(p int) {
+	if p < 0 {
+		p = 0
+	}
+	j.threads = p
+}
+
 // Name implements Preconditioner.
 func (j *Jacobi) Name() string { return "jacobi" }
 
-// ApplyInv implements Preconditioner.
+// ApplyInv implements Preconditioner. Element-wise, so the row-chunked
+// parallel path is bit-identical to the sequential one.
 func (j *Jacobi) ApplyInv(z, r []float64) {
-	for i := range z {
-		z[i] = r[i] / j.d[i]
+	if len(z) < jacobiParThreshold {
+		for i := range z {
+			z[i] = r[i] / j.d[i]
+		}
+		return
 	}
+	d := j.d
+	vec.Parallel(len(z), (len(z)+jacobiParThreshold-1)/jacobiParThreshold, j.threads,
+		func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				z[i] = r[i] / d[i]
+			}
+		})
 }
 
-// ApplyM implements Preconditioner.
+// ApplyM implements Preconditioner. Element-wise, like ApplyInv.
 func (j *Jacobi) ApplyM(y, x []float64) {
-	for i := range y {
-		y[i] = j.d[i] * x[i]
+	if len(y) < jacobiParThreshold {
+		for i := range y {
+			y[i] = j.d[i] * x[i]
+		}
+		return
 	}
+	d := j.d
+	vec.Parallel(len(y), (len(y)+jacobiParThreshold-1)/jacobiParThreshold, j.threads,
+		func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				y[i] = d[i] * x[i]
+			}
+		})
 }
 
 // BlockJacobiChol preconditions with the exact inverse of the local diagonal

@@ -57,17 +57,28 @@ func (m *CSR) Clone() *CSR {
 	return c
 }
 
+// rowDot accumulates one row's product in stored-entry order: sub-slicing
+// the row lets the compiler drop the bounds checks on vals (its length is
+// pinned to cols'), leaving only the unavoidable gather x[c]. Every MulVec
+// variant (serial, scattered, parallel) funnels through this one accumulator
+// so they are all bit-identical per row by construction.
+func rowDot(cols []int, vals []float64, x []float64) float64 {
+	vals = vals[:len(cols)]
+	var s float64
+	for k, c := range cols {
+		s += vals[k] * x[c]
+	}
+	return s
+}
+
 // MulVec computes y = A x. len(x) must equal Cols and len(y) must equal Rows.
 func (m *CSR) MulVec(y, x []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic("sparse: MulVec dimension mismatch")
 	}
 	for i := 0; i < m.Rows; i++ {
-		var s float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.Col[k]]
-		}
-		y[i] = s
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		y[i] = rowDot(m.Col[lo:hi], m.Val[lo:hi], x)
 	}
 }
 
@@ -77,11 +88,8 @@ func (m *CSR) MulVecAdd(y, x []float64) {
 		panic("sparse: MulVecAdd dimension mismatch")
 	}
 	for i := 0; i < m.Rows; i++ {
-		var s float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.Col[k]]
-		}
-		y[i] += s
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		y[i] += rowDot(m.Col[lo:hi], m.Val[lo:hi], x)
 	}
 }
 

@@ -1,0 +1,126 @@
+package sparse
+
+import (
+	"repro/internal/vec"
+)
+
+// RowSplit is an interior/boundary partition of a CSR's rows: Interior holds
+// the rows whose stored columns are all "interior" (for a column-localised
+// distributed block: columns inside the rank's own block), Boundary the rows
+// that touch at least one exterior (ghost) column. Both sub-matrices keep
+// the source's column space and each row's stored entries in their original
+// order, so computing a row from either side is bit-identical to computing
+// it from the source matrix. IntRows/BndRows map sub-matrix rows back to
+// source rows; together they cover every source row exactly once.
+//
+// This is the structural half of the communication-hiding SpMV (Levonyak et
+// al.): interior rows need no ghost data and can be computed while the halo
+// exchange is still in flight; only the boundary rows wait for the wire.
+type RowSplit struct {
+	Interior, Boundary *CSR
+	// IntRows and BndRows are the source row indices of the sub-matrices'
+	// rows, each ascending.
+	IntRows, BndRows []int
+}
+
+// SplitCSR partitions a's rows by the interior predicate on column indices.
+// Rows whose stored columns all satisfy interior(c) land in Interior (an
+// empty row is interior); the rest land in Boundary.
+func SplitCSR(a *CSR, interior func(col int) bool) *RowSplit {
+	s := &RowSplit{
+		Interior: &CSR{Cols: a.Cols, RowPtr: []int{0}},
+		Boundary: &CSR{Cols: a.Cols, RowPtr: []int{0}},
+	}
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		isInterior := true
+		for _, c := range cols {
+			if !interior(c) {
+				isInterior = false
+				break
+			}
+		}
+		dst := s.Boundary
+		if isInterior {
+			dst = s.Interior
+			s.IntRows = append(s.IntRows, i)
+		} else {
+			s.BndRows = append(s.BndRows, i)
+		}
+		dst.Rows++
+		dst.Col = append(dst.Col, cols...)
+		dst.Val = append(dst.Val, vals...)
+		dst.RowPtr = append(dst.RowPtr, len(dst.Col))
+	}
+	return s
+}
+
+// SplitCSRBound is SplitCSR with the column-localised convention: columns in
+// [0, bound) are interior, columns >= bound are ghost.
+func SplitCSRBound(a *CSR, bound int) *RowSplit {
+	return SplitCSR(a, func(c int) bool { return c < bound })
+}
+
+// parRowChunk is the row-chunk size of the parallel SpMV grid. Row chunks
+// write disjoint output entries, so — unlike the reduction grids in
+// internal/vec — the grid never influences results; it only balances load.
+const parRowChunk = 256
+
+// parNNZThreshold is the minimum stored-entry count for which the parallel
+// SpMV variants fan out to the worker pool.
+const parNNZThreshold = 1 << 14
+
+// MulVecPar computes y = A x like MulVec, row-chunked across the shared
+// worker pool, bounded to at most `threads` goroutines (<= 0 selects
+// GOMAXPROCS). Each row is accumulated by exactly one goroutine in stored
+// order and rows write disjoint y entries, so the result is bit-identical to
+// MulVec for every thread count.
+func (m *CSR) MulVecPar(y, x []float64, threads int) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic("sparse: MulVecPar dimension mismatch")
+	}
+	if m.NNZ() < parNNZThreshold {
+		m.MulVec(y, x)
+		return
+	}
+	vec.Parallel(m.Rows, (m.Rows+parRowChunk-1)/parRowChunk, threads, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rlo, rhi := m.RowPtr[i], m.RowPtr[i+1]
+			y[i] = rowDot(m.Col[rlo:rhi], m.Val[rlo:rhi], x)
+		}
+	})
+}
+
+// MulVecScatter computes y[rows[i]] = (A x)[i] for the compressed matrix:
+// row i of m is accumulated in stored order and written to the source row
+// index rows[i]. It is the kernel behind both halves of a RowSplit, scoring
+// each sub-matrix row directly into the full output vector.
+func (m *CSR) MulVecScatter(y, x []float64, rows []int) {
+	if len(x) != m.Cols || len(rows) != m.Rows {
+		panic("sparse: MulVecScatter dimension mismatch")
+	}
+	for i, dst := range rows {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		y[dst] = rowDot(m.Col[lo:hi], m.Val[lo:hi], x)
+	}
+}
+
+// MulVecScatterPar is MulVecScatter row-chunked across the shared worker
+// pool, bounded to at most `threads` goroutines. Rows write disjoint y
+// entries (rows holds distinct indices), so the result is bit-identical to
+// MulVecScatter for every thread count.
+func (m *CSR) MulVecScatterPar(y, x []float64, rows []int, threads int) {
+	if len(x) != m.Cols || len(rows) != m.Rows {
+		panic("sparse: MulVecScatterPar dimension mismatch")
+	}
+	if m.NNZ() < parNNZThreshold {
+		m.MulVecScatter(y, x, rows)
+		return
+	}
+	vec.Parallel(m.Rows, (m.Rows+parRowChunk-1)/parRowChunk, threads, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rlo, rhi := m.RowPtr[i], m.RowPtr[i+1]
+			y[rows[i]] = rowDot(m.Col[rlo:rhi], m.Val[rlo:rhi], x)
+		}
+	})
+}

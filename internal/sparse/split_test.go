@@ -1,0 +1,135 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQuickSplitCSRPartitionProperty: across random matrices and random
+// interior bounds, the interior/boundary split must (a) cover every source
+// row exactly once with disjoint index sets, (b) classify rows correctly,
+// and (c) reproduce each row's stored entries verbatim — the invariants the
+// overlapped distributed SpMV's bit-identical guarantee rests on.
+func TestQuickSplitCSRPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		r := 1 + rng.Intn(40)
+		c := 1 + rng.Intn(40)
+		m := FromDense(r, c, randDense(rng, r, c, 0.05+0.5*rng.Float64()))
+		bound := rng.Intn(c + 1) // 0 (all boundary) .. c (all interior)
+		s := SplitCSRBound(m, bound)
+
+		if len(s.IntRows) != s.Interior.Rows || len(s.BndRows) != s.Boundary.Rows {
+			t.Fatalf("trial %d: row maps sized %d/%d, sub-matrices %d/%d rows",
+				trial, len(s.IntRows), len(s.BndRows), s.Interior.Rows, s.Boundary.Rows)
+		}
+		seen := make([]int, r)
+		for _, i := range s.IntRows {
+			seen[i]++
+		}
+		for _, i := range s.BndRows {
+			seen[i] += 10 // disjointness shows up as a mixed count
+		}
+		for i, v := range seen {
+			if v != 1 && v != 10 {
+				t.Fatalf("trial %d (r=%d c=%d bound=%d): row %d covered with code %d, want exactly one side",
+					trial, r, c, bound, i, v)
+			}
+		}
+		check := func(sub *CSR, rows []int, wantInterior bool) {
+			if err := sub.CheckValid(); err != nil {
+				t.Fatalf("trial %d: invalid sub-matrix: %v", trial, err)
+			}
+			for si, srcRow := range rows {
+				gotC, gotV := sub.Row(si)
+				wantC, wantV := m.Row(srcRow)
+				if len(gotC) != len(wantC) {
+					t.Fatalf("trial %d: row %d has %d entries, want %d", trial, srcRow, len(gotC), len(wantC))
+				}
+				isInterior := true
+				for k := range gotC {
+					if gotC[k] != wantC[k] || gotV[k] != wantV[k] {
+						t.Fatalf("trial %d: row %d entry %d differs", trial, srcRow, k)
+					}
+					if gotC[k] >= bound {
+						isInterior = false
+					}
+				}
+				if isInterior != wantInterior {
+					t.Fatalf("trial %d (bound=%d): row %d classified interior=%v, columns say %v",
+						trial, bound, srcRow, wantInterior, isInterior)
+				}
+			}
+		}
+		check(s.Interior, s.IntRows, true)
+		check(s.Boundary, s.BndRows, false)
+	}
+}
+
+// TestQuickSplitScatterMatchesMulVec: scoring both halves of a split through
+// MulVecScatter (and its parallel variant at several thread counts) must be
+// bit-identical to the unsplit MulVec.
+func TestQuickSplitScatterMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		r := 1 + rng.Intn(60)
+		c := 1 + rng.Intn(60)
+		m := FromDense(r, c, randDense(rng, r, c, 0.3))
+		bound := rng.Intn(c + 1)
+		s := SplitCSRBound(m, bound)
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, r)
+		m.MulVec(want, x)
+
+		got := make([]float64, r)
+		s.Interior.MulVecScatter(got, x, s.IntRows)
+		s.Boundary.MulVecScatter(got, x, s.BndRows)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: scatter y[%d] = %x, MulVec %x", trial, i, got[i], want[i])
+			}
+		}
+		for _, threads := range []int{1, 2, 7} {
+			par := make([]float64, r)
+			s.Interior.MulVecScatterPar(par, x, s.IntRows, threads)
+			s.Boundary.MulVecScatterPar(par, x, s.BndRows, threads)
+			for i := range want {
+				if par[i] != want[i] {
+					t.Fatalf("trial %d threads %d: parallel scatter y[%d] = %x, MulVec %x",
+						trial, threads, i, par[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuickMulVecParMatchesMulVec: the row-chunked parallel SpMV is
+// bit-identical to the serial kernel for every thread count, including above
+// the fan-out threshold.
+func TestQuickMulVecParMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	// Big enough to clear parNNZThreshold so the pooled path actually runs.
+	n := 200
+	m := FromDense(n, n, randDense(rng, n, n, 0.5))
+	if m.NNZ() < parNNZThreshold {
+		t.Fatalf("test matrix too sparse to exercise the parallel path: nnz %d", m.NNZ())
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	m.MulVec(want, x)
+	for _, threads := range []int{0, 1, 3, 16} {
+		got := make([]float64, n)
+		m.MulVecPar(got, x, threads)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads %d: y[%d] = %x, serial %x", threads, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,46 +1,28 @@
 package vec
 
-import (
-	"runtime"
-	"sync"
-)
-
 // parThreshold is the minimum slice length for which the parallel variants
-// fan out to multiple goroutines; below it the sequential kernel is faster.
+// fan out to the worker pool; below it the sequential kernel is faster.
 const parThreshold = 1 << 15
 
-// chunks splits [0,n) into at most p nearly equal ranges and invokes f for
-// each of them concurrently, waiting for completion.
-func chunks(n, p int, f func(lo, hi int)) {
-	if p > n {
-		p = n
-	}
-	if p <= 1 {
-		f(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	q, r := n/p, n%p
-	lo := 0
-	for i := 0; i < p; i++ {
-		hi := lo + q
-		if i < r {
-			hi++
-		}
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-		lo = hi
-	}
-	wg.Wait()
-}
+// parChunk is the element count of one reduction chunk. The chunk grid of a
+// parallel reduction depends only on the vector length — never on the thread
+// setting or on GOMAXPROCS — so ParDot and friends return the same bit
+// pattern for every thread count (including 1) on every machine.
+const parChunk = 1 << 13
 
-// ParDot returns x'y, splitting the work across GOMAXPROCS goroutines for
-// large vectors. Deterministic for a fixed split: each chunk accumulates
-// locally and the partials are summed in index order.
-func ParDot(x, y []float64) float64 {
+// reduceChunks returns the fixed reduction grid size for length n.
+func reduceChunks(n int) int { return (n + parChunk - 1) / parChunk }
+
+// ParDot returns x'y, splitting the work across the shared worker pool for
+// large vectors. Deterministic: the chunk grid is a pure function of the
+// length, each chunk accumulates locally, and the partials are summed in
+// index order — so the result is bit-identical for every thread count.
+func ParDot(x, y []float64) float64 { return ParDotN(x, y, 0) }
+
+// ParDotN is ParDot bounded to at most `threads` concurrent goroutines
+// (<= 0 selects GOMAXPROCS). The thread bound never changes the result: it
+// only caps how many chunks of the fixed grid are in flight at once.
+func ParDotN(x, y []float64, threads int) float64 {
 	if len(x) != len(y) {
 		panic("vec: ParDot length mismatch")
 	}
@@ -48,24 +30,11 @@ func ParDot(x, y []float64) float64 {
 	if n < parThreshold {
 		return Dot(x, y)
 	}
-	p := runtime.GOMAXPROCS(0)
-	partial := make([]float64, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	q, r := n/p, n%p
-	lo := 0
-	for i := 0; i < p; i++ {
-		hi := lo + q
-		if i < r {
-			hi++
-		}
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			partial[i] = Dot(x[lo:hi], y[lo:hi])
-		}(i, lo, hi)
-		lo = hi
-	}
-	wg.Wait()
+	nchunks := reduceChunks(n)
+	partial := make([]float64, nchunks)
+	Parallel(n, nchunks, threads, func(c, lo, hi int) {
+		partial[c] = Dot(x[lo:hi], y[lo:hi])
+	})
 	var s float64
 	for _, v := range partial {
 		s += v
@@ -74,14 +43,20 @@ func ParDot(x, y []float64) float64 {
 }
 
 // ParNrm2Sq returns the squared Euclidean norm x'x, splitting the work
-// across GOMAXPROCS goroutines for large vectors. Like Nrm2Sq it carries no
-// overflow guard (partial sums must compose across ranks). Deterministic
-// for a fixed split: chunk partials are summed in index order. It is
-// exactly ParDot(x, x) — same multiply-add sequence, bit-identical result.
-func ParNrm2Sq(x []float64) float64 { return ParDot(x, x) }
+// across the shared worker pool for large vectors. Like Nrm2Sq it carries no
+// overflow guard (partial sums must compose across ranks). It is exactly
+// ParDot(x, x) — same multiply-add sequence, bit-identical result.
+func ParNrm2Sq(x []float64) float64 { return ParDotN(x, x, 0) }
 
-// ParAxpy computes y += a*x using multiple goroutines for large vectors.
-func ParAxpy(a float64, x, y []float64) {
+// ParNrm2SqN is ParNrm2Sq bounded to at most `threads` goroutines.
+func ParNrm2SqN(x []float64, threads int) float64 { return ParDotN(x, x, threads) }
+
+// ParAxpy computes y += a*x on the shared worker pool for large vectors.
+// Element-wise, so bit-identical to Axpy for every thread count.
+func ParAxpy(a float64, x, y []float64) { ParAxpyN(a, x, y, 0) }
+
+// ParAxpyN is ParAxpy bounded to at most `threads` goroutines.
+func ParAxpyN(a float64, x, y []float64, threads int) {
 	if len(x) != len(y) {
 		panic("vec: ParAxpy length mismatch")
 	}
@@ -90,7 +65,25 @@ func ParAxpy(a float64, x, y []float64) {
 		Axpy(a, x, y)
 		return
 	}
-	chunks(n, runtime.GOMAXPROCS(0), func(lo, hi int) {
+	Parallel(n, reduceChunks(n), threads, func(_, lo, hi int) {
 		Axpy(a, x[lo:hi], y[lo:hi])
+	})
+}
+
+// ParAxpyAxpy is AxpyAxpy (y += a*x; v += b*u in one fused pass) on the
+// shared worker pool for large vectors, bounded to at most `threads`
+// goroutines. Element-wise, so bit-identical to AxpyAxpy for every thread
+// count.
+func ParAxpyAxpy(a float64, x, y []float64, b float64, u, v []float64, threads int) {
+	if len(x) != len(y) || len(u) != len(v) || len(x) != len(u) {
+		panic("vec: ParAxpyAxpy length mismatch")
+	}
+	n := len(x)
+	if n < parThreshold {
+		AxpyAxpy(a, x, y, b, u, v)
+		return
+	}
+	Parallel(n, reduceChunks(n), threads, func(_, lo, hi int) {
+		AxpyAxpy(a, x[lo:hi], y[lo:hi], b, u[lo:hi], v[lo:hi])
 	})
 }

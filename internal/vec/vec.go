@@ -32,6 +32,22 @@ func Axpy(a float64, x, y []float64) {
 	}
 }
 
+// AxpyAxpy fuses the PCG update pair into one pass: y += a*x and v += b*u.
+// The two updates are element-wise independent (PCG's x/r updates touch
+// disjoint vectors), so the fusion is bit-identical to the two Axpy calls
+// while reading each index range once. It panics if any lengths differ.
+func AxpyAxpy(a float64, x, y []float64, b float64, u, v []float64) {
+	if len(x) != len(y) || len(u) != len(v) || len(x) != len(u) {
+		panic("vec: AxpyAxpy length mismatch")
+	}
+	u = u[:len(x)]
+	v = v[:len(x)]
+	for i, xv := range x {
+		y[i] += a * xv
+		v[i] += b * u[i]
+	}
+}
+
 // Axpby computes y = a*x + b*y in place. It panics if the lengths differ.
 func Axpby(a float64, x []float64, b float64, y []float64) {
 	if len(x) != len(y) {

@@ -104,6 +104,15 @@ type InvalidStrategyError = engine.InvalidStrategyError
 // period.
 type InvalidCheckpointIntervalError = engine.InvalidCheckpointIntervalError
 
+// InvalidThreadsError reports a meaningless kernel thread cap (below
+// ThreadsAuto).
+type InvalidThreadsError = engine.InvalidThreadsError
+
+// ThreadsAuto explicitly selects the automatic GOMAXPROCS thread cap; on
+// the wire it bypasses a daemon-level -threads default, unlike the zero
+// value.
+const ThreadsAuto = engine.ThreadsAuto
+
 // Option is a typed functional configuration knob for NewSolver (and, for
 // the solve-scoped subset, Solver.Solve). Options lower onto the same
 // Config that the JSON wire format uses: a Config decoded off the wire and
@@ -170,6 +179,25 @@ func WithTransport(t Transport) Option {
 func WithTransportSeed(seed int64) Option {
 	return func(c *Config) error {
 		c.TransportSeed = seed
+		return nil
+	}
+}
+
+// WithThreads caps the per-rank goroutine fan-out of the node-local
+// parallel kernels (SpMV row chunks, reductions, fused vector updates, the
+// Jacobi preconditioner); 0 (the default) selects GOMAXPROCS automatically,
+// and ThreadsAuto (-1) does so explicitly (meaningful on the wire, where an
+// esrd -threads default would otherwise replace the zero value). Thread
+// counts never change results — every parallel kernel works over a chunk
+// grid fixed by the data size alone — so this is purely a resource knob for
+// packing many concurrent solves onto one machine. Other negative values
+// are rejected with a typed *InvalidThreadsError. Preparation-scoped.
+func WithThreads(n int) Option {
+	return func(c *Config) error {
+		if n < ThreadsAuto {
+			return &InvalidThreadsError{Threads: n}
+		}
+		c.Threads = n
 		return nil
 	}
 }

@@ -1,0 +1,46 @@
+package esr
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestQuickWithThreadsOptionScope: the public thread-cap option validates
+// its argument with the typed error, is preparation-scoped (rejected when
+// passed to Solve), and a capped session still solves correctly.
+func TestQuickWithThreadsOptionScope(t *testing.T) {
+	if _, err := NewSolver(Poisson2D(8, 8), WithThreads(-2)); err == nil {
+		t.Fatal("below-auto threads must be rejected")
+	} else {
+		var terr *InvalidThreadsError
+		if !errors.As(err, &terr) || terr.Threads != -2 {
+			t.Fatalf("want *InvalidThreadsError, got %v", err)
+		}
+	}
+
+	a := Poisson2D(12, 12)
+	s, err := NewSolver(a, WithRanks(4), WithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Config().Threads; got != 1 {
+		t.Fatalf("session threads = %d, want 1", got)
+	}
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	sol, err := s.Solve(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Result.Converged {
+		t.Fatal("capped session did not converge")
+	}
+	// Preparation-scoped: changing the cap per solve must be rejected.
+	if _, err := s.Solve(context.Background(), b, WithThreads(2)); err == nil {
+		t.Fatal("per-solve WithThreads must be rejected as preparation-scoped")
+	}
+}
