@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/commmodel"
@@ -312,6 +313,61 @@ func BenchmarkStrategyOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchCountingTracer is a minimal Tracer for overhead measurement: two
+// atomic increments per callback, nothing else, so the benchmark isolates
+// the solver-side cost of the phase clock and the trace delivery.
+type benchCountingTracer struct {
+	iters, recs atomic.Int64
+}
+
+func (t *benchCountingTracer) TraceIteration(IterationTrace) { t.iters.Add(1) }
+func (t *benchCountingTracer) TraceRecovery(RecoveryTrace)   { t.recs.Add(1) }
+
+// BenchmarkTracerOverhead measures the cost of per-iteration phase tracing
+// on failure-free resilient solves through a prepared session (ranks 8, phi
+// 1, so the ESR-PCG driver runs). Tracing adds four monotonic clock reads
+// per iteration on rank 0 and nothing on the other ranks; the traced and
+// untraced sub-benchmarks must stay within a few percent of each other —
+// the CI bench trajectory gates this pair.
+func BenchmarkTracerOverhead(b *testing.B) {
+	a := Poisson2D(64, 64)
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = 1 + 0.25*math.Sin(float64(i))
+	}
+	ctx := context.Background()
+	run := func(b *testing.B, opts ...Option) {
+		b.Helper()
+		s, err := NewSolver(a, WithRanks(8), WithPhi(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sol, err := s.Solve(ctx, rhs, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sol.Result.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) {
+		run(b)
+	})
+	b.Run("traced", func(b *testing.B) {
+		var tr benchCountingTracer
+		run(b, WithTracer(&tr))
+		b.StopTimer()
+		if tr.iters.Load() == 0 {
+			b.Fatal("tracer observed no iterations")
+		}
+		b.ReportMetric(float64(tr.iters.Load())/float64(b.N), "iters/solve")
+	})
 }
 
 // BenchmarkEndToEndSolve measures one resilient solve with three

@@ -22,6 +22,53 @@ func writeRows(t *testing.T, dir, name string, rows []Row) string {
 	return path
 }
 
+// TestLoadRowsFormats: loadRows accepts both the {meta, rows} object format
+// and the legacy bare array, and compare works across the two (the meta
+// block never participates in the gate).
+func TestLoadRowsFormats(t *testing.T) {
+	dir := t.TempDir()
+	rows := []Row{{Name: "BenchmarkMatVecIter/fast-8", NsPerOp: 100_000}}
+	legacy := writeRows(t, dir, "legacy.json", rows)
+
+	data, err := json.Marshal(File{
+		Meta: Meta{GitSHA: "abc123", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8},
+		Rows: rows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	object := filepath.Join(dir, "object.json")
+	if err := os.WriteFile(object, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{legacy, object} {
+		got, err := loadRows(path)
+		if err != nil {
+			t.Fatalf("loadRows(%s): %v", path, err)
+		}
+		if len(got) != 1 || got[0].Name != rows[0].Name || got[0].NsPerOp != rows[0].NsPerOp {
+			t.Fatalf("loadRows(%s) = %+v", path, got)
+		}
+	}
+	var out bytes.Buffer
+	if err := compareFiles(&out, legacy, object, defaultGate, 0.15); err != nil {
+		t.Fatalf("legacy seed vs object fresh: %v\n%s", err, out.String())
+	}
+}
+
+// TestCollectMeta: the provenance block carries the runner's shape; the git
+// SHA is best-effort (present in a checkout, empty elsewhere).
+func TestCollectMeta(t *testing.T) {
+	m := collectMeta()
+	if m.GOOS == "" || m.GOARCH == "" || m.GOMAXPROCS < 1 || m.GoVersion == "" {
+		t.Fatalf("incomplete meta: %+v", m)
+	}
+	if m.Timestamp == "" {
+		t.Fatalf("meta missing timestamp: %+v", m)
+	}
+}
+
 func TestCanonicalName(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkMatVecIter/fast-8":                          "BenchmarkMatVecIter/fast",

@@ -1,23 +1,28 @@
 // Command benchjson converts `go test -bench` output into the
-// machine-readable rows of the repository's bench trajectory
-// (BENCH_ci.json): it reads the benchmark text on stdin and writes a JSON
-// array of {name, iterations, ns_per_op, bytes_per_op, allocs_per_op,
-// metrics} rows on stdout.
+// machine-readable bench trajectory of the repository (BENCH_ci.json): it
+// reads the benchmark text on stdin and writes a JSON object
+// {"meta": {...}, "rows": [...]} on stdout, where meta records the run's
+// provenance (git SHA, Go version, goos/goarch, GOMAXPROCS, UTC timestamp)
+// and each row is {name, iterations, ns_per_op, bytes_per_op,
+// allocs_per_op, metrics}.
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_ci.json
 //
 // Lines that are not benchmark result lines (logs, pass/fail summaries) are
 // ignored, so the raw `go test` stream can be piped in directly. The CI
 // bench step uses this to publish a comparable artifact on every push, so
-// perf regressions show up as a trajectory rather than anecdotes.
+// perf regressions show up as a trajectory rather than anecdotes — and the
+// meta block says which commit and machine shape produced each point.
 //
 // Compare mode turns the trajectory into a gate (flags must precede the
 // positional file args — Go's flag parsing stops at the first non-flag):
 //
 //	benchjson -compare [-threshold 0.15] [-match re] seed.json fresh.json
 //
-// loads two row files, matches rows by name (the GOMAXPROCS "-N" suffix is
-// stripped, so seeds recorded on different core counts still line up),
+// loads two row files (either the {meta, rows} object or the legacy bare
+// row array — the meta block is ignored by the gate), matches rows by name
+// (the GOMAXPROCS "-N" suffix is stripped, so seeds recorded on different
+// core counts still line up),
 // restricts to names matching the -match regexp (default: the session and
 // transport benchmark families), and exits non-zero when any fresh ns/op
 // exceeds its seed by more than the threshold fraction — or when a gated
@@ -27,14 +32,18 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Row is one benchmark measurement.
@@ -54,10 +63,54 @@ type Row struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Meta records the provenance of one bench run, so trajectory points are
+// attributable to a commit and a machine shape. The compare gate never
+// reads it.
+type Meta struct {
+	// GitSHA is the commit the run measured (empty when git is unavailable).
+	GitSHA    string `json:"git_sha,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS is the runner's scheduler width — the "-N" suffix the
+	// benchmark names carry.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Timestamp is the conversion time, UTC RFC 3339.
+	Timestamp string `json:"timestamp"`
+}
+
+// File is the trajectory file format: run provenance plus the measured rows.
+// loadRows also still accepts the legacy bare row array.
+type File struct {
+	Meta Meta  `json:"meta"`
+	Rows []Row `json:"rows"`
+}
+
+// collectMeta gathers the run's provenance. The git SHA comes from
+// `git rev-parse HEAD`, falling back to the GITHUB_SHA environment variable
+// (present on CI even for checkouts without a .git directory), then empty.
+func collectMeta() Meta {
+	sha := ""
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		sha = strings.TrimSpace(string(out))
+	} else if env := os.Getenv("GITHUB_SHA"); env != "" {
+		sha = env
+	}
+	return Meta{
+		GitSHA:     sha,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
 // defaultGate restricts the regression gate to the benchmark families whose
 // seeds are stable enough to compare across pushes: the prepared-session
-// throughput and the steady-state transport shapes.
-const defaultGate = `^Benchmark(PreparedVsOneShot|Allreduce|HaloExchange|MatVecIter)`
+// throughput, the steady-state transport shapes, and the observer-only
+// tracing overhead.
+const defaultGate = `^Benchmark(PreparedVsOneShot|Allreduce|HaloExchange|MatVecIter|TracerOverhead)`
 
 func main() {
 	compare := flag.Bool("compare", false,
@@ -87,7 +140,7 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rows); err != nil {
+	if err := enc.Encode(File{Meta: collectMeta(), Rows: rows}); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -100,17 +153,27 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 // with different core counts still match.
 func canonicalName(name string) string { return procSuffix.ReplaceAllString(name, "") }
 
-// loadRows reads one JSON row file.
+// loadRows reads one JSON row file, accepting both the {meta, rows} object
+// and the legacy bare row array (older committed seeds). Compare mode only
+// ever needs the rows — the meta block is provenance, not a gate input.
 func loadRows(path string) ([]Row, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var rows []Row
-	if err := json.Unmarshal(data, &rows); err != nil {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var rows []Row
+		if err := json.Unmarshal(data, &rows); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return rows, nil
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return rows, nil
+	return f.Rows, nil
 }
 
 // compareFiles gates fresh against seed: every gated seed row must be

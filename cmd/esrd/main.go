@@ -6,7 +6,13 @@
 //	esrd [-addr :8080] [-workers 4] [-queue 256] [-max-jobs 4096]
 //	     [-job-ttl 0] [-prep-cache 8] [-prep-ttl 10m] [-max-matrices 64]
 //	     [-transport chan|fast|chaos] [-strategy esr|checkpoint|restart]
-//	     [-threads 0] [-pprof addr]
+//	     [-threads 0] [-pprof addr] [-trace-iters 0] [-log-format text|json]
+//
+// Observability: GET /metrics serves the Prometheus text exposition of the
+// daemon and solver series; -trace-iters N additionally captures the last N
+// per-iteration phase traces of every job, served by
+// GET /v1/jobs/{id}/trace. Logs are structured (log/slog) on stderr;
+// -log-format json switches the access and lifecycle lines to JSON.
 //
 // Submit a job (a 64x64 Poisson system, phi=2, two ranks failing at
 // iteration 10), then follow its progress:
@@ -34,7 +40,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // handlers on DefaultServeMux, served only via -pprof
 	"os"
@@ -62,18 +68,41 @@ func main() {
 		"default per-rank kernel thread cap for jobs that do not pick one (0 = GOMAXPROCS)")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this separate listener (e.g. localhost:6060; empty disables)")
+	traceIters := flag.Int("trace-iters", 0,
+		"capture the last N per-iteration phase traces of every job, served by GET /v1/jobs/{id}/trace (0 disables)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).
+			Error("bad -log-format", "format", *logFormat, "want", "text or json")
+		os.Exit(2)
+	}
+	logger := slog.New(handler).With("component", "esrd")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	// Reuse the engine's validation so the flags and the wire format accept
 	// exactly the same transport/strategy/threads values.
 	if err := (engine.Config{Transport: *transport}).Validate(); err != nil {
-		log.Fatalf("esrd: bad -transport: %v", err)
+		fatal("bad -transport", "err", err)
 	}
 	if err := (engine.Config{Strategy: *strategy}).Validate(); err != nil {
-		log.Fatalf("esrd: bad -strategy: %v", err)
+		fatal("bad -strategy", "err", err)
 	}
 	if err := (engine.Config{Threads: *threads}).Validate(); err != nil {
-		log.Fatalf("esrd: bad -threads: %v", err)
+		fatal("bad -threads", "err", err)
+	}
+	if *traceIters < 0 {
+		fatal("bad -trace-iters", "trace_iters", *traceIters, "want", "non-negative")
 	}
 
 	if *pprofAddr != "" {
@@ -86,8 +115,8 @@ func main() {
 		// failures above — rather than a log line the operator discovers
 		// mid-incident when /debug/pprof/ turns out unreachable.
 		go func() {
-			log.Printf("esrd: pprof listening on %s", *pprofAddr)
-			log.Fatalf("esrd: pprof listener failed: %v", http.ListenAndServe(*pprofAddr, nil))
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			fatal("pprof listener failed", "err", http.ListenAndServe(*pprofAddr, nil))
 		}()
 	}
 
@@ -97,10 +126,11 @@ func main() {
 		PrepCacheSize: *prepCache, PrepCacheTTL: *prepTTL,
 		MaxMatrices: *maxMatrices, DefaultTransport: *transport,
 		DefaultStrategy: *strategy, DefaultThreads: *threads,
+		TraceIters: *traceIters,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(eng),
+		Handler:           newMux(eng, logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -110,7 +140,7 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Println("esrd: shutting down")
+		logger.Info("shutting down")
 		// Close the engine first: it cancels every job, which terminates the
 		// open NDJSON event streams, so the HTTP drain below can finish
 		// instead of waiting out its timeout behind infinite streams.
@@ -120,9 +150,10 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("esrd: listening on %s (%d workers, queue %d)", *addr, *workers, *queueCap)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queueCap,
+		"trace_iters", *traceIters, "log_format", *logFormat)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("listener failed", "err", err)
 	}
 	// ListenAndServe returns as soon as Shutdown begins; wait for the drain
 	// and engine teardown to actually finish before exiting.

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 )
 
 // server exposes the job engine over HTTP:
@@ -19,6 +22,8 @@ import (
 //	GET    /v1/jobs/{id}        job status snapshot
 //	GET    /v1/jobs/{id}/events NDJSON event stream (follows until terminal;
 //	                            ?from=N resumes after sequence number N-1)
+//	GET    /v1/jobs/{id}/trace  per-iteration phase trace of the job's solve
+//	                            (needs -trace-iters > 0)
 //	DELETE /v1/jobs/{id}        cancel a queued/running job; remove the
 //	                            record of a terminal one
 //	POST   /v1/matrices         register a MatrixSpec once, returns the
@@ -27,25 +32,116 @@ import (
 //	GET    /v1/matrices/{id}    matrix record
 //	DELETE /v1/matrices/{id}    unregister
 //	GET    /v1/healthz          liveness + job/matrix/prep-cache gauges
+//	GET    /metrics             Prometheus text exposition of the registry
 type server struct {
 	eng *engine.Engine
+	log *slog.Logger
+
+	// Per-route HTTP observables, registered on the engine's registry so the
+	// daemon's own traffic shows up next to the solver series on /metrics.
+	httpReqs *metrics.CounterVec
+	httpDur  *metrics.HistogramVec
 }
 
-// newMux routes the API onto a fresh ServeMux.
-func newMux(eng *engine.Engine) *http.ServeMux {
-	s := &server{eng: eng}
+// newMux routes the API onto a fresh ServeMux. Every route is wrapped in the
+// access middleware: one structured log line and one count/duration
+// observation per request. A nil logger disables access logging (handlers
+// still run and metrics are still recorded).
+func newMux(eng *engine.Engine, logger *slog.Logger) *http.ServeMux {
+	reg := eng.Metrics()
+	s := &server{
+		eng: eng,
+		log: logger,
+		httpReqs: reg.CounterVec("esrd_http_requests_total",
+			"HTTP requests served, by method, route pattern, and status code.",
+			"method", "route", "status"),
+		httpDur: reg.HistogramVec("esrd_http_request_seconds",
+			"HTTP request handling duration in seconds, by route pattern.",
+			metrics.DefBuckets(), "route"),
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.submit)
-	mux.HandleFunc("GET /v1/jobs", s.list)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
-	mux.HandleFunc("POST /v1/matrices", s.putMatrix)
-	mux.HandleFunc("GET /v1/matrices", s.listMatrices)
-	mux.HandleFunc("GET /v1/matrices/{id}", s.getMatrix)
-	mux.HandleFunc("DELETE /v1/matrices/{id}", s.deleteMatrix)
-	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	s.handle(mux, "POST /v1/jobs", s.submit)
+	s.handle(mux, "GET /v1/jobs", s.list)
+	s.handle(mux, "GET /v1/jobs/{id}", s.get)
+	s.handle(mux, "GET /v1/jobs/{id}/events", s.events)
+	s.handle(mux, "GET /v1/jobs/{id}/trace", s.trace)
+	s.handle(mux, "DELETE /v1/jobs/{id}", s.deleteJob)
+	s.handle(mux, "POST /v1/matrices", s.putMatrix)
+	s.handle(mux, "GET /v1/matrices", s.listMatrices)
+	s.handle(mux, "GET /v1/matrices/{id}", s.getMatrix)
+	s.handle(mux, "DELETE /v1/matrices/{id}", s.deleteMatrix)
+	s.handle(mux, "GET /v1/healthz", s.healthz)
+	s.handle(mux, "GET /metrics", s.metrics)
 	return mux
+}
+
+// handle registers h under the "METHOD /route" pattern, wrapped in the
+// middleware that records esrd_http_requests_total / esrd_http_request_seconds
+// and emits one structured access-log line per request. The route label is
+// the registration pattern, not the raw URL, so path parameters ({id}) do not
+// explode the series cardinality.
+func (s *server) handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	method, route, _ := strings.Cut(pattern, " ")
+	dur := s.httpDur.With(route)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		elapsed := time.Since(start)
+		status := sw.code()
+		s.httpReqs.With(method, route, strconv.Itoa(status)).Inc()
+		dur.Observe(elapsed.Seconds())
+		if s.log != nil {
+			attrs := []slog.Attr{
+				slog.String("method", method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Duration("duration", elapsed),
+			}
+			// r.PathValue is populated by the mux before the handler runs, so
+			// the job/matrix id is available here for routes that carry one.
+			if id := r.PathValue("id"); id != "" {
+				attrs = append(attrs, slog.String("id", id))
+			}
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	})
+}
+
+// statusWriter records the response status for the middleware. It forwards
+// Flush so the NDJSON event stream keeps its per-event flushing through the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 // apiError is the uniform JSON error envelope.
@@ -78,7 +174,8 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 // statusFor maps engine errors to HTTP codes.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, engine.ErrNotFound), errors.Is(err, engine.ErrMatrixNotFound):
+	case errors.Is(err, engine.ErrNotFound), errors.Is(err, engine.ErrMatrixNotFound),
+		errors.Is(err, engine.ErrTraceDisabled):
 		return http.StatusNotFound
 	case errors.Is(err, engine.ErrQueueFull), errors.Is(err, engine.ErrMatrixStoreFull):
 		return http.StatusTooManyRequests
@@ -232,21 +329,45 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// trace serves the job's captured per-iteration phase trace (the bounded
+// ring the daemon records when started with -trace-iters > 0). Without
+// capture the route answers 404 with the engine's explanatory error.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.eng.Trace(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// metrics serves the Prometheus text exposition of the engine registry.
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.eng.Metrics().WritePrometheus(w)
+}
+
+// healthz reports liveness plus the engine gauges. The gauge block is
+// derived from the same metric registry /metrics exports (engine.Health
+// gathers one snapshot and converts it back to the JSON shapes), so the two
+// surfaces cannot drift apart.
 func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.eng.Health()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":         true,
 		"time":       time.Now().UTC().Format(time.RFC3339Nano),
-		"jobs":       s.eng.Count(),
-		"matrices":   s.eng.MatrixCount(),
-		"prep_cache": s.eng.CacheStats(),
+		"jobs":       h.Jobs,
+		"matrices":   h.Matrices,
+		"prep_cache": h.PrepCache,
 		// Per-fabric delivery/recycler gauges: one entry per transport that
 		// has run at least one preparation or solve.
-		"transports": s.eng.TransportStats(),
+		"transports": h.Transports,
 		// Per-strategy overhead/recovery gauges: one entry per recovery
 		// strategy that has finished at least one solve.
-		"strategies": s.eng.StrategyStats(),
+		"strategies": h.Strategies,
 		// Kernel threading posture: daemon default cap, GOMAXPROCS, and the
 		// shared worker pool's resident size.
-		"threads": s.eng.ThreadStats(),
+		"threads": h.Threads,
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -19,11 +20,17 @@ import (
 	"repro/internal/matgen"
 )
 
+// testLogger exercises the structured access-log path without polluting the
+// test output.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
 // newTestServer wires a fresh engine behind an httptest server.
 func newTestServer(t *testing.T, workers int) (*httptest.Server, *engine.Engine) {
 	t.Helper()
 	eng := engine.New(engine.Options{Workers: workers, QueueCap: 64})
-	ts := httptest.NewServer(newMux(eng))
+	ts := httptest.NewServer(newMux(eng, testLogger()))
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()
@@ -195,7 +202,7 @@ func TestQuickTransportJob(t *testing.T) {
 func TestEndToEnd(t *testing.T) {
 	goroutinesBefore := runtime.NumGoroutine()
 	eng := engine.New(engine.Options{Workers: 4, QueueCap: 64})
-	ts := httptest.NewServer(newMux(eng))
+	ts := httptest.NewServer(newMux(eng, testLogger()))
 
 	poisson := func(nx int) engine.MatrixSpec {
 		return engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": float64(nx)}}

@@ -119,6 +119,24 @@ type ProgressEvent = core.ProgressEvent
 // must be cheap and must not block.
 type ProgressFunc = core.ProgressFunc
 
+// Tracer observes a solve at its phase boundaries: per-iteration phase
+// durations (SpMV, preconditioner apply, allreduce), the residual
+// trajectory, and recovery episodes (see WithTracer and Config.Tracer).
+// Tracing is observer-only — a traced solve is bit-identical to an untraced
+// one — and callbacks run synchronously from the solver loop, so they must
+// be cheap and must not block.
+type Tracer = core.Tracer
+
+// IterationTrace is one completed iteration delivered to a Tracer.
+type IterationTrace = core.IterationTrace
+
+// RecoveryTrace is one completed recovery episode delivered to a Tracer.
+type RecoveryTrace = core.RecoveryTrace
+
+// MultiTracer combines tracers into one that replays every trace to each of
+// them in order (nil entries are dropped).
+func MultiTracer(ts ...Tracer) Tracer { return core.MultiTracer(ts...) }
+
 // DataLossError reports an unrecoverable failure set (more data lost than
 // the redundancy level covers).
 type DataLossError = core.DataLossError

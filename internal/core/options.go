@@ -76,6 +76,11 @@ type Options struct {
 	// on. Install it on a single rank (conventionally rank 0) to observe a
 	// solve exactly once.
 	Progress ProgressFunc
+	// Tracer, when non-nil, observes per-iteration phase durations, the
+	// residual trajectory and recovery episodes (see Tracer). Like Progress,
+	// install it on a single rank to observe a solve exactly once. Tracing
+	// is observer-only: it never changes results.
+	Tracer Tracer
 }
 
 // poll returns the context's cause when Options.Ctx has been cancelled.

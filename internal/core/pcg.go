@@ -55,15 +55,26 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 	}
 	target := opts.Tol * r0
 
+	// clock times the iteration phases for the tracer; nil (the common case)
+	// reduces every hook below to a pointer test.
+	var clock *phaseClock
+	if opts.Tracer != nil {
+		clock = &phaseClock{}
+	}
+
 	for j := 0; j < opts.MaxIter; j++ {
 		if err := opts.poll(); err != nil {
 			return res, err
 		}
 		// u = A p(j) (lines 3/5 share the product).
+		clock.start()
 		if err := a.MatVec(e, u, p, j); err != nil {
 			return Result{}, err
 		}
+		clock.stopSpMV()
+		clock.start()
 		pu, err := distmat.DotN(e, p, u, opts.Threads)
+		clock.stopAllreduce()
 		if err != nil {
 			return Result{}, err
 		}
@@ -76,11 +87,15 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 		// x(j+1) = x(j) + alpha p(j); r(j+1) = r(j) - alpha A p(j), fused
 		// into one pass over the blocks (bit-identical to the two Axpys).
 		vec.ParAxpyAxpy(alpha, p.Local, x.Local, -alpha, u.Local, r.Local, opts.Threads)
+		clock.start()
 		if err := m.Apply(e, z, r); err != nil { // z(j+1) = M^{-1} r(j+1)
 			return Result{}, err
 		}
+		clock.stopPrecond()
+		clock.start()
 		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{
 			vec.ParNrm2SqN(r.Local, opts.Threads), vec.ParDotN(r.Local, z.Local, opts.Threads)})
+		clock.stopAllreduce()
 		if err != nil {
 			return Result{}, err
 		}
@@ -93,6 +108,7 @@ func PCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Precond, opts
 			return res, fmt.Errorf("core: PCG diverged, ||r|| = %g at iteration %d", rn, j)
 		}
 		opts.notify(ProgressEvent{Iteration: j + 1, Residual: rn, RelResidual: relTo(rn, r0)})
+		clock.emit(opts.Tracer, j+1, rn, relTo(rn, r0))
 		if rn <= target {
 			res.Converged = true
 			break

@@ -322,6 +322,14 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 	}
 	target := func() float64 { return opts.Tol * st.R0 }
 
+	// clock times the iteration phases for the tracer; nil (the common case)
+	// reduces every hook below to a pointer test, so the untraced loop never
+	// reads the wall clock mid-iteration.
+	var clock *phaseClock
+	if opts.Tracer != nil {
+		clock = &phaseClock{}
+	}
+
 	// fired tracks handled failure iterations, so rollback strategies that
 	// redo iterations do not re-trigger the same event on the replay.
 	fired := map[int]bool{}
@@ -339,9 +347,11 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 		// u = A p(j): the SpMV that distributes the redundant copies of
 		// p(j) (when the matrix is resilience-enabled) and retains
 		// generation j.
+		clock.start()
 		if err := a.MatVec(e, st.U, st.P, j); err != nil {
 			return res, err
 		}
+		clock.stopSpMV()
 		// Poll point: the paper's failures strike here, after the copies of
 		// p(j) exist on phi other ranks.
 		if victims := sched.AtIteration(j); len(victims) > 0 && !fired[j] {
@@ -357,25 +367,45 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 				Iteration: j, Residual: res.FinalResidual,
 				RelResidual: relTo(res.FinalResidual, st.R0), Reconstruction: &recCopy,
 			})
+			if opts.Tracer != nil {
+				redone := 0
+				if resume >= 0 {
+					redone = j - resume
+				}
+				opts.Tracer.TraceRecovery(RecoveryTrace{
+					Iteration: j, Strategy: strat.Name(),
+					FailedRanks: rec.FailedRanks, Restarts: rec.Restarts,
+					RedoneIterations: redone, Duration: rec.Duration,
+				})
+			}
 			if resume >= 0 {
-				// Rollback-style recovery: redo the lost iterations.
+				// Rollback-style recovery: redo the lost iterations. The
+				// replayed iterations are traced again — the trace reflects
+				// executed work, like Result.WorkIterations.
+				clock.reset()
 				j = resume
 				continue
 			}
 			// In-place reconstruction: redo the SpMV of iteration j —
 			// recomputes u everywhere and re-establishes the redundancy
 			// copies on the replacements.
+			clock.start()
 			if err := a.MatVec(e, st.U, st.P, j); err != nil {
 				return res, err
 			}
+			clock.stopSpMV()
 			// r'z involves reconstructed blocks: recompute it.
+			clock.start()
 			rz, err := distmat.DotN(e, st.R, st.Z, opts.Threads)
+			clock.stopAllreduce()
 			if err != nil {
 				return res, err
 			}
 			st.RZ = rz
 		}
+		clock.start()
 		pu, err := distmat.DotN(e, st.P, st.U, opts.Threads)
+		clock.stopAllreduce()
 		if err != nil {
 			return res, err
 		}
@@ -388,11 +418,15 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 		// Fused PCG update pair: x += alpha p and r -= alpha A p in one pass
 		// (bit-identical to the two Axpys).
 		vec.ParAxpyAxpy(alpha, st.P.Local, x.Local, -alpha, st.U.Local, st.R.Local, opts.Threads)
+		clock.start()
 		if err := m.Apply(e, st.Z, st.R); err != nil {
 			return res, err
 		}
+		clock.stopPrecond()
+		clock.start()
 		norms, err := e.Grp.Allreduce(cluster.OpSum, []float64{
 			vec.ParNrm2SqN(st.R.Local, opts.Threads), vec.ParDotN(st.R.Local, st.Z.Local, opts.Threads)})
+		clock.stopAllreduce()
 		if err != nil {
 			return res, err
 		}
@@ -405,6 +439,7 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 			return res, fmt.Errorf("core: %s-PCG diverged, ||r|| = %g at iteration %d", strat.Name(), rn, j)
 		}
 		opts.notify(ProgressEvent{Iteration: j + 1, Residual: rn, RelResidual: relTo(rn, st.R0)})
+		clock.emit(opts.Tracer, j+1, rn, relTo(rn, st.R0))
 		if rn <= target() {
 			res.Converged = true
 			break

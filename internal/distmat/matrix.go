@@ -3,6 +3,7 @@ package distmat
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/commplan"
@@ -66,6 +67,9 @@ type Matrix struct {
 	overlap bool
 	// threads caps the goroutines of the parallel local kernels (0 = auto).
 	threads int
+	// obs, when non-nil, receives the per-phase wall-clock split of every
+	// MatVec (see SetMatVecObserver). Purely observational.
+	obs func(MatVecTimings)
 }
 
 // matrixTag spaces the SpMV message tags of different matrices sharing an
@@ -304,6 +308,31 @@ func (m *Matrix) SetThreads(p int) {
 	m.threads = p
 }
 
+// MatVecTimings is the wall-clock split of one MatVec call across the
+// communication-hiding schedule's four phases. Comparing Interior (compute
+// racing the wire) against Drain (time left waiting for receives) measures
+// how much halo latency the overlap actually hides. With overlap disabled
+// the full local compute happens after the drain and is reported under
+// Boundary (Interior is zero).
+type MatVecTimings struct {
+	// PostSend is the time to gather and post the outgoing halo payloads.
+	PostSend time.Duration
+	// Interior is the interior-row compute overlapped with the receives.
+	Interior time.Duration
+	// Drain is the time draining the receives and scattering the ghosts.
+	Drain time.Duration
+	// Boundary is the boundary-row compute after the drain (plus the
+	// retention-store handoff).
+	Boundary time.Duration
+}
+
+// SetMatVecObserver installs fn to receive the per-phase timing split of
+// every subsequent MatVec on this matrix (nil uninstalls). fn is called
+// synchronously at the end of each MatVec, so it must be cheap; it never
+// affects results. Not safe to call concurrently with MatVec; set it at
+// preparation time (Forks inherit it).
+func (m *Matrix) SetMatVecObserver(fn func(MatVecTimings)) { m.obs = fn }
+
 // Fork returns a new Matrix sharing all of m's static state — the row block,
 // the halo plan, the redundancy protocol, the localised CSR and the
 // send/receive lists, all of which are immutable after construction — with
@@ -348,6 +377,13 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 	lo, hi := m.P.Range(m.Pos)
 	bs := hi - lo
 	tag := m.tagBase + 2
+	// Phase timing is observational only: the clock is read at the phase
+	// boundaries the schedule already has, never between arithmetic.
+	var tm MatVecTimings
+	var mark time.Time
+	if m.obs != nil {
+		mark = time.Now()
+	}
 	// Post sends: one message per destination with merged payload.
 	for k, idx := range m.sendLists {
 		if k == e.Pos || len(idx) == 0 {
@@ -369,11 +405,21 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 			e.C.Runtime().Counters().Reclassify(cluster.CatHalo, cluster.CatRedundancy, int64(extra))
 		}
 	}
+	if m.obs != nil {
+		now := time.Now()
+		tm.PostSend = now.Sub(mark)
+		mark = now
+	}
 	// The interior rows read only the own block [0, bs): with the sends
 	// posted, compute them while the halo messages are on the wire.
 	copy(m.xbuf[:bs], x.Local)
 	if m.overlap {
 		m.split.Interior.MulVecScatterPar(y.Local, m.xbuf, m.split.IntRows, m.threads)
+	}
+	if m.obs != nil {
+		now := time.Now()
+		tm.Interior = now.Sub(mark)
+		mark = now
 	}
 	// Drain the receives and scatter into the ghost buffer through the
 	// precomputed lists. iter < 0 marks inputs that are not search directions
@@ -411,6 +457,11 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 			e.C.Recycle(msg)
 		}
 	}
+	if m.obs != nil {
+		now := time.Now()
+		tm.Drain = now.Sub(mark)
+		mark = now
+	}
 	if m.overlap {
 		// Only the boundary rows were waiting for the wire.
 		m.split.Boundary.MulVecScatterPar(y.Local, m.xbuf, m.split.BndRows, m.threads)
@@ -423,6 +474,10 @@ func (m *Matrix) MatVec(e *Env, y, x Vector, iter int) error {
 		for _, old := range m.Ret.Store(iter, x.Local, recvVals) {
 			e.C.PutFloats(old)
 		}
+	}
+	if m.obs != nil {
+		tm.Boundary = time.Since(mark)
+		m.obs(tm)
 	}
 	return nil
 }

@@ -150,6 +150,11 @@ type Config struct {
 	// iteration plus one per reconstruction episode. Not serialized; jobs
 	// submitted over the wire stream the same events through the engine.
 	Progress core.ProgressFunc `json:"-"`
+	// Tracer, when non-nil, observes the solve's per-iteration phase
+	// timings, residual trajectory and recovery episodes from rank 0.
+	// Observer-only (never changes results) and, like Progress, not
+	// serialized; the daemon's trace capture is the wire-side equivalent.
+	Tracer core.Tracer `json:"-"`
 }
 
 // WithDefaults normalizes the runtime-level fields (see the type doc for why

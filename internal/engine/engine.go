@@ -128,6 +128,9 @@ type job struct {
 	// payloadBytes is this job's share of the engine's pending-payload
 	// budget; zeroed (and returned to the budget) by Engine.finishPayloads.
 	payloadBytes int64
+	// em mirrors lifecycle transitions into the engine's metrics (set at
+	// Submit, before the job is reachable by a worker).
+	em *engineMetrics
 
 	mu       sync.Mutex
 	state    State
@@ -138,6 +141,9 @@ type job struct {
 	enqueued time.Time
 	started  time.Time
 	finished time.Time
+	// trace is the bounded per-iteration capture, installed by the worker
+	// when the engine runs with TraceIters > 0.
+	trace *traceRing
 }
 
 // appendEventLocked stamps ev (sequence number, job id, time), appends it
@@ -180,6 +186,11 @@ func (j *job) transitionLocked(s State, errMsg string) bool {
 	case StateDone, StateFailed, StateCancelled:
 		j.finished = now
 		j.errMsg = errMsg
+	}
+	if j.em != nil {
+		// Mirror the transition into the metrics while j.mu serializes it
+		// against concurrent transitions (the updates are pure atomics).
+		j.em.jobTransition(j, s)
 	}
 	j.appendEventLocked(Event{Kind: EventState, State: s, Error: errMsg})
 	return true
@@ -241,6 +252,11 @@ type Options struct {
 	// Config.Threads is 0 (0 keeps the library default: GOMAXPROCS). Must be
 	// non-negative.
 	DefaultThreads int
+	// TraceIters, when > 0, captures the last TraceIters per-iteration
+	// traces of every job in a bounded ring (plus all recovery episodes),
+	// served by Engine.Trace. 0 (the default) disables capture; the metric
+	// series stay on regardless.
+	TraceIters int
 }
 
 // Engine is a bounded worker pool draining a FIFO queue of solve jobs, with
@@ -258,6 +274,8 @@ type Engine struct {
 	defaultTransport string
 	defaultStrategy  string
 	defaultThreads   int
+	traceIters       int
+	metrics          *engineMetrics
 
 	tmu    sync.Mutex
 	tstats map[string]*TransportUsage     // per-transport aggregates, by name
@@ -320,6 +338,9 @@ func New(opts Options) *Engine {
 		// And again for the kernel thread cap.
 		panic(fmt.Sprintf("engine: invalid Options.DefaultThreads %d", opts.DefaultThreads))
 	}
+	if opts.TraceIters < 0 {
+		opts.TraceIters = 0
+	}
 	e := &Engine{
 		queue:            make(chan *job, opts.QueueCap),
 		jobs:             map[string]*job{},
@@ -330,11 +351,13 @@ func New(opts Options) *Engine {
 		defaultTransport: opts.DefaultTransport,
 		defaultStrategy:  opts.DefaultStrategy,
 		defaultThreads:   opts.DefaultThreads,
+		traceIters:       opts.TraceIters,
 		tstats:           map[string]*TransportUsage{},
 		sstats:           map[string]*core.StrategyStats{},
 		janitorQuit:      make(chan struct{}),
 		janitorDone:      make(chan struct{}),
 	}
+	e.metrics = newEngineMetrics(e)
 	e.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go e.worker()
@@ -460,7 +483,7 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	j := &job{
-		spec: spec, ctx: ctx, cancel: cancel,
+		spec: spec, ctx: ctx, cancel: cancel, em: e.metrics,
 		state: StateQueued, updated: make(chan struct{}), enqueued: time.Now(),
 		payloadBytes: int64(len(spec.Matrix.MatrixMarket)) + 8*int64(len(spec.RHS)),
 	}
@@ -515,6 +538,7 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 		// Count the reference only once the job is actually accepted.
 		e.matrices.noteJob(spec.MatrixID)
 	}
+	e.metrics.jobsSubmitted.Inc()
 	return j.id, nil
 }
 
@@ -610,6 +634,9 @@ func (e *Engine) recordTransportStats(name string, delta cluster.TransportStats)
 	u.Runs++
 	u.Stats.Add(delta)
 	e.tmu.Unlock()
+	// The same delta feeds the Prometheus counters, so the /metrics and
+	// healthz views of transport traffic always agree.
+	e.metrics.observeTransport(name, delta)
 }
 
 // TransportStats snapshots the per-transport usage gauges (the healthz
@@ -637,6 +664,7 @@ func (e *Engine) recordStrategyStats(name string, delta core.StrategyStats) {
 	}
 	u.Add(delta)
 	e.tmu.Unlock()
+	e.metrics.observeStrategy(name, delta)
 }
 
 // StrategyStats snapshots the per-strategy usage gauges (the healthz
@@ -932,6 +960,7 @@ func (e *Engine) run(j *job) {
 		// per solve, so the sink alone suffices.
 		p.statsSink = e.recordTransportStats
 		p.strategySink = e.recordStrategyStats
+		p.matvecSink = e.metrics.matvecObserver(p.TransportName())
 		e.recordTransportStats(p.TransportName(), p.TransportStats())
 		return p, nil
 	}
@@ -977,6 +1006,20 @@ func (e *Engine) run(j *job) {
 	}
 
 	opts := solveOpts(cfg)
+	// Chain the observers onto the solve: any caller-supplied tracer (from
+	// an in-process Config), the job's bounded trace capture (when the
+	// engine runs with TraceIters > 0) and the always-on metric tracer. All
+	// are rank-0-only observers; tracing never changes results.
+	tracers := []core.Tracer{opts.Tracer}
+	if e.traceIters > 0 {
+		ring := newTraceRing(e.traceIters)
+		j.mu.Lock()
+		j.trace = ring
+		j.mu.Unlock()
+		tracers = append(tracers, ring)
+	}
+	tracers = append(tracers, e.metrics.solveTracer(prepCfg.Strategy))
+	opts.Tracer = core.MultiTracer(tracers...)
 	progressCount := 0
 	opts.Progress = func(ev core.ProgressEvent) {
 		kind := EventProgress

@@ -1,0 +1,470 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distmat"
+	"repro/internal/metrics"
+)
+
+// ErrTraceDisabled reports a Trace call on an engine started without
+// per-iteration trace capture (Options.TraceIters / esrd -trace-iters).
+var ErrTraceDisabled = errors.New("engine: per-iteration trace capture is disabled (enable with -trace-iters)")
+
+// phaseBuckets are the histogram bounds of the per-phase solve timings.
+// The phases live in the microsecond-to-millisecond range on the in-process
+// transports, far below the classic request-latency defaults.
+func phaseBuckets() []float64 { return metrics.ExpBuckets(1e-6, 4, 12) }
+
+// engineMetrics owns the engine's metric registry: every series the daemon
+// exports under /metrics, pre-resolved for the hot paths. The healthz
+// payload is generated from the same registry (see cmd/esrd), so the two
+// surfaces cannot drift.
+//
+// Naming follows the exposition conventions: esrd_* for daemon/job-lifecycle
+// series, solver_* for solver-stack series; counters end in _total, timing
+// histograms in _seconds.
+type engineMetrics struct {
+	reg *metrics.Registry
+
+	jobsSubmitted *metrics.Counter
+	jobsCompleted *metrics.CounterVec // state
+	jobsRunning   *metrics.Gauge
+	queueWait     *metrics.Histogram
+	runSeconds    *metrics.Histogram
+
+	transportRuns *metrics.CounterVec // transport
+	transportStat map[string]*metrics.CounterVec
+
+	strategyStat map[string]*metrics.CounterVec // strategy
+	recoverySecs *metrics.CounterVec            // strategy
+
+	iterations   *metrics.Counter
+	iterPhase    *metrics.HistogramVec // phase
+	episodeSecs  *metrics.HistogramVec // strategy
+	matvecPhase  *metrics.HistogramVec // transport, phase
+	spmvChildren sync.Map              // transport -> [4]*metrics.Histogram
+}
+
+// transportStatNames maps the cluster.TransportStats fields onto counter
+// series, in the struct's field order (see snapshotTransports, which relies
+// on these names to rebuild the JSON stats block).
+var transportStatNames = []string{
+	"delivered", "copied", "pool_gets", "pool_puts", "pool_news", "delayed", "dropped",
+}
+
+// transportStatValues flattens s in transportStatNames order.
+func transportStatValues(s cluster.TransportStats) []int64 {
+	return []int64{s.Delivered, s.Copied, s.PoolGets, s.PoolPuts, s.PoolNews, s.Delayed, s.Dropped}
+}
+
+// strategyStatNames maps the integer core.StrategyStats fields onto counter
+// series (RecoveryTime is the separate solver_recovery_seconds_total).
+var strategyStatNames = []string{
+	"solves", "episodes", "restarts", "redone_iterations",
+	"checkpoints", "checkpoint_floats", "redundancy_floats", "recovery_floats",
+}
+
+// strategyStatValues flattens s in strategyStatNames order.
+func strategyStatValues(s core.StrategyStats) []int64 {
+	return []int64{s.Solves, s.Episodes, s.Restarts, s.RedoneIterations,
+		s.Checkpoints, s.CheckpointFloats, s.RedundancyFloats, s.RecoveryFloats}
+}
+
+// strategyStatHelp documents each strategy counter series.
+var strategyStatHelp = map[string]string{
+	"solves":            "Finished solves per recovery strategy.",
+	"episodes":          "Recovery episodes (reconstructions, rollbacks or cold restarts) per strategy.",
+	"restarts":          "Episode restarts forced by overlapping failures per strategy.",
+	"redone_iterations": "Iterations redone after rollback-style recoveries per strategy.",
+	"checkpoints":       "Complete coordinated checkpoints saved per strategy.",
+	"checkpoint_floats": "Float64 elements shipped to/from simulated reliable storage per strategy.",
+	"redundancy_floats": "Extra ESR elements piggybacked on the SpMV halo traffic per strategy.",
+	"recovery_floats":   "Reconstruction-episode traffic in float64 elements per strategy.",
+}
+
+// transportStatHelp documents each transport counter series.
+var transportStatHelp = map[string]string{
+	"delivered": "Messages delivered per transport.",
+	"copied":    "Messages delivered via a payload copy per transport.",
+	"pool_gets": "Buffer recycler gets per transport.",
+	"pool_puts": "Buffer recycler puts per transport.",
+	"pool_news": "Buffer recycler misses (fresh allocations) per transport.",
+	"delayed":   "Messages delayed by the chaos fabric per transport.",
+	"dropped":   "Failure-dropped messages per transport.",
+}
+
+// newEngineMetrics builds the registry and registers every engine-owned
+// series, including the pull gauges sampled off e's existing accessors at
+// scrape time.
+func newEngineMetrics(e *Engine) *engineMetrics {
+	r := metrics.NewRegistry()
+	em := &engineMetrics{
+		reg:           r,
+		jobsSubmitted: r.Counter("esrd_jobs_submitted_total", "Jobs accepted by Submit."),
+		jobsCompleted: r.CounterVec("esrd_jobs_completed_total", "Jobs finished, by terminal state.", "state"),
+		jobsRunning:   r.Gauge("esrd_jobs_running", "Jobs currently executing on a worker."),
+		queueWait: r.Histogram("esrd_job_queue_wait_seconds",
+			"Time from submission to a worker picking the job up.", metrics.DefBuckets()),
+		runSeconds: r.Histogram("esrd_job_run_seconds",
+			"Time from a worker picking a job up to its terminal state.", metrics.DefBuckets()),
+		transportRuns: r.CounterVec("solver_transport_runs_total",
+			"Finished cluster runtimes (one per preparation and one per solve) per transport.", "transport"),
+		transportStat: map[string]*metrics.CounterVec{},
+		strategyStat:  map[string]*metrics.CounterVec{},
+		recoverySecs: r.CounterVec("solver_recovery_seconds_total",
+			"Wall-clock seconds spent in recovery episodes per strategy.", "strategy"),
+		iterations: r.Counter("solver_iterations_total",
+			"Completed PCG iterations observed across all engine solves (rank 0)."),
+		iterPhase: r.HistogramVec("solver_iteration_phase_seconds",
+			"Per-iteration wall-clock split of the solve loop (rank 0): SpMV, preconditioner apply, allreduce.",
+			phaseBuckets(), "phase"),
+		episodeSecs: r.HistogramVec("solver_recovery_episode_seconds",
+			"Wall-clock duration of individual recovery episodes per strategy.",
+			metrics.DefBuckets(), "strategy"),
+		matvecPhase: r.HistogramVec("solver_matvec_phase_seconds",
+			"Per-call wall-clock split of the distributed SpMV (all ranks): post_send, interior, drain, boundary. Interior vs drain measures how much halo latency the overlap hides.",
+			phaseBuckets(), "transport", "phase"),
+	}
+	for _, f := range transportStatNames {
+		em.transportStat[f] = r.CounterVec("solver_transport_"+f+"_total", transportStatHelp[f], "transport")
+	}
+	for _, f := range strategyStatNames {
+		em.strategyStat[f] = r.CounterVec("solver_"+f+"_total", strategyStatHelp[f], "strategy")
+	}
+	r.GaugeFunc("esrd_jobs", "Job records currently retained.", func() float64 {
+		return float64(e.Count())
+	})
+	r.GaugeFunc("esrd_matrices", "Registered system matrices.", func() float64 {
+		return float64(e.MatrixCount())
+	})
+	r.GaugeFunc("esrd_prep_cache_size", "Cached prepared solver sessions.", func() float64 {
+		return float64(e.CacheStats().Size)
+	})
+	r.CounterFunc("esrd_prep_cache_hits_total", "Prepared-session acquires served from cache.", func() float64 {
+		return float64(e.CacheStats().Hits)
+	})
+	r.CounterFunc("esrd_prep_cache_misses_total", "Prepared-session acquires that built a session.", func() float64 {
+		return float64(e.CacheStats().Misses)
+	})
+	r.GaugeFunc("esrd_threads_default", "Daemon default kernel thread cap (0 = automatic).", func() float64 {
+		return float64(e.ThreadStats().Default)
+	})
+	r.GaugeFunc("esrd_threads_maxprocs", "Process GOMAXPROCS.", func() float64 {
+		return float64(e.ThreadStats().MaxProcs)
+	})
+	r.GaugeFunc("esrd_threads_pool_workers", "Resident size of the shared kernel worker pool.", func() float64 {
+		return float64(e.ThreadStats().PoolWorkers)
+	})
+	return em
+}
+
+// jobTransition mirrors a job lifecycle transition into the metrics. Called
+// from transitionLocked with j.mu held — every update below is a plain
+// atomic, so no lock ordering is at stake.
+func (em *engineMetrics) jobTransition(j *job, s State) {
+	switch s {
+	case StateRunning:
+		em.jobsRunning.Inc()
+		em.queueWait.Observe(j.started.Sub(j.enqueued).Seconds())
+	case StateDone, StateFailed, StateCancelled:
+		em.jobsCompleted.With(string(s)).Inc()
+		if !j.started.IsZero() {
+			em.jobsRunning.Dec()
+			em.runSeconds.Observe(j.finished.Sub(j.started).Seconds())
+		}
+	}
+}
+
+// observeTransport mirrors one runtime's transport-counter delta into the
+// per-transport counter series (alongside Engine.recordTransportStats'
+// aggregate map — same deltas, so the surfaces agree).
+func (em *engineMetrics) observeTransport(name string, delta cluster.TransportStats) {
+	em.transportRuns.With(name).Inc()
+	vals := transportStatValues(delta)
+	for i, f := range transportStatNames {
+		em.transportStat[f].With(name).Add(float64(vals[i]))
+	}
+}
+
+// observeStrategy mirrors one solve's strategy-stats delta into the
+// per-strategy counter series.
+func (em *engineMetrics) observeStrategy(name string, delta core.StrategyStats) {
+	vals := strategyStatValues(delta)
+	for i, f := range strategyStatNames {
+		em.strategyStat[f].With(name).Add(float64(vals[i]))
+	}
+	em.recoverySecs.With(name).Add(delta.RecoveryTime.Seconds())
+}
+
+// solveTracer returns the engine's always-on per-solve tracer: it feeds the
+// iteration counter, the phase histograms and the recovery-episode
+// histogram. Installed on rank 0 only, so each iteration is counted once.
+func (em *engineMetrics) solveTracer(strategy string) core.Tracer {
+	return &metricsTracer{
+		iterations: em.iterations,
+		spmv:       em.iterPhase.With("spmv"),
+		precond:    em.iterPhase.With("precond"),
+		allreduce:  em.iterPhase.With("allreduce"),
+		episode:    em.episodeSecs.With(strategy),
+	}
+}
+
+// metricsTracer is the core.Tracer feeding the engine's solve metrics; all
+// children are pre-resolved, so each callback is a few atomic updates.
+type metricsTracer struct {
+	iterations *metrics.Counter
+	spmv       *metrics.Histogram
+	precond    *metrics.Histogram
+	allreduce  *metrics.Histogram
+	episode    *metrics.Histogram
+}
+
+func (t *metricsTracer) TraceIteration(it core.IterationTrace) {
+	t.iterations.Inc()
+	t.spmv.Observe(it.SpMV.Seconds())
+	t.precond.Observe(it.Precond.Seconds())
+	t.allreduce.Observe(it.Allreduce.Seconds())
+}
+
+func (t *metricsTracer) TraceRecovery(rec core.RecoveryTrace) {
+	t.episode.Observe(rec.Duration.Seconds())
+}
+
+// matvecObserver returns the distmat.MatVec phase sink for a session on the
+// named transport. It is installed on every rank's fork (the phase split is
+// a per-rank quantity), so the histograms see Ranks observations per SpMV.
+func (em *engineMetrics) matvecObserver(transport string) func(distmat.MatVecTimings) {
+	key := transport
+	if h, ok := em.spmvChildren.Load(key); ok {
+		c := h.([4]*metrics.Histogram)
+		return newMatvecSink(c)
+	}
+	c := [4]*metrics.Histogram{
+		em.matvecPhase.With(transport, "post_send"),
+		em.matvecPhase.With(transport, "interior"),
+		em.matvecPhase.With(transport, "drain"),
+		em.matvecPhase.With(transport, "boundary"),
+	}
+	em.spmvChildren.Store(key, c)
+	return newMatvecSink(c)
+}
+
+func newMatvecSink(c [4]*metrics.Histogram) func(distmat.MatVecTimings) {
+	return func(tm distmat.MatVecTimings) {
+		c[0].Observe(tm.PostSend.Seconds())
+		c[1].Observe(tm.Interior.Seconds())
+		c[2].Observe(tm.Drain.Seconds())
+		c[3].Observe(tm.Boundary.Seconds())
+	}
+}
+
+// Metrics returns the engine's metric registry, for exposition (/metrics)
+// and for consumers that derive JSON views off the same data (healthz).
+// Callers may register additional series (e.g. HTTP request metrics) on it.
+func (e *Engine) Metrics() *metrics.Registry { return e.metrics.reg }
+
+// maxTraceRecoveries bounds the retained recovery episodes of one job's
+// trace. Recovery episodes are rare by nature; the cap only guards against
+// a pathological schedule.
+const maxTraceRecoveries = 1024
+
+// traceRing is a job's bounded per-iteration trace capture: a ring of the
+// most recent IterationTraces plus the (bounded) recovery episodes. It is
+// the core.Tracer installed on rank 0 of a job's solve when the engine runs
+// with TraceIters > 0.
+type traceRing struct {
+	mu         sync.Mutex
+	cap        int
+	iters      []core.IterationTrace // ring storage, len <= cap
+	next       int                   // ring write position
+	total      int                   // iterations seen (>= len(iters))
+	recoveries []core.RecoveryTrace
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{cap: capacity}
+}
+
+func (tr *traceRing) TraceIteration(it core.IterationTrace) {
+	tr.mu.Lock()
+	if len(tr.iters) < tr.cap {
+		tr.iters = append(tr.iters, it)
+	} else {
+		tr.iters[tr.next] = it
+	}
+	tr.next = (tr.next + 1) % tr.cap
+	tr.total++
+	tr.mu.Unlock()
+}
+
+func (tr *traceRing) TraceRecovery(rec core.RecoveryTrace) {
+	tr.mu.Lock()
+	if len(tr.recoveries) < maxTraceRecoveries {
+		tr.recoveries = append(tr.recoveries, rec)
+	}
+	tr.mu.Unlock()
+}
+
+// snapshot returns the captured iterations oldest-first plus the episode
+// list and the total iteration count seen.
+func (tr *traceRing) snapshot() (iters []core.IterationTrace, recs []core.RecoveryTrace, total int) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	iters = make([]core.IterationTrace, 0, len(tr.iters))
+	if len(tr.iters) == tr.cap {
+		iters = append(iters, tr.iters[tr.next:]...)
+		iters = append(iters, tr.iters[:tr.next]...)
+	} else {
+		iters = append(iters, tr.iters...)
+	}
+	recs = append([]core.RecoveryTrace(nil), tr.recoveries...)
+	return iters, recs, tr.total
+}
+
+// JobTrace is the captured per-iteration trace of one job: the last
+// Capacity iterations (a bounded ring — long solves keep the tail, which
+// holds the convergence behaviour) and every recovery episode.
+type JobTrace struct {
+	JobID string `json:"job_id"`
+	State State  `json:"state"`
+	// Capacity is the ring size (the -trace-iters value); IterationsSeen
+	// counts all iterations observed, of which the most recent
+	// min(Capacity, IterationsSeen) are in Iterations, oldest first.
+	Capacity       int                   `json:"capacity"`
+	IterationsSeen int                   `json:"iterations_seen"`
+	Iterations     []core.IterationTrace `json:"iterations"`
+	Recoveries     []core.RecoveryTrace  `json:"recoveries"`
+}
+
+// Trace returns the captured per-iteration trace of a job. It fails with
+// ErrTraceDisabled when the engine runs without trace capture, and with
+// ErrNotFound for unknown jobs. A job that has not started solving yet
+// returns an empty trace.
+func (e *Engine) Trace(id string) (JobTrace, error) {
+	if e.traceIters <= 0 {
+		return JobTrace{}, ErrTraceDisabled
+	}
+	j, err := e.lookup(id)
+	if err != nil {
+		return JobTrace{}, err
+	}
+	j.mu.Lock()
+	ring := j.trace
+	state := j.state
+	j.mu.Unlock()
+	out := JobTrace{
+		JobID: id, State: state, Capacity: e.traceIters,
+		Iterations: []core.IterationTrace{}, Recoveries: []core.RecoveryTrace{},
+	}
+	if ring != nil {
+		iters, recs, total := ring.snapshot()
+		out.Iterations, out.Recoveries, out.IterationsSeen = iters, recs, total
+	}
+	return out, nil
+}
+
+// HealthSnapshot is the healthz gauge block, generated off the metric
+// registry (Engine.Health) so the JSON health surface and the Prometheus
+// exposition can never drift: both read the same gathered snapshot.
+type HealthSnapshot struct {
+	// Jobs is the number of retained job records; Matrices the registered
+	// system matrices.
+	Jobs     int `json:"jobs"`
+	Matrices int `json:"matrices"`
+	// PrepCache reports the prepared-session cache.
+	PrepCache PrepCacheStats `json:"prep_cache"`
+	// Transports aggregates per-fabric delivery/recycler counters; entries
+	// exist only for transports that ran at least once.
+	Transports map[string]TransportUsage `json:"transports"`
+	// Strategies aggregates per-strategy overhead/recovery counters.
+	Strategies map[string]core.StrategyStats `json:"strategies"`
+	// Threads reports the kernel threading posture.
+	Threads ThreadStats `json:"threads"`
+}
+
+// Health derives the healthz gauges from one Gather of the metric registry —
+// the exact data /metrics exports, converted back to the JSON shapes.
+func (e *Engine) Health() HealthSnapshot {
+	s := e.metrics.reg.Gather()
+	jobs, _ := s.Value("esrd_jobs")
+	matrices, _ := s.Value("esrd_matrices")
+	size, _ := s.Value("esrd_prep_cache_size")
+	hits, _ := s.Value("esrd_prep_cache_hits_total")
+	misses, _ := s.Value("esrd_prep_cache_misses_total")
+	def, _ := s.Value("esrd_threads_default")
+	maxp, _ := s.Value("esrd_threads_maxprocs")
+	pool, _ := s.Value("esrd_threads_pool_workers")
+	return HealthSnapshot{
+		Jobs:       int(jobs),
+		Matrices:   int(matrices),
+		PrepCache:  PrepCacheStats{Size: int(size), Hits: int64(hits), Misses: int64(misses)},
+		Transports: snapshotTransports(s),
+		Strategies: snapshotStrategies(s),
+		Threads:    ThreadStats{Default: int(def), MaxProcs: int(maxp), PoolWorkers: int(pool)},
+	}
+}
+
+// snapshotTransports rebuilds the healthz "transports" block from a gathered
+// registry snapshot: the same counters /metrics exports, converted back to
+// the TransportUsage JSON shape. Counter values are exact integers up to
+// 2^53, far beyond any realistic count.
+func snapshotTransports(s metrics.Snapshot) map[string]TransportUsage {
+	out := map[string]TransportUsage{}
+	for name, runs := range s.ByLabel("solver_transport_runs_total", "transport") {
+		u := out[name]
+		u.Runs = int64(runs)
+		out[name] = u
+	}
+	set := []func(*cluster.TransportStats, int64){
+		func(t *cluster.TransportStats, v int64) { t.Delivered = v },
+		func(t *cluster.TransportStats, v int64) { t.Copied = v },
+		func(t *cluster.TransportStats, v int64) { t.PoolGets = v },
+		func(t *cluster.TransportStats, v int64) { t.PoolPuts = v },
+		func(t *cluster.TransportStats, v int64) { t.PoolNews = v },
+		func(t *cluster.TransportStats, v int64) { t.Delayed = v },
+		func(t *cluster.TransportStats, v int64) { t.Dropped = v },
+	}
+	for i, f := range transportStatNames {
+		for name, v := range s.ByLabel("solver_transport_"+f+"_total", "transport") {
+			u := out[name]
+			set[i](&u.Stats, int64(v))
+			out[name] = u
+		}
+	}
+	return out
+}
+
+// snapshotStrategies rebuilds the healthz "strategies" block from a gathered
+// registry snapshot.
+func snapshotStrategies(s metrics.Snapshot) map[string]core.StrategyStats {
+	out := map[string]core.StrategyStats{}
+	set := []func(*core.StrategyStats, int64){
+		func(t *core.StrategyStats, v int64) { t.Solves = v },
+		func(t *core.StrategyStats, v int64) { t.Episodes = v },
+		func(t *core.StrategyStats, v int64) { t.Restarts = v },
+		func(t *core.StrategyStats, v int64) { t.RedoneIterations = v },
+		func(t *core.StrategyStats, v int64) { t.Checkpoints = v },
+		func(t *core.StrategyStats, v int64) { t.CheckpointFloats = v },
+		func(t *core.StrategyStats, v int64) { t.RedundancyFloats = v },
+		func(t *core.StrategyStats, v int64) { t.RecoveryFloats = v },
+	}
+	for i, f := range strategyStatNames {
+		for name, v := range s.ByLabel("solver_"+f+"_total", "strategy") {
+			u := out[name]
+			set[i](&u, int64(v))
+			out[name] = u
+		}
+	}
+	for name, secs := range s.ByLabel("solver_recovery_seconds_total", "strategy") {
+		u := out[name]
+		u.RecoveryTime = time.Duration(math.Round(secs * 1e9))
+		out[name] = u
+	}
+	return out
+}

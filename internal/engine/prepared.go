@@ -51,6 +51,10 @@ type SolveOpts struct {
 	Method string
 	// Progress observes this solve from rank 0 (may be nil).
 	Progress core.ProgressFunc
+	// Tracer observes this solve's per-iteration phase timings, residual
+	// trajectory and recovery episodes from rank 0 (may be nil). Tracing is
+	// observer-only: traced solves are bit-identical to untraced ones.
+	Tracer core.Tracer
 }
 
 // preparedRank is the per-rank state built once and reused by every solve:
@@ -85,6 +89,11 @@ type Prepared struct {
 	// delta after every solve, keyed by the session's strategy name (the
 	// engine aggregates these for its health gauges, mirroring statsSink).
 	strategySink func(name string, delta core.StrategyStats)
+	// matvecSink, when non-nil, is installed as the MatVec phase observer on
+	// every solve's per-rank matrix forks (the engine feeds it into the
+	// per-transport SpMV phase histograms). Set before the session is
+	// shared, like the sinks above.
+	matvecSink func(distmat.MatVecTimings)
 
 	mu     sync.Mutex
 	closed bool
@@ -371,12 +380,18 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 		pr := ps.prep[c.Rank()]
 		e := distmat.WorldEnv(c)
 		m := pr.m.Fork()
+		if ps.matvecSink != nil {
+			// Every rank reports its own SpMV phase split: the overlap
+			// efficiency is a per-rank quantity.
+			m.SetMatVecObserver(ps.matvecSink)
+		}
 		bv := distmat.Vector{P: ps.part, Pos: e.Pos, Local: append([]float64(nil), b[pr.lo:pr.hi]...)}
 		x := distmat.NewVector(ps.part, e.Pos)
 		copts := core.Options{Tol: opts.Tol, MaxIter: opts.MaxIter, LocalTol: opts.LocalTol,
 			Threads: ps.cfg.Threads, Ctx: ctx}
 		if c.Rank() == 0 {
 			copts.Progress = opts.Progress
+			copts.Tracer = opts.Tracer
 		}
 		var res core.Result
 		var err error

@@ -20,6 +20,7 @@ func solveOpts(cfg Config) SolveOpts {
 	return SolveOpts{
 		Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol,
 		Schedule: cfg.Schedule, Method: cfg.Method, Progress: cfg.Progress,
+		Tracer: cfg.Tracer,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/matgen"
 )
@@ -110,7 +111,63 @@ func TestCrossTransportBitIdentical(t *testing.T) {
 	for _, tr := range []string{TransportChan, TransportFast, TransportChaos} {
 		same("phased on "+tr, solve(tr, false), ref)
 	}
+
+	// Tracing is observer-only: a solve with a Tracer installed must stay
+	// bit-identical to the untraced reference — the clock reads sit outside
+	// every floating-point statement — while actually capturing the
+	// iteration phases, residual trajectory and the recovery episode.
+	var iters []core.IterationTrace
+	var recs []core.RecoveryTrace
+	traced := func() Solution {
+		t.Helper()
+		ps, err := Prepare(a, Config{Ranks: 8, Phi: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ps.Close()
+		sol, err := ps.Solve(context.Background(), b, SolveOpts{
+			Schedule: sched(),
+			Tracer: core.MultiTracer(traceFunc{
+				iter: func(it core.IterationTrace) { iters = append(iters, it) },
+				rec:  func(rt core.RecoveryTrace) { recs = append(recs, rt) },
+			}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	sol := traced()
+	same("traced solve", sol, ref)
+	if len(iters) != sol.Result.Iterations {
+		t.Fatalf("tracer saw %d iterations, solve took %d", len(iters), sol.Result.Iterations)
+	}
+	last := iters[len(iters)-1]
+	if last.Iteration != sol.Result.Iterations || last.Residual != sol.Result.FinalResidual {
+		t.Fatalf("last trace %+v does not match result %+v", last, sol.Result)
+	}
+	if len(recs) != 1 || recs[0].Strategy != StrategyESR || len(recs[0].FailedRanks) != 2 {
+		t.Fatalf("recovery traces = %+v", recs)
+	}
+	var sawPhases bool
+	for _, it := range iters {
+		if it.SpMV > 0 && it.Precond > 0 && it.Allreduce > 0 {
+			sawPhases = true
+		}
+	}
+	if !sawPhases {
+		t.Fatal("no iteration carried all three phase durations")
+	}
 }
+
+// traceFunc adapts two closures to core.Tracer for tests.
+type traceFunc struct {
+	iter func(core.IterationTrace)
+	rec  func(core.RecoveryTrace)
+}
+
+func (f traceFunc) TraceIteration(it core.IterationTrace) { f.iter(it) }
+func (f traceFunc) TraceRecovery(rt core.RecoveryTrace)   { f.rec(rt) }
 
 // TestQuickTransportSessionStats: prepared sessions on a non-default
 // transport report it, accumulate per-runtime stats, and the engine's

@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint statically checks a Prometheus text exposition (version 0.0.4) and
+// returns the list of problems found (empty means clean). It is the shared
+// backstop behind the package's own exposition tests, the esrd /metrics
+// end-to-end test, and the CI metrics-lint step, enforcing:
+//
+//   - every family has exactly one # HELP and one # TYPE line, in that
+//     order, before its samples, and samples of one family are contiguous;
+//   - metric and label names match the Prometheus data model, and the TYPE
+//     is one of counter/gauge/histogram;
+//   - counter family names end in _total;
+//   - no duplicate series (same name and label set twice);
+//   - sample values parse as floats (+Inf/-Inf/NaN allowed);
+//   - histogram series use only the _bucket/_sum/_count suffixes, bucket
+//     cumulative counts are monotone with increasing le bounds ending at
+//     le="+Inf", and the +Inf bucket equals the _count series.
+func Lint(text string) []string {
+	l := &linter{seen: map[string]bool{}, families: map[string]bool{}}
+	for i, line := range strings.Split(text, "\n") {
+		l.line(i+1, line)
+	}
+	l.endFamily()
+	return l.problems
+}
+
+type linter struct {
+	problems []string
+	seen     map[string]bool // rendered series (name + canonical labels)
+	families map[string]bool // family names with a completed HELP/TYPE header
+
+	// Current family state.
+	name        string
+	typ         string
+	helpPending bool // saw # HELP, waiting for # TYPE
+	hists       map[string]*histSeries
+}
+
+// histSeries accumulates one histogram label set's bucket/sum/count series.
+type histSeries struct {
+	bounds   []float64
+	cumul    []uint64
+	count    uint64
+	hasCount bool
+	hasSum   bool
+}
+
+func (l *linter) errf(n int, format string, args ...any) {
+	l.problems = append(l.problems, fmt.Sprintf("line %d: %s", n, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(n int, line string) {
+	switch {
+	case line == "":
+		return
+	case strings.HasPrefix(line, "# HELP "):
+		l.endFamily()
+		rest := strings.TrimPrefix(line, "# HELP ")
+		name, _, _ := strings.Cut(rest, " ")
+		if !metricNameRE.MatchString(name) {
+			l.errf(n, "invalid metric name %q in HELP", name)
+		}
+		if l.families[name] {
+			l.errf(n, "duplicate HELP for family %s", name)
+		}
+		l.name, l.helpPending = name, true
+	case strings.HasPrefix(line, "# TYPE "):
+		fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+		if len(fields) != 2 {
+			l.errf(n, "malformed TYPE line %q", line)
+			return
+		}
+		name, typ := fields[0], fields[1]
+		if !l.helpPending || name != l.name {
+			l.errf(n, "TYPE for %s without a preceding HELP", name)
+		}
+		switch typ {
+		case TypeCounter, TypeGauge, TypeHistogram:
+		default:
+			l.errf(n, "unknown type %q for %s", typ, name)
+		}
+		if typ == TypeCounter && !strings.HasSuffix(name, "_total") {
+			l.errf(n, "counter %s does not end in _total", name)
+		}
+		l.name, l.typ, l.helpPending = name, typ, false
+		l.families[name] = true
+		if typ == TypeHistogram {
+			l.hists = map[string]*histSeries{}
+		}
+	case strings.HasPrefix(line, "#"):
+		l.errf(n, "unexpected comment %q", line)
+	default:
+		l.sample(n, line)
+	}
+}
+
+// sample checks one series line against the current family.
+func (l *linter) sample(n int, line string) {
+	name, labels, value, err := parseSeries(line)
+	if err != nil {
+		l.errf(n, "%v", err)
+		return
+	}
+	if l.name == "" || l.helpPending {
+		l.errf(n, "series %s before a completed HELP/TYPE header", name)
+		return
+	}
+	base, suffix := name, ""
+	if l.typ == TypeHistogram {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) && strings.TrimSuffix(name, s) == l.name {
+				base, suffix = l.name, s
+				break
+			}
+		}
+		if suffix == "" {
+			l.errf(n, "series %s is not a _bucket/_sum/_count of histogram %s", name, l.name)
+			return
+		}
+	}
+	if base != l.name {
+		l.errf(n, "series %s interleaved into family %s", name, l.name)
+		return
+	}
+	key := name + canonicalLabels(labels)
+	if l.seen[key] {
+		l.errf(n, "duplicate series %s%s", name, canonicalLabels(labels))
+	}
+	l.seen[key] = true
+
+	if l.typ != TypeHistogram {
+		return
+	}
+	// Accumulate the histogram series per label set (minus le) for the
+	// end-of-family consistency checks.
+	var le string
+	rest := make([]Label, 0, len(labels))
+	for _, lb := range labels {
+		if lb.Name == "le" {
+			le = lb.Value
+		} else {
+			rest = append(rest, lb)
+		}
+	}
+	h := l.hists[canonicalLabels(rest)]
+	if h == nil {
+		h = &histSeries{}
+		l.hists[canonicalLabels(rest)] = h
+	}
+	switch suffix {
+	case "_bucket":
+		bound, err := parseBound(le)
+		if err != nil {
+			l.errf(n, "bad le %q on %s", le, name)
+			return
+		}
+		h.bounds = append(h.bounds, bound)
+		h.cumul = append(h.cumul, uint64(value))
+	case "_sum":
+		h.hasSum = true
+	case "_count":
+		h.count, h.hasCount = uint64(value), true
+	}
+}
+
+// endFamily runs the per-label-set histogram consistency checks when a
+// histogram family's samples are complete.
+func (l *linter) endFamily() {
+	for ls, h := range l.hists {
+		where := fmt.Sprintf("histogram %s%s", l.name, ls)
+		if len(h.bounds) == 0 || h.bounds[len(h.bounds)-1] != inf() {
+			l.problems = append(l.problems, where+": buckets do not end at le=\"+Inf\"")
+		}
+		for i := 1; i < len(h.bounds); i++ {
+			if h.bounds[i] <= h.bounds[i-1] {
+				l.problems = append(l.problems, where+": le bounds not strictly increasing")
+			}
+			if h.cumul[i] < h.cumul[i-1] {
+				l.problems = append(l.problems, where+": cumulative bucket counts decrease")
+			}
+		}
+		if !h.hasSum || !h.hasCount {
+			l.problems = append(l.problems, where+": missing _sum or _count")
+		} else if len(h.bounds) > 0 && h.cumul[len(h.cumul)-1] != h.count {
+			l.problems = append(l.problems, where+": +Inf bucket does not equal _count")
+		}
+	}
+	l.name, l.typ, l.helpPending, l.hists = "", "", false, nil
+}
+
+func inf() float64 { v, _ := parseBound("+Inf"); return v }
+
+func parseBound(le string) (float64, error) {
+	return strconv.ParseFloat(le, 64)
+}
+
+// parseSeries splits `name{a="v",...} value` (labels optional) into parts,
+// validating name/label syntax and the value.
+func parseSeries(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed series line %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if !metricNameRE.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid series name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	value, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels scans `a="x",b="y"` honouring \" escapes in values.
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for s != "" {
+		eq := strings.Index(s, "=\"")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair %q", s)
+		}
+		name := s[:eq]
+		if !labelNameRE.MatchString(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+2:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %s", name)
+				}
+				i++
+				if s[i] == 'n' {
+					val.WriteByte('\n')
+				} else {
+					val.WriteByte(s[i])
+				}
+			case '"':
+				out = append(out, Label{Name: name, Value: val.String()})
+				s, closed = s[i+1:], true
+			default:
+				val.WriteByte(s[i])
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %s", name)
+		}
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}
+
+// canonicalLabels renders a sorted, unambiguous key for duplicate detection.
+func canonicalLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = fmt.Sprintf("%s=%q", l.Name, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -291,6 +291,20 @@ func WithProgress(fn ProgressFunc) Option {
 	}
 }
 
+// WithTracer observes solves from rank 0 at the solver's phase boundaries:
+// per-iteration phase durations (SpMV, preconditioner apply, allreduce), the
+// residual trajectory, and recovery episodes. Tracing is observer-only —
+// traced solves are bit-identical to untraced ones. With concurrent solves
+// on one session every solve reports to the same tracer; pass a per-call
+// WithTracer to Solver.Solve to trace one solve in isolation. Combine
+// tracers with MultiTracer. Solve-scoped.
+func WithTracer(t Tracer) Option {
+	return func(c *Config) error {
+		c.Tracer = t
+		return nil
+	}
+}
+
 // FromConfig lowers a (typically JSON-decoded) Config onto the option list:
 // the configuration built so far is replaced by cfg (options listed after
 // FromConfig still apply on top). It is the bridge from the wire format to
@@ -298,10 +312,15 @@ func WithProgress(fn ProgressFunc) Option {
 // NewSolver(a, FromConfig(cfg)) followed by one Solve and a Close.
 func FromConfig(cfg Config) Option {
 	return func(c *Config) error {
-		progress := c.Progress
+		progress, tracer := c.Progress, c.Tracer
 		*c = cfg
 		if c.Progress == nil {
 			c.Progress = progress
+		}
+		if c.Tracer == nil {
+			// Like Progress: observers are not part of the wire format, so a
+			// decoded Config must not silently drop one installed earlier.
+			c.Tracer = tracer
 		}
 		return nil
 	}

@@ -110,6 +110,7 @@ func (s *Solver) solveOpts(opts []Option) (engine.SolveOpts, error) {
 	return engine.SolveOpts{
 		Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol,
 		Schedule: cfg.Schedule, Method: cfg.Method, Progress: cfg.Progress,
+		Tracer: cfg.Tracer,
 	}, nil
 }
 
