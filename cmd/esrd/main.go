@@ -5,8 +5,20 @@
 //
 //	esrd [-addr :8080] [-workers 4] [-queue 256] [-max-jobs 4096]
 //	     [-job-ttl 0] [-prep-cache 8] [-prep-ttl 10m] [-max-matrices 64]
-//	     [-transport chan|fast|chaos] [-strategy esr|checkpoint|restart]
-//	     [-threads 0] [-pprof addr] [-trace-iters 0] [-log-format text|json]
+//	     [-transport chan|fast|chaos|net] [-strategy esr|checkpoint|restart]
+//	     [-threads 0] [-peers 0] [-drain-timeout 30s] [-pprof addr]
+//	     [-trace-iters 0] [-log-format text|json]
+//	esrd -worker    (internal: one rank of a multi-process solve)
+//
+// Multi-process ranks: -peers N enables jobs with "transport": "net" — each
+// such job runs its ranks as separate OS processes (re-executing this binary
+// with -worker) joined over TCP, so a SIGKILLed worker is a real node
+// failure that ESR recovers from. N caps the per-job fleet size. See the
+// README's "Multi-process ranks" section.
+//
+// Shutdown: on SIGTERM/SIGINT the daemon stops accepting jobs and drains
+// the in-flight ones for up to -drain-timeout; if the deadline fires the
+// remaining jobs are cancelled and the process exits nonzero.
 //
 // Observability: GET /metrics serves the Prometheus text exposition of the
 // daemon and solver series; -trace-iters N additionally captures the last N
@@ -40,6 +52,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // handlers on DefaultServeMux, served only via -pprof
@@ -48,7 +61,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/netrun"
 )
 
 func main() {
@@ -61,7 +76,7 @@ func main() {
 	prepTTL := flag.Duration("prep-ttl", 10*time.Minute, "evict idle prepared sessions after this long")
 	maxMatrices := flag.Int("max-matrices", 64, "registered matrix capacity")
 	transport := flag.String("transport", engine.TransportChan,
-		"default communication fabric for jobs that do not pick one (chan|fast|chaos)")
+		"default communication fabric for jobs that do not pick one (chan|fast|chaos|net)")
 	strategy := flag.String("strategy", engine.StrategyESR,
 		"default failure-recovery strategy for jobs that do not pick one (esr|checkpoint|restart)")
 	threads := flag.Int("threads", 0,
@@ -71,7 +86,24 @@ func main() {
 	traceIters := flag.Int("trace-iters", 0,
 		"capture the last N per-iteration phase traces of every job, served by GET /v1/jobs/{id}/trace (0 disables)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	worker := flag.Bool("worker", false,
+		"run as one rank worker of a multi-process solve (internal; spawned by the coordinator)")
+	peers := flag.Int("peers", 0,
+		"max worker processes per net-transport job; enables the multi-process coordinator (0 rejects net jobs)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"graceful-shutdown deadline for in-flight jobs; when it fires the rest are cancelled and the exit code is nonzero")
 	flag.Parse()
+
+	if *worker || netrun.IsWorker() {
+		// Rank-worker mode: this process is one rank of a multi-process
+		// solve, spawned and addressed by a coordinating daemon. No HTTP
+		// surface, no engine — just the rank's share of the solve.
+		if err := netrun.RunWorker(); err != nil {
+			fmt.Fprintln(os.Stderr, "esrd worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var handler slog.Handler
 	switch *logFormat {
@@ -120,14 +152,67 @@ func main() {
 		}()
 	}
 
-	eng := engine.New(engine.Options{
+	// Multi-process coordinator: installed only with -peers > 0; jobs whose
+	// resolved transport is "net" then run each rank as a separate OS
+	// process (this binary, re-executed with -worker) joined over TCP.
+	var (
+		coord *netrun.Coordinator
+		eng   *engine.Engine
+	)
+	var netRunner engine.NetRunner
+	if *peers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fatal("cannot resolve own executable for -peers worker spawning", "err", err)
+		}
+		coord, err = netrun.NewCoordinator(netrun.Options{
+			Command: []string{exe, "-worker"},
+			Log: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...), "component", "netrun")
+			},
+		})
+		if err != nil {
+			fatal("net coordinator", "err", err)
+		}
+		maxRanks := *peers
+		netRunner = func(ctx context.Context, spec engine.JobSpec, progress func(core.ProgressEvent)) (engine.Solution, error) {
+			if r := spec.Config.WithDefaults().Ranks; r > maxRanks {
+				return engine.Solution{}, fmt.Errorf("net job needs %d worker processes, -peers allows %d", r, maxRanks)
+			}
+			sol, stats, err := coord.Run(ctx, spec, progress)
+			// Fold the fleet's aggregated wire counters into the daemon's
+			// per-transport series; the workers' own registries die with
+			// their processes.
+			eng.AddTransportUsage(engine.TransportNet, stats)
+			return sol, err
+		}
+	} else if *transport == engine.TransportNet {
+		fatal("-transport net needs -peers > 0 (the multi-process coordinator)")
+	}
+
+	eng = engine.New(engine.Options{
 		Workers: *workers, QueueCap: *queueCap,
 		MaxJobs: *maxJobs, JobTTL: *jobTTL,
 		PrepCacheSize: *prepCache, PrepCacheTTL: *prepTTL,
 		MaxMatrices: *maxMatrices, DefaultTransport: *transport,
 		DefaultStrategy: *strategy, DefaultThreads: *threads,
-		TraceIters: *traceIters,
+		TraceIters: *traceIters, NetRunner: netRunner,
 	})
+	if coord != nil {
+		// esrd_net_* series: the multi-process listener/fleet state. The
+		// healthz "net" block mirrors them by prefix off the same registry.
+		m := eng.Metrics()
+		m.GaugeFunc("esrd_net_peers_max", "Max worker processes allowed per net-transport job (-peers).",
+			func() float64 { return float64(*peers) })
+		m.GaugeFunc("esrd_net_workers_live", "Worker processes currently running across net-transport jobs.",
+			func() float64 { return float64(coord.LiveWorkers()) })
+		m.CounterFunc("esrd_net_respawns_total", "Replacement worker processes spawned for scheduled failures.",
+			func() float64 { return float64(coord.Respawns()) })
+		m.CounterFunc("esrd_net_job_retries_total", "Net jobs retried on a fresh fleet after an unscheduled worker loss.",
+			func() float64 { return float64(coord.JobRetries()) })
+		m.CounterFunc("esrd_net_jobs_total", "Net-transport jobs accepted by the coordinator.",
+			func() float64 { return float64(coord.JobsRun()) })
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newMux(eng, logger),
@@ -136,14 +221,25 @@ func main() {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	drainFailed := false
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		logger.Info("shutting down")
-		// Close the engine first: it cancels every job, which terminates the
-		// open NDJSON event streams, so the HTTP drain below can finish
-		// instead of waiting out its timeout behind infinite streams.
+		logger.Info("shutting down", "drain_timeout", *drainTimeout)
+		// Graceful drain first: stop accepting jobs and let the in-flight
+		// ones finish. Only when the deadline fires do we escalate to
+		// Close, which cancels what is left — and the exit code records
+		// that work was killed.
+		drainCtx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := eng.Drain(drainCtx); err != nil {
+			drainFailed = true
+			logger.Error("drain deadline exceeded; cancelling remaining jobs", "err", err)
+		}
+		dcancel()
+		// Close is idempotent after a clean drain; after a failed one it
+		// cancels every remaining job, which also terminates the open NDJSON
+		// event streams so the HTTP drain below can finish.
 		eng.Close()
 		shutdownCtx, done := context.WithTimeout(context.Background(), 10*time.Second)
 		defer done()
@@ -151,11 +247,14 @@ func main() {
 	}()
 
 	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queueCap,
-		"trace_iters", *traceIters, "log_format", *logFormat)
+		"peers", *peers, "trace_iters", *traceIters, "log_format", *logFormat)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal("listener failed", "err", err)
 	}
 	// ListenAndServe returns as soon as Shutdown begins; wait for the drain
 	// and engine teardown to actually finish before exiting.
 	<-shutdownDone
+	if drainFailed {
+		os.Exit(1)
+	}
 }

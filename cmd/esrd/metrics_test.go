@@ -83,6 +83,37 @@ func TestQuickMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestQuickHealthzNetBlock: when esrd_net_* series exist (the daemon runs
+// the multi-process coordinator), healthz mirrors them under "net" with the
+// prefix stripped; without them the key is absent entirely.
+func TestQuickHealthzNetBlock(t *testing.T) {
+	ts, eng := newTestServer(t, 1)
+
+	_, body := getBody(t, ts.URL+"/v1/healthz")
+	if strings.Contains(body, `"net":`) {
+		t.Fatalf("healthz advertises a net block without net series: %s", body)
+	}
+
+	eng.Metrics().GaugeFunc("esrd_net_workers_live", "h", func() float64 { return 3 })
+	eng.Metrics().CounterFunc("esrd_net_respawns_total", "h", func() float64 { return 2 })
+	_, body = getBody(t, ts.URL+"/v1/healthz")
+	var h struct {
+		Net map[string]float64 `json:"net"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Net["workers_live"] != 3 || h.Net["respawns_total"] != 2 {
+		t.Fatalf("healthz net block = %v, want workers_live=3 respawns_total=2", h.Net)
+	}
+	// The net series ride the same registry as everything else; the
+	// exposition must stay lint-clean with them registered.
+	_, text := getBody(t, ts.URL+"/metrics")
+	if probs := metrics.Lint(text); len(probs) != 0 {
+		t.Fatalf("exposition lint problems with net series: %v", probs)
+	}
+}
+
 // TestMetricsChaosJob runs a chaos-transport job with injected failures on a
 // trace-capturing daemon, then checks the full observability surface: the
 // recovery-episode and per-phase series on /metrics, and the per-iteration

@@ -354,7 +354,7 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 // surfaces cannot drift apart.
 func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 	h := s.eng.Health()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":         true,
 		"time":       time.Now().UTC().Format(time.RFC3339Nano),
 		"jobs":       h.Jobs,
@@ -369,5 +369,11 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 		// Kernel threading posture: daemon default cap, GOMAXPROCS, and the
 		// shared worker pool's resident size.
 		"threads": h.Threads,
-	})
+	}
+	// Multi-process fleet state (the esrd_net_* series, prefix stripped);
+	// present only when the daemon runs the net coordinator.
+	if len(h.Net) > 0 {
+		body["net"] = h.Net
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -126,6 +126,13 @@ func WithTransport(t Transport) Option {
 	}
 }
 
+// runtimeBinder is implemented by transports that need the runtime at
+// construction (the net transport: listener setup, peer layout validation).
+// New invokes it once, after the rank slots exist.
+type runtimeBinder interface {
+	bindRuntime(rt *Runtime)
+}
+
 // New creates a runtime with the given number of rank slots.
 func New(size int, opts ...Option) *Runtime {
 	if size <= 0 {
@@ -140,6 +147,9 @@ func New(size int, opts ...Option) *Runtime {
 	}
 	for i := range rt.nodes {
 		rt.nodes[i] = rt.freshNode(i)
+	}
+	if b, ok := rt.transport.(runtimeBinder); ok {
+		b.bindRuntime(rt)
 	}
 	return rt
 }
@@ -224,10 +234,22 @@ func (rt *Runtime) Revive(rank int) *Comm {
 // them. The returned error joins all per-rank errors except ErrKilled
 // (killed ranks terminating is expected fail-stop behaviour).
 func (rt *Runtime) Run(fn func(c *Comm) error) error {
+	ranks := make([]int, rt.size)
+	for r := range ranks {
+		ranks[r] = r
+	}
+	return rt.RunLocal(ranks, fn)
+}
+
+// RunLocal is Run restricted to the given rank subset: it launches fn only
+// on those ranks and waits for them. The multi-process net fabric uses it —
+// each process runs the ranks it hosts, with the remaining slots driven by
+// peers over the wire.
+func (rt *Runtime) RunLocal(ranks []int, fn func(c *Comm) error) error {
 	errs := make([]error, rt.size)
 	var wg sync.WaitGroup
-	wg.Add(rt.size)
-	for r := 0; r < rt.size; r++ {
+	wg.Add(len(ranks))
+	for _, r := range ranks {
 		c := &Comm{rt: rt, rank: r, node: rt.nodeAt(r), pending: map[msgKey][]Msg{}}
 		go func(r int, c *Comm) {
 			defer wg.Done()
@@ -264,8 +286,17 @@ func (rt *Runtime) Run(fn func(c *Comm) error) error {
 // rank that ignores errors can still stall the return, so SPMD programs
 // should propagate communication errors promptly.
 func (rt *Runtime) RunContext(ctx context.Context, fn func(c *Comm) error) error {
+	ranks := make([]int, rt.size)
+	for r := range ranks {
+		ranks[r] = r
+	}
+	return rt.RunLocalContext(ctx, ranks, fn)
+}
+
+// RunLocalContext is RunLocal with the cancellation semantics of RunContext.
+func (rt *Runtime) RunLocalContext(ctx context.Context, ranks []int, fn func(c *Comm) error) error {
 	if ctx == nil {
-		return rt.Run(fn)
+		return rt.RunLocal(ranks, fn)
 	}
 	watcherDone := make(chan struct{})
 	ranksDone := make(chan struct{})
@@ -277,7 +308,7 @@ func (rt *Runtime) RunContext(ctx context.Context, fn func(c *Comm) error) error
 		case <-ranksDone:
 		}
 	}()
-	err := rt.Run(fn)
+	err := rt.RunLocal(ranks, fn)
 	close(ranksDone)
 	<-watcherDone
 	if cause, ok := rt.Aborted(); ok && cause != nil {

@@ -38,28 +38,29 @@ var floatPools [floatPoolClasses]sync.Pool
 // (512 MiB); larger buffers fall through to the allocator.
 const floatPoolClasses = 27
 
-// GetFloats implements Transport: a recycled buffer of length n (capacity
-// rounded up to the next power of two).
-func (t *FastTransport) GetFloats(n int) []float64 {
+// poolGetFloats serves a recycled buffer of length n (capacity rounded up
+// to the next power of two) from the process-wide pools, recording traffic
+// in ct. Shared by the fast and net transports.
+func poolGetFloats(ct *transportCounters, n int) []float64 {
 	if n == 0 {
 		return nil
 	}
-	t.ct.poolGets.Add(1)
+	ct.poolGets.Add(1)
 	c := bits.Len(uint(n - 1))
 	if c >= floatPoolClasses {
-		t.ct.poolNew.Add(1)
+		ct.poolNew.Add(1)
 		return make([]float64, n)
 	}
 	if p, ok := floatPools[c].Get().(*float64); ok {
 		return unsafe.Slice(p, 1<<c)[:n]
 	}
-	t.ct.poolNew.Add(1)
+	ct.poolNew.Add(1)
 	return make([]float64, n, 1<<c)
 }
 
-// PutFloats implements Transport: recycle buf for a future GetFloats. Only
-// exact power-of-two capacities (the recycler's own buffers) are kept.
-func (t *FastTransport) PutFloats(buf []float64) {
+// poolPutFloats recycles buf for a future poolGetFloats. Only exact
+// power-of-two capacities (the recycler's own buffers) are kept.
+func poolPutFloats(ct *transportCounters, buf []float64) {
 	c := cap(buf)
 	if c == 0 || c&(c-1) != 0 {
 		return
@@ -68,10 +69,18 @@ func (t *FastTransport) PutFloats(buf []float64) {
 	if cls >= floatPoolClasses {
 		return
 	}
-	t.ct.poolPuts.Add(1)
+	ct.poolPuts.Add(1)
 	buf = buf[:1]
 	floatPools[cls].Put(&buf[0])
 }
+
+// GetFloats implements Transport: a recycled buffer of length n (capacity
+// rounded up to the next power of two).
+func (t *FastTransport) GetFloats(n int) []float64 { return poolGetFloats(&t.ct, n) }
+
+// PutFloats implements Transport: recycle buf for a future GetFloats. Only
+// exact power-of-two capacities (the recycler's own buffers) are kept.
+func (t *FastTransport) PutFloats(buf []float64) { poolPutFloats(&t.ct, buf) }
 
 // Name implements Transport.
 func (t *FastTransport) Name() string { return TransportFast }

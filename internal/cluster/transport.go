@@ -21,11 +21,17 @@ const (
 	// notification, for testing the resilience protocol's ordering
 	// assumptions.
 	TransportChaos = "chaos"
+	// TransportNet is the TCP fabric: ranks hosted across OS processes (or
+	// one process in self-loop mode) exchanging length-prefixed binary
+	// frames over persistent peer connections, with a killed process
+	// surfacing as a real node failure. Payload buffers share the fast
+	// transport's recycler.
+	TransportNet = "net"
 )
 
 // TransportNames lists the built-in transport names.
 func TransportNames() []string {
-	return []string{TransportChan, TransportFast, TransportChaos}
+	return []string{TransportChan, TransportFast, TransportChaos, TransportNet}
 }
 
 // Transport is the pluggable rank-to-rank delivery fabric of a Runtime: it
@@ -86,6 +92,11 @@ func NewTransport(name string, seed int64) (Transport, error) {
 		return NewFastTransport(), nil
 	case TransportChaos:
 		return NewChaosTransport(NewChanTransport(), ChaosConfig{Seed: seed}), nil
+	case TransportNet:
+		// Self-loop mode: real TCP frames over a loopback listener, all
+		// ranks in this process. Multi-process fleets construct the
+		// transport directly with a populated NetConfig.
+		return NewNetTransport(NetConfig{}), nil
 	}
 	return nil, fmt.Errorf("cluster: unknown transport %q", name)
 }
@@ -106,8 +117,15 @@ type TransportStats struct {
 	// Delayed counts messages held on the simulated wire (chaos).
 	Delayed int64 `json:"delayed"`
 	// Dropped counts wire-dropped messages (chaos: destination dead or
-	// runtime aborted while the message was in flight).
+	// runtime aborted while the message was in flight; net: frames decoded
+	// for a dead or aborted destination).
 	Dropped int64 `json:"dropped"`
+	// BytesSent/BytesReceived count wire traffic (net transport only).
+	BytesSent     int64 `json:"bytes_sent"`
+	BytesReceived int64 `json:"bytes_received"`
+	// Reconnects counts re-established peer connections (net transport
+	// only): replacement-process handovers and recovered connection drops.
+	Reconnects int64 `json:"reconnects"`
 }
 
 // Add accumulates o into s.
@@ -119,6 +137,9 @@ func (s *TransportStats) Add(o TransportStats) {
 	s.PoolNews += o.PoolNews
 	s.Delayed += o.Delayed
 	s.Dropped += o.Dropped
+	s.BytesSent += o.BytesSent
+	s.BytesReceived += o.BytesReceived
+	s.Reconnects += o.Reconnects
 }
 
 // transportCounters is the atomic backing shared by the transport

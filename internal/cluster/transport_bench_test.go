@@ -2,12 +2,12 @@ package cluster
 
 import "testing"
 
-// BenchmarkAllreduce compares the collective hot loop across the chan and
-// fast transports (-benchmem shows the pooled fabric's allocation win): an
-// 8-rank fused 2-element Allreduce, the exact shape PCG issues once per
-// iteration.
+// BenchmarkAllreduce compares the collective hot loop across the chan,
+// fast, and net transports (-benchmem shows the pooled fabric's allocation
+// win; net pays real TCP framing over the loopback self-wire): an 8-rank
+// fused 2-element Allreduce, the exact shape PCG issues once per iteration.
 func BenchmarkAllreduce(b *testing.B) {
-	for _, name := range []string{TransportChan, TransportFast} {
+	for _, name := range []string{TransportChan, TransportFast, TransportNet} {
 		b.Run(name, func(b *testing.B) {
 			tr, err := NewTransport(name, 1)
 			if err != nil {

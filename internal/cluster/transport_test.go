@@ -25,6 +25,9 @@ func conformanceTransports() map[string]func() Transport {
 				NotifyLag: 10 * time.Millisecond,
 			})
 		},
+		// Self-loop mode: every conformance guarantee must hold over real
+		// loopback TCP sockets, not just in-process channels.
+		TransportNet: func() Transport { return NewNetTransport(NetConfig{}) },
 	}
 }
 

@@ -81,6 +81,30 @@ type Options struct {
 	// install it on a single rank to observe a solve exactly once. Tracing
 	// is observer-only: it never changes results.
 	Tracer Tracer
+	// OnFailure, when non-nil, is called on every rank it is installed on
+	// at the failure poll point of iteration j, after a fresh scheduled
+	// event fired and before the strategy's recovery runs. The multi-process
+	// net fabric uses it to turn the simulated event into a real one:
+	// victim processes kill themselves inside the hook, survivors arm the
+	// transport for the replacement's reconnect. It is NOT called when a
+	// solve resumes via Resume (the failure already happened).
+	OnFailure func(j int, victims []int)
+	// Resume, when non-nil, enters the solve directly at a failure episode
+	// in progress: the rank skips iterations 0..Iteration-1, NaN-wipes its
+	// dynamic state exactly like an in-process victim, and joins the
+	// collective recovery for the given iteration and victim set. This is
+	// how a replacement OS process rejoins a solve whose other ranks are
+	// blocked at the recovery poll point. ESR-only: rollback strategies
+	// have no in-place episode to join.
+	Resume *EpisodeResume
+}
+
+// EpisodeResume pins the failure episode a replacement rank joins.
+type EpisodeResume struct {
+	// Iteration is the 0-based solver iteration whose poll point fired.
+	Iteration int
+	// Victims is the event's failed-rank set (this rank must be in it).
+	Victims []int
 }
 
 // poll returns the context's cause when Options.Ctx has been cancelled.

@@ -310,15 +310,32 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 		return Result{}, err
 	}
 
-	// r(0) = b - A x(0); z(0) = M^{-1} r(0); p(0) = z(0).
-	if err := initIteration0(st); err != nil {
-		return Result{}, err
-	}
-	res := Result{InitialResidual: st.R0, FinalResidual: st.R0}
-	if st.R0 == 0 {
-		res.Converged = true
-		res.SolveTime = time.Since(start)
-		return res, nil
+	var res Result
+	if opts.Resume != nil {
+		// A replacement rank joining an episode in progress: its peers are
+		// blocked at iteration Resume.Iteration's recovery collectives, so
+		// running iterations 0..Iteration-1 here would deadlock (and repeat
+		// sends the survivors already consumed). Start from the same wiped
+		// state an in-process victim has — recovery rebuilds everything,
+		// including the replicated scalars this rank's Result needs.
+		if strat.Name() != StrategyESR {
+			return Result{}, fmt.Errorf("core: Resume requires the in-place %s strategy, not %s", StrategyESR, strat.Name())
+		}
+		if opts.Resume.Iteration < 0 || opts.Resume.Iteration >= opts.MaxIter {
+			return Result{}, fmt.Errorf("core: Resume iteration %d out of range", opts.Resume.Iteration)
+		}
+		st.Wipe()
+	} else {
+		// r(0) = b - A x(0); z(0) = M^{-1} r(0); p(0) = z(0).
+		if err := initIteration0(st); err != nil {
+			return Result{}, err
+		}
+		res = Result{InitialResidual: st.R0, FinalResidual: st.R0}
+		if st.R0 == 0 {
+			res.Converged = true
+			res.SolveTime = time.Since(start)
+			return res, nil
+		}
 	}
 	target := func() float64 { return opts.Tol * st.R0 }
 
@@ -334,34 +351,59 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 	// redo iterations do not re-trigger the same event on the replay.
 	fired := map[int]bool{}
 	j := 0
+	// resuming carries the Resume episode into the first loop pass: the
+	// rank goes straight to the recovery collectives its peers are blocked
+	// in, skipping the per-iteration work that already happened elsewhere.
+	resuming := opts.Resume != nil
+	if resuming {
+		j = opts.Resume.Iteration
+		fired[j] = true
+	}
 	for j < opts.MaxIter {
-		if err := opts.poll(); err != nil {
-			return res, err
+		var victims []int
+		if resuming {
+			resuming = false
+			victims = opts.Resume.Victims
+		} else {
+			if err := opts.poll(); err != nil {
+				return res, err
+			}
+			// Steady-state protection work (checkpoint saves; nothing for
+			// ESR — its redundancy rides the SpMV below — or restart).
+			if err := strat.Overhead(st, j); err != nil {
+				return res, err
+			}
+			res.WorkIterations++
+			// u = A p(j): the SpMV that distributes the redundant copies of
+			// p(j) (when the matrix is resilience-enabled) and retains
+			// generation j.
+			clock.start()
+			if err := a.MatVec(e, st.U, st.P, j); err != nil {
+				return res, err
+			}
+			clock.stopSpMV()
+			// Poll point: the paper's failures strike here, after the copies
+			// of p(j) exist on phi other ranks.
+			if v := sched.AtIteration(j); len(v) > 0 && !fired[j] {
+				fired[j] = true
+				victims = v
+				if opts.OnFailure != nil {
+					opts.OnFailure(j, v)
+				}
+			}
 		}
-		// Steady-state protection work (checkpoint saves; nothing for
-		// ESR — its redundancy rides the SpMV below — or restart).
-		if err := strat.Overhead(st, j); err != nil {
-			return res, err
-		}
-		res.WorkIterations++
-		// u = A p(j): the SpMV that distributes the redundant copies of
-		// p(j) (when the matrix is resilience-enabled) and retains
-		// generation j.
-		clock.start()
-		if err := a.MatVec(e, st.U, st.P, j); err != nil {
-			return res, err
-		}
-		clock.stopSpMV()
-		// Poll point: the paper's failures strike here, after the copies of
-		// p(j) exist on phi other ranks.
-		if victims := sched.AtIteration(j); len(victims) > 0 && !fired[j] {
-			fired[j] = true
+		if len(victims) > 0 {
 			resume, rec, err := strat.Recover(st, j, victims)
 			if err != nil {
 				return res, err
 			}
 			res.Reconstructions = append(res.Reconstructions, rec)
 			res.ReconstructTime += rec.Duration
+			if res.InitialResidual == 0 && opts.Resume != nil {
+				// A resumed rank learns ||r0|| only through the recovery's
+				// scalar reconstruction; fill the Result in after the fact.
+				res.InitialResidual, res.FinalResidual = st.R0, st.R0
+			}
 			recCopy := rec
 			opts.notify(ProgressEvent{
 				Iteration: j, Residual: res.FinalResidual,

@@ -74,6 +74,11 @@ const (
 	// TransportChaos perturbs delivery with seeded latency and lagged
 	// failure notification, for stressing the resilience protocol.
 	TransportChaos = cluster.TransportChaos
+	// TransportNet runs every rank-to-rank message over real TCP sockets
+	// (loopback self-loop inside one process; internal/netrun spreads ranks
+	// across OS processes), with identical delivery semantics and
+	// bit-identical results.
+	TransportNet = cluster.TransportNet
 )
 
 // Config controls a solve. The zero value selects the paper's experimental
@@ -111,8 +116,9 @@ type Config struct {
 	// redundancy and ESRPCG otherwise.
 	Method string `json:"method,omitempty"`
 	// Transport selects the cluster communication fabric: TransportChan
-	// (default), TransportFast (zero-copy pooled), or TransportChaos
-	// (seeded latency + lagged failure notification). Preparation-scoped:
+	// (default), TransportFast (zero-copy pooled), TransportChaos
+	// (seeded latency + lagged failure notification), or TransportNet
+	// (real TCP sockets on loopback). Preparation-scoped:
 	// a prepared session runs every solve on its transport, and the field
 	// keys the prepared-session cache.
 	Transport string `json:"transport,omitempty"`
@@ -279,10 +285,10 @@ func (c Config) Validate() error {
 			MethodSPCG, PrecondIC0, c.Preconditioner)
 	}
 	switch c.Transport {
-	case TransportChan, TransportFast, TransportChaos:
+	case TransportChan, TransportFast, TransportChaos, TransportNet:
 	default:
-		return fmt.Errorf("engine: unknown transport %q (want %q, %q or %q)",
-			c.Transport, TransportChan, TransportFast, TransportChaos)
+		return fmt.Errorf("engine: unknown transport %q (want %q, %q, %q or %q)",
+			c.Transport, TransportChan, TransportFast, TransportChaos, TransportNet)
 	}
 	switch c.Strategy {
 	case StrategyESR, StrategyCheckpoint, StrategyRestart:

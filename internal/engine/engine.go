@@ -257,7 +257,20 @@ type Options struct {
 	// served by Engine.Trace. 0 (the default) disables capture; the metric
 	// series stay on regardless.
 	TraceIters int
+	// NetRunner, when non-nil, solves jobs whose resolved Transport is
+	// "net" across external rank processes instead of in-process (the
+	// esrd coordinator installs the netrun dispatcher here; a closure so
+	// the engine does not import the process-spawning layer). Jobs on
+	// every other transport — and net jobs when the hook is nil, which
+	// fall back to the single-process self-loop fabric — are unaffected.
+	NetRunner NetRunner
 }
+
+// NetRunner solves one job by fanning its ranks out to external OS
+// processes. The spec's Config arrives with the daemon defaults already
+// resolved. Progress events (when the callback is non-nil) feed the job's
+// event stream exactly like in-process solves.
+type NetRunner func(ctx context.Context, spec JobSpec, progress func(core.ProgressEvent)) (Solution, error)
 
 // Engine is a bounded worker pool draining a FIFO queue of solve jobs, with
 // a bounded in-memory job-record store, a registry of uploaded system
@@ -275,6 +288,7 @@ type Engine struct {
 	defaultStrategy  string
 	defaultThreads   int
 	traceIters       int
+	netRunner        NetRunner
 	metrics          *engineMetrics
 
 	tmu    sync.Mutex
@@ -289,6 +303,7 @@ type Engine struct {
 	order        []*job // submission order, for List
 	seq          int
 	closed       bool
+	draining     bool  // queue already closed by Drain; Close must not re-close
 	payloadBytes int64 // uploaded payload bytes held by unfinished jobs
 }
 
@@ -352,6 +367,7 @@ func New(opts Options) *Engine {
 		defaultStrategy:  opts.DefaultStrategy,
 		defaultThreads:   opts.DefaultThreads,
 		traceIters:       opts.TraceIters,
+		netRunner:        opts.NetRunner,
 		tstats:           map[string]*TransportUsage{},
 		sstats:           map[string]*core.StrategyStats{},
 		janitorQuit:      make(chan struct{}),
@@ -438,9 +454,35 @@ func (e *Engine) sweepJobsLocked(now time.Time) {
 	}
 }
 
+// Drain stops accepting new submissions and waits for the already-accepted
+// jobs — queued and running — to finish naturally: unlike Close, nothing is
+// cancelled. It returns nil once the workers have drained the queue, or the
+// context error if the deadline expires first (the engine stays in the
+// draining state; callers escalate to Close for a forced stop). Safe to
+// call concurrently and more than once.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed && !e.draining {
+		e.draining = true
+		close(e.queue) // workers exit after finishing what is already queued
+	}
+	e.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Close stops the engine: no new submissions are accepted, every
 // non-terminal job is cancelled, and Close blocks until the workers have
-// drained. Idempotent.
+// drained. Idempotent, and safe after (or racing) Drain.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -459,7 +501,10 @@ func (e *Engine) Close() {
 	for _, j := range jobs {
 		j.cancel(context.Canceled)
 	}
-	close(e.queue)
+	if !e.draining {
+		e.draining = true
+		close(e.queue)
+	}
 	e.mu.Unlock()
 	close(e.janitorQuit)
 	e.wg.Wait()
@@ -504,7 +549,7 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 	}
 
 	e.mu.Lock()
-	if e.closed {
+	if e.closed || e.draining {
 		e.mu.Unlock()
 		cancel(ErrClosed)
 		return "", ErrClosed
@@ -912,6 +957,13 @@ func (e *Engine) run(j *job) {
 		// to automatic in WithDefaults.
 		cfg.Threads = e.defaultThreads
 	}
+	if cfg.Transport == TransportNet && e.netRunner != nil {
+		// A coordinator daemon fans net-transport jobs out to external rank
+		// processes; each worker process prepares its own session, so the
+		// coordinator's prep cache and trace ring do not apply.
+		e.runNet(ctx, j, cfg)
+		return
+	}
 	// Acquire the prepared session for (matrix content, preparation config)
 	// from the cache: repeated jobs on the same system skip partitioning,
 	// the distributed symbolic phase, and preconditioner factorization. On a
@@ -1041,6 +1093,52 @@ func (e *Engine) run(j *job) {
 	}
 
 	sol, err := prep.Solve(ctx, b, opts)
+	e.finishJob(j, sol, err)
+}
+
+// runNet hands one net-transport job to the installed NetRunner dispatcher
+// and finalizes it exactly like an in-process solve. The spec is passed
+// with the daemon defaults resolved into its Config.
+func (e *Engine) runNet(ctx context.Context, j *job, cfg Config) {
+	spec := j.spec
+	spec.Config = cfg
+	progressCount := 0
+	progress := func(ev core.ProgressEvent) {
+		kind := EventProgress
+		if ev.Reconstruction != nil {
+			kind = EventReconstruction
+		} else {
+			if progressCount >= maxProgressEventsPerJob {
+				return
+			}
+			progressCount++
+		}
+		j.publish(Event{
+			Kind: kind, Iteration: ev.Iteration, Residual: ev.Residual,
+			RelResidual: ev.RelResidual, Reconstruction: ev.Reconstruction,
+		})
+	}
+	sol, err := e.netRunner(ctx, spec, progress)
+	if err == nil {
+		// The strategy observables ride on rank 0's Result; the transport
+		// counters are reported separately by the dispatcher (the worker
+		// fleet's aggregate) through AddTransportUsage.
+		e.recordStrategyStats(cfg.WithDefaults().Strategy, core.StatsFromResult(sol.Result))
+	}
+	e.finishJob(j, sol, err)
+}
+
+// AddTransportUsage folds an externally-run fabric's counters into the
+// engine's per-transport gauges and metric series — how the multi-process
+// coordinator reports its worker fleets' aggregated "net" traffic, which
+// otherwise lives in other processes.
+func (e *Engine) AddTransportUsage(name string, delta cluster.TransportStats) {
+	e.recordTransportStats(name, delta)
+}
+
+// finishJob records a solve's outcome on the job record, mapping context
+// terminations to the cancelled/failed states.
+func (e *Engine) finishJob(j *job, sol Solution, err error) {
 	switch {
 	case err == nil:
 		if !j.spec.KeepSolution {

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"math"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,8 +39,9 @@ type engineMetrics struct {
 	queueWait     *metrics.Histogram
 	runSeconds    *metrics.Histogram
 
-	transportRuns *metrics.CounterVec // transport
-	transportStat map[string]*metrics.CounterVec
+	transportRuns  *metrics.CounterVec // transport
+	transportStat  map[string]*metrics.CounterVec
+	transportBytes *metrics.CounterVec // transport, direction
 
 	strategyStat map[string]*metrics.CounterVec // strategy
 	recoverySecs *metrics.CounterVec            // strategy
@@ -55,12 +57,14 @@ type engineMetrics struct {
 // series, in the struct's field order (see snapshotTransports, which relies
 // on these names to rebuild the JSON stats block).
 var transportStatNames = []string{
-	"delivered", "copied", "pool_gets", "pool_puts", "pool_news", "delayed", "dropped",
+	"delivered", "copied", "pool_gets", "pool_puts", "pool_news", "delayed", "dropped", "reconnects",
 }
 
-// transportStatValues flattens s in transportStatNames order.
+// transportStatValues flattens s in transportStatNames order. The byte
+// counters are deliberately absent: they live on the two-label
+// solver_transport_bytes_total{transport,direction} series instead.
 func transportStatValues(s cluster.TransportStats) []int64 {
-	return []int64{s.Delivered, s.Copied, s.PoolGets, s.PoolPuts, s.PoolNews, s.Delayed, s.Dropped}
+	return []int64{s.Delivered, s.Copied, s.PoolGets, s.PoolPuts, s.PoolNews, s.Delayed, s.Dropped, s.Reconnects}
 }
 
 // strategyStatNames maps the integer core.StrategyStats fields onto counter
@@ -90,13 +94,14 @@ var strategyStatHelp = map[string]string{
 
 // transportStatHelp documents each transport counter series.
 var transportStatHelp = map[string]string{
-	"delivered": "Messages delivered per transport.",
-	"copied":    "Messages delivered via a payload copy per transport.",
-	"pool_gets": "Buffer recycler gets per transport.",
-	"pool_puts": "Buffer recycler puts per transport.",
-	"pool_news": "Buffer recycler misses (fresh allocations) per transport.",
-	"delayed":   "Messages delayed by the chaos fabric per transport.",
-	"dropped":   "Failure-dropped messages per transport.",
+	"delivered":  "Messages delivered per transport.",
+	"copied":     "Messages delivered via a payload copy per transport.",
+	"pool_gets":  "Buffer recycler gets per transport.",
+	"pool_puts":  "Buffer recycler puts per transport.",
+	"pool_news":  "Buffer recycler misses (fresh allocations) per transport.",
+	"delayed":    "Messages delayed by the chaos fabric per transport.",
+	"dropped":    "Failure-dropped messages per transport.",
+	"reconnects": "Re-established peer connections on the net fabric per transport.",
 }
 
 // newEngineMetrics builds the registry and registers every engine-owned
@@ -116,7 +121,10 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		transportRuns: r.CounterVec("solver_transport_runs_total",
 			"Finished cluster runtimes (one per preparation and one per solve) per transport.", "transport"),
 		transportStat: map[string]*metrics.CounterVec{},
-		strategyStat:  map[string]*metrics.CounterVec{},
+		transportBytes: r.CounterVec("solver_transport_bytes_total",
+			"Wire bytes moved by the net fabric, by transport and direction (sent/received).",
+			"transport", "direction"),
+		strategyStat: map[string]*metrics.CounterVec{},
 		recoverySecs: r.CounterVec("solver_recovery_seconds_total",
 			"Wall-clock seconds spent in recovery episodes per strategy.", "strategy"),
 		iterations: r.Counter("solver_iterations_total",
@@ -190,6 +198,8 @@ func (em *engineMetrics) observeTransport(name string, delta cluster.TransportSt
 	for i, f := range transportStatNames {
 		em.transportStat[f].With(name).Add(float64(vals[i]))
 	}
+	em.transportBytes.With(name, "sent").Add(float64(delta.BytesSent))
+	em.transportBytes.With(name, "received").Add(float64(delta.BytesReceived))
 }
 
 // observeStrategy mirrors one solve's strategy-stats delta into the
@@ -386,6 +396,11 @@ type HealthSnapshot struct {
 	Strategies map[string]core.StrategyStats `json:"strategies"`
 	// Threads reports the kernel threading posture.
 	Threads ThreadStats `json:"threads"`
+	// Net mirrors the daemon's esrd_net_* gauges (multi-process listener
+	// state: live peers, respawns, worker liveness), keyed by the series
+	// name with the prefix stripped. Empty when the daemon runs without the
+	// net coordinator.
+	Net map[string]float64 `json:"net,omitempty"`
 }
 
 // Health derives the healthz gauges from one Gather of the metric registry —
@@ -406,6 +421,7 @@ func (e *Engine) Health() HealthSnapshot {
 		PrepCache:  PrepCacheStats{Size: int(size), Hits: int64(hits), Misses: int64(misses)},
 		Transports: snapshotTransports(s),
 		Strategies: snapshotStrategies(s),
+		Net:        snapshotNet(s),
 		Threads:    ThreadStats{Default: int(def), MaxProcs: int(maxp), PoolWorkers: int(pool)},
 	}
 }
@@ -429,12 +445,62 @@ func snapshotTransports(s metrics.Snapshot) map[string]TransportUsage {
 		func(t *cluster.TransportStats, v int64) { t.PoolNews = v },
 		func(t *cluster.TransportStats, v int64) { t.Delayed = v },
 		func(t *cluster.TransportStats, v int64) { t.Dropped = v },
+		func(t *cluster.TransportStats, v int64) { t.Reconnects = v },
 	}
 	for i, f := range transportStatNames {
 		for name, v := range s.ByLabel("solver_transport_"+f+"_total", "transport") {
 			u := out[name]
 			set[i](&u.Stats, int64(v))
 			out[name] = u
+		}
+	}
+	// The byte counters carry a second label (direction); rebuild them from
+	// the family's raw samples.
+	for _, fam := range s {
+		if fam.Name != "solver_transport_bytes_total" {
+			continue
+		}
+		for _, sm := range fam.Samples {
+			var name, dir string
+			for _, l := range sm.Labels {
+				switch l.Name {
+				case "transport":
+					name = l.Value
+				case "direction":
+					dir = l.Value
+				}
+			}
+			if name == "" {
+				continue
+			}
+			u := out[name]
+			switch dir {
+			case "sent":
+				u.Stats.BytesSent = int64(sm.Value)
+			case "received":
+				u.Stats.BytesReceived = int64(sm.Value)
+			}
+			out[name] = u
+		}
+	}
+	return out
+}
+
+// snapshotNet collects every esrd_net_-prefixed unlabeled series from a
+// gathered registry snapshot into the healthz "net" block. The gauges are
+// registered by the daemon (GaugeFuncs over the coordinator and worker
+// listener state), so exposing them by prefix keeps /metrics and
+// /v1/healthz structurally unable to drift: both read the same Gather.
+func snapshotNet(s metrics.Snapshot) map[string]float64 {
+	out := map[string]float64{}
+	for _, fam := range s {
+		if !strings.HasPrefix(fam.Name, "esrd_net_") {
+			continue
+		}
+		for _, sm := range fam.Samples {
+			if len(sm.Labels) == 0 {
+				out[strings.TrimPrefix(fam.Name, "esrd_net_")] = sm.Value
+			}
 		}
 	}
 	return out

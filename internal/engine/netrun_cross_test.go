@@ -1,0 +1,259 @@
+// External test package: the multi-process leg of the cross-transport
+// bit-identity suite. It lives outside package engine because it drives
+// internal/netrun, which itself imports engine.
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/matgen"
+	"repro/internal/netrun"
+)
+
+// TestMain doubles this test binary as the netrun worker executable: the
+// coordinator re-execs os.Args[0], and the ESRD_NET_* environment routes
+// the child into RunWorker before any test runs.
+func TestMain(m *testing.M) {
+	if netrun.IsWorker() {
+		if err := netrun.RunWorker(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestCrossTransportBitIdenticalNetProcessKill: the same fixed-seed solve
+// and 2-node failure schedule as TestCrossTransportBitIdentical, but with
+// every rank in its own OS process over TCP and the scheduled failure
+// realized as two workers SIGKILLing themselves mid-solve. The coordinator
+// respawns them, the replacements join the recovery episode via Resume, and
+// the solution must be bitwise identical to the in-process chan reference —
+// iterations, final residual, and every solution component.
+func TestCrossTransportBitIdenticalNetProcessKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a fleet of worker processes")
+	}
+	a := matgen.Poisson2D(32, 32)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)/7
+	}
+	sched := faults.NewSchedule(faults.Simultaneous(5, 2, 3))
+
+	ps, err := engine.Prepare(a, engine.Config{Ranks: 8, Phi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	ref, err := ps.Solve(context.Background(), b, engine.SolveOpts{Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Result.Converged || len(ref.Result.Reconstructions) != 1 {
+		t.Fatalf("reference: converged=%v reconstructions=%d", ref.Result.Converged, len(ref.Result.Reconstructions))
+	}
+
+	coord, err := netrun.NewCoordinator(netrun.Options{
+		Command: []string{os.Args[0]},
+		Log:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	sol, stats, err := coord.Run(ctx, engine.JobSpec{
+		Matrix: engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 32, "ny": 32}},
+		RHS:    b,
+		Config: engine.Config{
+			Ranks: 8, Phi: 2,
+			Transport: engine.TransportNet,
+			Schedule:  sched,
+		},
+		KeepSolution: true,
+	}, nil)
+	if err != nil {
+		t.Fatalf("multi-process solve: %v", err)
+	}
+	if !sol.Result.Converged {
+		t.Fatal("multi-process solve did not converge")
+	}
+	if got := len(sol.Result.Reconstructions); got != 1 {
+		t.Fatalf("reconstructions = %d, want 1", got)
+	}
+	if got := coord.Respawns(); got != 2 {
+		t.Fatalf("respawns = %d, want 2 (one per SIGKILLed victim)", got)
+	}
+	if stats.BytesSent == 0 || stats.BytesReceived == 0 {
+		t.Fatalf("fleet reported no wire traffic: %+v", stats)
+	}
+
+	if sol.Result.Iterations != ref.Result.Iterations {
+		t.Fatalf("iterations %d != reference %d", sol.Result.Iterations, ref.Result.Iterations)
+	}
+	if sol.Result.FinalResidual != ref.Result.FinalResidual {
+		t.Fatalf("final residual %g != reference %g", sol.Result.FinalResidual, ref.Result.FinalResidual)
+	}
+	if len(sol.X) != len(ref.X) {
+		t.Fatalf("solution length %d != reference %d", len(sol.X), len(ref.X))
+	}
+	for i := range ref.X {
+		if sol.X[i] != ref.X[i] {
+			t.Fatalf("x[%d] = %g differs from reference %g", i, sol.X[i], ref.X[i])
+		}
+	}
+}
+
+// TestQuickNetRunnerEngineDispatch: an engine with a NetRunner hook routes
+// net-transport jobs through it — with the daemon defaults resolved into
+// the spec — while jobs on the in-process fabrics never touch the hook.
+func TestQuickNetRunnerEngineDispatch(t *testing.T) {
+	specs := make(chan engine.JobSpec, 2)
+	eng := engine.New(engine.Options{
+		Workers: 1,
+		NetRunner: func(ctx context.Context, spec engine.JobSpec, progress func(core.ProgressEvent)) (engine.Solution, error) {
+			specs <- spec
+			progress(core.ProgressEvent{Iteration: 1, Residual: 0.5})
+			return engine.Solution{Result: core.Result{Converged: true, Iterations: 1}}, nil
+		},
+	})
+	defer eng.Close()
+
+	id, err := eng.Submit(engine.JobSpec{
+		Matrix: engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 8}},
+		Config: engine.Config{Ranks: 2, Transport: engine.TransportNet},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, eng, id, 30*time.Second)
+	if st.State != engine.StateDone {
+		t.Fatalf("net job state %s: %s", st.State, st.Error)
+	}
+	if st.Result == nil || !st.Result.Result.Converged {
+		t.Fatalf("net job result not taken from the hook: %+v", st.Result)
+	}
+	spec := <-specs
+	if spec.Config.Transport != engine.TransportNet {
+		t.Fatalf("hook saw transport %q", spec.Config.Transport)
+	}
+
+	id, err = eng.Submit(engine.JobSpec{
+		Matrix: engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 8}},
+		Config: engine.Config{Ranks: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, eng, id, 30*time.Second)
+	if st.State != engine.StateDone {
+		t.Fatalf("chan job state %s: %s", st.State, st.Error)
+	}
+	select {
+	case s := <-specs:
+		t.Fatalf("in-process job leaked into the net hook: %+v", s.Config)
+	default:
+	}
+}
+
+// TestQuickEngineDrain: Drain stops new submissions but lets the accepted
+// work finish — the opposite of Close's cancellation — and times out via
+// its context when a job refuses to end.
+func TestQuickEngineDrain(t *testing.T) {
+	release := make(chan struct{})
+	eng := engine.New(engine.Options{
+		Workers: 1,
+		NetRunner: func(ctx context.Context, spec engine.JobSpec, progress func(core.ProgressEvent)) (engine.Solution, error) {
+			select {
+			case <-release:
+				return engine.Solution{Result: core.Result{Converged: true}}, nil
+			case <-ctx.Done():
+				return engine.Solution{}, ctx.Err()
+			}
+		},
+	})
+	defer eng.Close()
+	spec := engine.JobSpec{
+		Matrix: engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": 8}},
+		Config: engine.Config{Ranks: 2, Transport: engine.TransportNet},
+	}
+	id, err := eng.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, eng, id, engine.StateRunning, 30*time.Second)
+
+	// With the job still running, a bounded Drain must report the deadline,
+	// not cancel the job.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	err = eng.Drain(ctx)
+	cancel()
+	if err == nil {
+		t.Fatal("Drain returned before the running job finished")
+	}
+	if st, err := eng.Get(id); err != nil || st.State != engine.StateRunning {
+		t.Fatalf("job after timed-out Drain: %+v, %v", st, err)
+	}
+	if _, err := eng.Submit(spec); err == nil {
+		t.Fatal("Submit accepted a job on a draining engine")
+	}
+
+	close(release)
+	ctx, cancel = context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatalf("Drain after release: %v", err)
+	}
+	st := waitTerminal(t, eng, id, 30*time.Second)
+	if st.State != engine.StateDone {
+		t.Fatalf("drained job state %s: %s", st.State, st.Error)
+	}
+}
+
+// waitTerminal polls the engine until the job reaches a terminal state.
+func waitTerminal(t *testing.T, eng *engine.Engine, id string, timeout time.Duration) engine.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := eng.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitState polls until the job reaches the given (possibly transient)
+// state, failing if it goes terminal first.
+func waitState(t *testing.T, eng *engine.Engine, id string, want engine.State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := eng.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		if st.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s is %s, want %s", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

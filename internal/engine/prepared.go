@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/checkpoint"
@@ -55,6 +56,16 @@ type SolveOpts struct {
 	// trajectory and recovery episodes from rank 0 (may be nil). Tracing is
 	// observer-only: traced solves are bit-identical to untraced ones.
 	Tracer core.Tracer
+	// OnFailure, when non-nil, is installed on every rank: called at the
+	// failure poll point after a fresh scheduled event fires, before
+	// recovery. The multi-process net fabric uses it to turn the scheduled
+	// event into a real process death (see core.Options.OnFailure).
+	OnFailure func(j int, victims []int)
+	// Resume, when non-nil, makes the solve join a failure episode already
+	// in progress instead of starting from iteration 0 — the entry path of
+	// a replacement OS process (see core.Options.Resume). Only meaningful
+	// with SolveOn.
+	Resume *core.EpisodeResume
 }
 
 // preparedRank is the per-rank state built once and reused by every solve:
@@ -115,14 +126,21 @@ func (ps *Prepared) newTransport() cluster.Transport {
 }
 
 // recordStats folds one finished runtime's transport counters into the
-// session aggregate and the engine's sink.
-func (ps *Prepared) recordStats(rt *cluster.Runtime) {
+// session aggregate and the engine's sink. When the session owns the
+// runtime's transport (it built it for this run), ownsTransport also
+// releases transport resources — the net fabric's listener and connections.
+func (ps *Prepared) recordStats(rt *cluster.Runtime, ownsTransport bool) {
 	delta := rt.Transport().Stats()
 	ps.mu.Lock()
 	ps.tstats.Add(delta)
 	ps.mu.Unlock()
 	if ps.statsSink != nil {
 		ps.statsSink(rt.Transport().Name(), delta)
+	}
+	if ownsTransport {
+		if c, ok := rt.Transport().(io.Closer); ok {
+			c.Close()
+		}
 	}
 }
 
@@ -222,7 +240,7 @@ func PrepareContext(ctx context.Context, a *sparse.CSR, cfg Config) (*Prepared, 
 	// exchange, so the build itself runs as an SPMD program on a throwaway
 	// runtime; the resulting per-rank state has no reference to it.
 	rt := cluster.New(cfg.Ranks, cluster.WithTransport(ps.newTransport()))
-	defer ps.recordStats(rt)
+	defer ps.recordStats(rt, true)
 	err := rt.RunContext(ctx, func(c *cluster.Comm) error {
 		e := distmat.WorldEnv(c)
 		lo, hi := ps.part.Range(e.Pos)
@@ -338,6 +356,40 @@ func (ps *Prepared) method(opts SolveOpts) (string, error) {
 // partition and the factored preconditioners are shared read-only.
 // Cancelling ctx aborts only this solve's runtime.
 func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Solution, error) {
+	return ps.solveOn(ctx, nil, nil, b, opts)
+}
+
+// SolveOn runs one solve on a caller-provided runtime, driving only the
+// given rank subset locally — the multi-process entry point: every process
+// of a net-fabric fleet prepares the same session (preparation is
+// deterministic and transport-independent), builds one shared mesh runtime,
+// and calls SolveOn with the ranks it hosts. The remaining rank slots are
+// driven by peer processes over the wire. The runtime's size must match the
+// session's rank count; the caller owns the runtime and its transport
+// lifecycle. The returned Solution carries the result only on the process
+// hosting rank 0 (a zero Solution elsewhere).
+func (ps *Prepared) SolveOn(ctx context.Context, rt *cluster.Runtime, localRanks []int, b []float64, opts SolveOpts) (Solution, error) {
+	if rt == nil {
+		return Solution{}, fmt.Errorf("esr: SolveOn needs a runtime")
+	}
+	if rt.Size() != ps.cfg.Ranks {
+		return Solution{}, fmt.Errorf("esr: runtime has %d ranks, session prepared for %d", rt.Size(), ps.cfg.Ranks)
+	}
+	if len(localRanks) == 0 {
+		return Solution{}, fmt.Errorf("esr: SolveOn needs at least one local rank")
+	}
+	if len(localRanks) < ps.cfg.Ranks && ps.cfg.Strategy != StrategyESR {
+		// The rollback strategies keep cross-rank state (the checkpoint
+		// store) inside one process; they cannot span a mesh.
+		return Solution{}, fmt.Errorf("esr: multi-process solves support only the %q strategy, got %q", StrategyESR, ps.cfg.Strategy)
+	}
+	return ps.solveOn(ctx, rt, localRanks, b, opts)
+}
+
+// solveOn is the shared body of Solve and SolveOn. A nil rt means "build a
+// fresh single-process runtime over the session's transport" (the Solve
+// path, which then owns the transport); localRanks nil means all ranks.
+func (ps *Prepared) solveOn(ctx context.Context, rt *cluster.Runtime, localRanks []int, b []float64, opts SolveOpts) (Solution, error) {
 	if len(b) != ps.n {
 		return Solution{}, fmt.Errorf("esr: rhs length %d != %d", len(b), ps.n)
 	}
@@ -355,28 +407,43 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 		return Solution{}, err
 	}
 
+	ownsRT := rt == nil
 	ps.mu.Lock()
 	if ps.closed {
 		ps.mu.Unlock()
 		return Solution{}, ErrPreparedClosed
 	}
-	rt := cluster.New(ps.cfg.Ranks, cluster.WithTransport(ps.newTransport()))
+	if ownsRT {
+		rt = cluster.New(ps.cfg.Ranks, cluster.WithTransport(ps.newTransport()))
+	}
 	ps.active[rt] = struct{}{}
 	ps.wg.Add(1)
 	ps.mu.Unlock()
 	defer func() {
-		ps.recordStats(rt)
+		ps.recordStats(rt, ownsRT)
 		ps.mu.Lock()
 		delete(ps.active, rt)
 		ps.mu.Unlock()
 		ps.wg.Done()
 	}()
+	if localRanks == nil {
+		localRanks = make([]int, ps.cfg.Ranks)
+		for r := range localRanks {
+			localRanks[r] = r
+		}
+	}
+	hasRank0 := false
+	for _, r := range localRanks {
+		if r == 0 {
+			hasRank0 = true
+		}
+	}
 
 	strat, store := ps.newStrategy(rt)
 
 	var mu sync.Mutex
 	sol := Solution{X: make([]float64, ps.n)}
-	err = rt.RunContext(ctx, func(c *cluster.Comm) error {
+	err = rt.RunLocalContext(ctx, localRanks, func(c *cluster.Comm) error {
 		pr := ps.prep[c.Rank()]
 		e := distmat.WorldEnv(c)
 		m := pr.m.Fork()
@@ -388,7 +455,8 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 		bv := distmat.Vector{P: ps.part, Pos: e.Pos, Local: append([]float64(nil), b[pr.lo:pr.hi]...)}
 		x := distmat.NewVector(ps.part, e.Pos)
 		copts := core.Options{Tol: opts.Tol, MaxIter: opts.MaxIter, LocalTol: opts.LocalTol,
-			Threads: ps.cfg.Threads, Ctx: ctx}
+			Threads: ps.cfg.Threads, Ctx: ctx,
+			OnFailure: opts.OnFailure, Resume: opts.Resume}
 		if c.Rank() == 0 {
 			copts.Progress = opts.Progress
 			copts.Tracer = opts.Tracer
@@ -426,7 +494,11 @@ func (ps *Prepared) Solve(ctx context.Context, b []float64, opts SolveOpts) (Sol
 		}
 		return Solution{}, err
 	}
-	ps.recordStrategyStats(sol.Result, store, rt)
+	if hasRank0 {
+		// The result-borne strategy stats live on rank 0's Result; processes
+		// hosting only other ranks would fold in zeros.
+		ps.recordStrategyStats(sol.Result, store, rt)
+	}
 	return sol, nil
 }
 

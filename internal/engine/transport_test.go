@@ -18,7 +18,7 @@ func TestQuickTransportConfigValidation(t *testing.T) {
 	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "transport") {
 		t.Fatalf("want transport validation error, got %v", err)
 	}
-	for _, tr := range []string{"", TransportChan, TransportFast, TransportChaos} {
+	for _, tr := range []string{"", TransportChan, TransportFast, TransportChaos, TransportNet} {
 		cfg := Config{Transport: tr}
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("transport %q should validate: %v", tr, err)
@@ -104,11 +104,15 @@ func TestCrossTransportBitIdentical(t *testing.T) {
 		}
 	}
 	ref := solve(TransportChan, true)
-	for _, tr := range []string{TransportFast, TransportChaos} {
+	// net runs in self-loop mode here: every message crosses a real loopback
+	// TCP socket, and the wire codec's float64-bit round-trip must not change
+	// a single ulp. (The multi-process leg, with the failure as a real
+	// SIGKILLed worker process, is TestCrossTransportBitIdenticalNetProcessKill.)
+	for _, tr := range []string{TransportFast, TransportChaos, TransportNet} {
 		same("transport "+tr, solve(tr, true), ref)
 	}
 	// Overlapped vs phased under the 2-node failure schedule, per transport.
-	for _, tr := range []string{TransportChan, TransportFast, TransportChaos} {
+	for _, tr := range []string{TransportChan, TransportFast, TransportChaos, TransportNet} {
 		same("phased on "+tr, solve(tr, false), ref)
 	}
 

@@ -1,0 +1,439 @@
+package netrun
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faults"
+)
+
+// Options sizes a Coordinator.
+type Options struct {
+	// Command is the worker process argv (e.g. {"/path/to/esrd",
+	// "-worker"}); the coordinator appends the ESRD_NET_* environment.
+	// Required.
+	Command []string
+	// Log, when non-nil, receives human-readable supervision events.
+	Log func(format string, args ...any)
+	// SpawnTimeout bounds how long a spawned worker may take to report its
+	// hello (default 30s) — it covers process start plus, for replacements,
+	// nothing else: preparation happens after the hello.
+	SpawnTimeout time.Duration
+	// Retries is how many times a job is retried on a fresh fleet after an
+	// unscheduled worker loss (default 1, < 0 disables retries).
+	Retries int
+}
+
+// Coordinator supervises multi-process solve fleets: one worker process
+// per rank, spawned per job, replaced on scheduled failures, and torn down
+// when the job finishes. The counters are cumulative across jobs and are
+// what the esrd daemon exports as its esrd_net_* metric series.
+type Coordinator struct {
+	opts Options
+	seq  atomic.Int64
+
+	live     atomic.Int64 // currently-running worker processes
+	respawns atomic.Int64 // scheduled-victim replacements spawned
+	retries  atomic.Int64 // full-job retries after unscheduled losses
+	jobs     atomic.Int64 // jobs accepted
+}
+
+// NewCoordinator validates the options and returns a coordinator.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if len(opts.Command) == 0 {
+		return nil, fmt.Errorf("netrun: coordinator needs a worker command")
+	}
+	if opts.SpawnTimeout <= 0 {
+		opts.SpawnTimeout = 30 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 1
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Log == nil {
+		opts.Log = func(string, ...any) {}
+	}
+	return &Coordinator{opts: opts}, nil
+}
+
+// LiveWorkers returns the number of currently-running worker processes.
+func (c *Coordinator) LiveWorkers() int64 { return c.live.Load() }
+
+// Respawns returns the cumulative count of scheduled-victim replacements.
+func (c *Coordinator) Respawns() int64 { return c.respawns.Load() }
+
+// JobRetries returns the cumulative count of full-job retries after
+// unscheduled worker losses.
+func (c *Coordinator) JobRetries() int64 { return c.retries.Load() }
+
+// JobsRun returns the cumulative count of jobs accepted.
+func (c *Coordinator) JobsRun() int64 { return c.jobs.Load() }
+
+// workerLostError reports a worker process that died without a scheduled
+// failure to explain it; the job is retried on a fresh fleet.
+type workerLostError struct{ rank int }
+
+func (e *workerLostError) Error() string {
+	return fmt.Sprintf("lost worker process for rank %d without a scheduled failure", e.rank)
+}
+
+// Run solves one job across spec.Config.Ranks worker processes and returns
+// rank 0's solution plus the fleet's aggregated transport counters.
+// Progress, when non-nil, receives rank 0's solver progress stream.
+func (c *Coordinator) Run(ctx context.Context, spec engine.JobSpec, progress func(core.ProgressEvent)) (engine.Solution, cluster.TransportStats, error) {
+	cfg := spec.Config.WithDefaults()
+	if err := checkSpec(spec, cfg); err != nil {
+		return engine.Solution{}, cluster.TransportStats{}, err
+	}
+	c.jobs.Add(1)
+	for attempt := 0; ; attempt++ {
+		sol, stats, err := c.runAttempt(ctx, spec, cfg, attempt, progress)
+		var lost *workerLostError
+		if err != nil && errors.As(err, &lost) && attempt < c.opts.Retries && ctx.Err() == nil {
+			c.retries.Add(1)
+			c.opts.Log("netrun: %v; retrying on a fresh fleet (attempt %d of %d)", err, attempt+2, c.opts.Retries+1)
+			continue
+		}
+		return sol, stats, err
+	}
+}
+
+// checkSpec enforces the multi-process restrictions up front, with errors
+// naming the restriction instead of a worker failing obscurely mid-fleet.
+func checkSpec(spec engine.JobSpec, cfg engine.Config) error {
+	if spec.MatrixID != "" {
+		return fmt.Errorf("netrun: matrix_id jobs cannot cross processes; inline the matrix spec")
+	}
+	if cfg.Strategy != engine.StrategyESR {
+		return fmt.Errorf("netrun: multi-process jobs support only the %q strategy, got %q", engine.StrategyESR, cfg.Strategy)
+	}
+	for _, e := range scheduleEvents(cfg.Schedule) {
+		if e.Phase != 0 {
+			return fmt.Errorf("netrun: multi-process schedules support only phase-0 (main poll point) events")
+		}
+		for _, r := range e.Ranks {
+			if r == 0 {
+				return fmt.Errorf("netrun: rank 0 (the result rank) cannot be a scheduled victim of a multi-process job")
+			}
+		}
+	}
+	return nil
+}
+
+func scheduleEvents(s *faults.Schedule) []faults.Event {
+	if s.Empty() {
+		return nil
+	}
+	return s.Events()
+}
+
+// workerProc is the coordinator's record of one worker process (one
+// incarnation; replacements get a fresh record).
+type workerProc struct {
+	rank, inc int
+	cmd       *exec.Cmd
+	conn      net.Conn
+	enc       *json.Encoder
+	dataAddr  string
+}
+
+// Event kinds of the supervision loop.
+const (
+	evHello = iota // a worker reported in (msg, conn, dec set)
+	evMsg          // a control message from a registered worker
+	evGone         // a worker's control connection closed
+	evExit         // a worker process exited
+)
+
+type wevent struct {
+	kind      int
+	rank, inc int
+	msg       ctrlMsg
+	conn      net.Conn
+	dec       *json.Decoder
+}
+
+// runAttempt runs one fleet to completion (or failure). All fleet state is
+// owned by this goroutine; helper goroutines only feed the event channel.
+func (c *Coordinator) runAttempt(ctx context.Context, spec engine.JobSpec, cfg engine.Config, attempt int, progress func(core.ProgressEvent)) (engine.Solution, cluster.TransportStats, error) {
+	var (
+		sol   engine.Solution
+		stats cluster.TransportStats
+	)
+	ranks := cfg.Ranks
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return sol, stats, err
+	}
+	defer ln.Close()
+	runID := fmt.Sprintf("netrun-%d-%d-%d", os.Getpid(), c.seq.Add(1), attempt)
+
+	events := make(chan wevent, 4*ranks+16)
+	quit := make(chan struct{})
+	defer close(quit)
+	post := func(ev wevent) {
+		select {
+		case events <- ev:
+		case <-quit:
+		}
+	}
+
+	go func() { // hello acceptor; exits when the deferred ln.Close runs
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				conn.SetReadDeadline(time.Now().Add(c.opts.SpawnTimeout))
+				dec := json.NewDecoder(conn)
+				var m ctrlMsg
+				if err := dec.Decode(&m); err != nil || m.Type != msgHello {
+					conn.Close()
+					return
+				}
+				conn.SetReadDeadline(time.Time{})
+				post(wevent{kind: evHello, rank: m.Rank, inc: m.Incarnation, msg: m, conn: conn, dec: dec})
+			}(conn)
+		}
+	}()
+
+	workers := make(map[int]*workerProc, ranks)
+	// Superseded incarnations of respawned ranks. Their processes die on
+	// their own (at the scheduled poll point) and their conns are left
+	// open until then — closing a victim's control conn while it is still
+	// running toward its poll point would abort it mid-iteration, taking
+	// frames that slower survivors still need down with it. They are
+	// reaped with the attempt.
+	var stale []*workerProc
+	defer func() {
+		for _, w := range workers {
+			stale = append(stale, w)
+		}
+		for _, w := range stale {
+			if w.cmd != nil && w.cmd.Process != nil {
+				w.cmd.Process.Kill()
+			}
+			if w.conn != nil {
+				w.conn.Close()
+			}
+		}
+	}()
+
+	spawn := func(rank, inc int) error {
+		cmd := exec.Command(c.opts.Command[0], c.opts.Command[1:]...)
+		cmd.Env = append(os.Environ(),
+			EnvCoord+"="+ln.Addr().String(),
+			fmt.Sprintf("%s=%d", EnvRank, rank),
+			fmt.Sprintf("%s=%d", EnvInc, inc))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		c.live.Add(1)
+		workers[rank] = &workerProc{rank: rank, inc: inc, cmd: cmd}
+		go func() {
+			cmd.Wait()
+			c.live.Add(-1)
+			post(wevent{kind: evExit, rank: rank, inc: inc})
+		}()
+		return nil
+	}
+	for r := 0; r < ranks; r++ {
+		if err := spawn(r, 0); err != nil {
+			return sol, stats, fmt.Errorf("netrun: spawn rank %d: %w", r, err)
+		}
+	}
+
+	peerAddrs := func() []string {
+		addrs := make([]string, ranks)
+		for r, w := range workers {
+			addrs[r] = w.dataAddr
+		}
+		return addrs
+	}
+	sendStart := func(w *workerProc, resume *core.EpisodeResume) error {
+		return w.enc.Encode(ctrlMsg{
+			Type: msgStart, RunID: runID, Spec: &spec,
+			Peers: peerAddrs(), Incarnation: w.inc, Resume: resume,
+		})
+	}
+
+	victimSet := map[int]bool{}
+	for _, v := range scheduledVictims(cfg.Schedule) {
+		victimSet[v] = true
+	}
+	var (
+		pendingHello = ranks
+		started      bool
+		resume       *core.EpisodeResume // current episode, for replacements
+		done         = map[int]bool{}
+		unexplained  = map[int]bool{} // scheduled victims gone before the failed report
+		solveErr     string
+	)
+	hello := time.NewTimer(c.opts.SpawnTimeout)
+	defer hello.Stop()
+	// grace bounds how long a scheduled victim's death may go unexplained:
+	// normally rank 0's failed report races the victim's exit by
+	// microseconds; a victim that dies outside its event (an operator kill)
+	// produces no report and must fail the attempt, not hang it.
+	grace := time.NewTimer(time.Hour)
+	grace.Stop()
+	defer grace.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return sol, stats, context.Cause(ctx)
+		case <-hello.C:
+			if pendingHello > 0 {
+				return sol, stats, fmt.Errorf("netrun: %d worker(s) did not report within %v", pendingHello, c.opts.SpawnTimeout)
+			}
+		case <-grace.C:
+			for r := range unexplained {
+				return sol, stats, &workerLostError{rank: r}
+			}
+		case ev := <-events:
+			w := workers[ev.rank]
+			if w == nil || ev.inc != w.inc {
+				// A replaced incarnation's leftovers (its exit, its closing
+				// control conn) — already superseded.
+				if ev.kind == evHello && ev.conn != nil {
+					ev.conn.Close()
+				}
+				continue
+			}
+			switch ev.kind {
+			case evHello:
+				w.conn, w.enc, w.dataAddr = ev.conn, json.NewEncoder(ev.conn), ev.msg.DataAddr
+				go func(rank, inc int, dec *json.Decoder) {
+					for {
+						var m ctrlMsg
+						if err := dec.Decode(&m); err != nil {
+							post(wevent{kind: evGone, rank: rank, inc: inc})
+							return
+						}
+						post(wevent{kind: evMsg, rank: rank, inc: inc, msg: m})
+					}
+				}(ev.rank, ev.inc, ev.dec)
+				pendingHello--
+				if pendingHello == 0 {
+					hello.Stop()
+				}
+				if !started {
+					if pendingHello > 0 {
+						continue
+					}
+					started = true
+					for _, ww := range workers {
+						if err := sendStart(ww, nil); err != nil {
+							return sol, stats, fmt.Errorf("netrun: start rank %d: %w", ww.rank, err)
+						}
+					}
+					continue
+				}
+				// A replacement joining an episode already in progress: give
+				// it the job plus the resume point, and announce its address
+				// to the blocked survivors.
+				if err := sendStart(w, resume); err != nil {
+					return sol, stats, fmt.Errorf("netrun: start replacement rank %d: %w", w.rank, err)
+				}
+				for _, ww := range workers {
+					if ww.rank == w.rank || ww.conn == nil {
+						continue
+					}
+					ww.enc.Encode(ctrlMsg{Type: msgPeerUpdate, Rank: w.rank, Addr: w.dataAddr, Incarnation: w.inc})
+				}
+			case evMsg:
+				m := ev.msg
+				switch m.Type {
+				case msgProgress:
+					if progress != nil && m.Event != nil {
+						progress(*m.Event)
+					}
+				case msgFailed:
+					if ev.rank != 0 {
+						continue
+					}
+					resume = &core.EpisodeResume{Iteration: m.Iteration, Victims: m.Victims}
+					c.opts.Log("netrun: scheduled failure at iteration %d, victims %v; respawning", m.Iteration, m.Victims)
+					for _, v := range m.Victims {
+						old := workers[v]
+						if old == nil {
+							return sol, stats, fmt.Errorf("netrun: failure report names unknown rank %d", v)
+						}
+						// The victim may not have reached its poll point yet;
+						// leave its process and conn alone (see stale above).
+						stale = append(stale, old)
+						delete(unexplained, v)
+						c.respawns.Add(1)
+						pendingHello++
+						if err := spawn(v, old.inc+1); err != nil {
+							return sol, stats, fmt.Errorf("netrun: respawn rank %d: %w", v, err)
+						}
+					}
+					if len(unexplained) == 0 {
+						grace.Stop()
+					}
+					hello.Reset(c.opts.SpawnTimeout)
+				case msgResult:
+					if done[ev.rank] {
+						continue
+					}
+					done[ev.rank] = true
+					if m.Stats != nil {
+						stats.Add(*m.Stats)
+					}
+					if m.Err != "" && solveErr == "" {
+						solveErr = fmt.Sprintf("rank %d: %s", ev.rank, m.Err)
+					}
+					if ev.rank == 0 && m.Solution != nil {
+						sol = *m.Solution
+					}
+					if len(done) == ranks {
+						if solveErr != "" {
+							return sol, stats, fmt.Errorf("netrun: %s", solveErr)
+						}
+						return sol, stats, nil
+					}
+				}
+			case evGone, evExit:
+				if done[ev.rank] {
+					continue // normal exit after its result
+				}
+				if ev.kind == evExit && w.conn != nil {
+					// A process exit observed by Wait can race the final
+					// bytes of the worker's control stream (its result may
+					// still sit undecoded in our socket buffer). Once a
+					// control connection exists, the reader's evGone — which
+					// is ordered behind everything the worker sent — is the
+					// authoritative loss signal; an exit before any hello
+					// still fails fast below.
+					continue
+				}
+				if victimSet[ev.rank] {
+					// Possibly the scheduled death itself, observed before
+					// rank 0's report lands. Give the report a grace window.
+					if len(unexplained) == 0 {
+						grace.Reset(10 * time.Second)
+					}
+					unexplained[ev.rank] = true
+					continue
+				}
+				return sol, stats, &workerLostError{rank: ev.rank}
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package netrun runs one solve job across multiple OS processes: a
+// coordinator spawns one worker process per rank, wires their data
+// listeners into a cluster.NetTransport mesh, and supervises the fleet
+// through a newline-JSON control connection per worker.
+//
+// Failure model: scheduled failure-schedule events become *real* process
+// deaths. Every rank's solver reaches the event's poll point
+// deterministically; the victim worker SIGKILLs itself there, survivors
+// mark the victim replaceable on their transports and rank 0 reports the
+// episode to the coordinator, which respawns the victim at a higher
+// incarnation. The replacement re-prepares the (deterministic) session and
+// joins the episode via core.EpisodeResume, so the recovered solve is
+// bit-identical to the same schedule run on the in-process fabrics. A
+// worker lost *without* a scheduled event (a crash, an operator's kill -9)
+// aborts the attempt and the whole job is retried once on a fresh fleet.
+//
+// Restrictions of the multi-process path: one rank per process, the ESR
+// strategy only (the rollback strategies keep cross-rank state in one
+// process), phase-0 schedule events only, rank 0 (the result rank) never a
+// victim, and the matrix spec must be inline (a coordinator-side matrix_id
+// does not resolve inside a worker).
+package netrun
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Environment variables addressing a worker process (set by the
+// coordinator's spawner, read by RunWorker).
+const (
+	// EnvCoord is the coordinator's control listener address. Its presence
+	// is what marks a process as a worker (IsWorker).
+	EnvCoord = "ESRD_NET_COORD"
+	// EnvRank is the rank slot this worker hosts.
+	EnvRank = "ESRD_NET_RANK"
+	// EnvInc is the worker's spawn generation: 0 for the original fleet,
+	// bumped for each replacement of a scheduled failure victim.
+	EnvInc = "ESRD_NET_INC"
+)
+
+// Control message types (ctrlMsg.Type).
+const (
+	// msgHello is the worker's first message: its rank, incarnation and
+	// pre-bound data listener address.
+	msgHello = "hello"
+	// msgStart carries the job to a worker: run id, spec, the fleet's data
+	// addresses in rank order, and (for replacements) the episode to join.
+	msgStart = "start"
+	// msgProgress streams rank 0's solver progress events to the
+	// coordinator.
+	msgProgress = "progress"
+	// msgFailed is rank 0's report of a scheduled failure episode: the
+	// iteration it fired at and the victim ranks, sent at the poll point
+	// before recovery blocks on the replacements.
+	msgFailed = "failed"
+	// msgResult is a worker's final message: transport stats from every
+	// rank, plus the solution (rank 0) or an error.
+	msgResult = "result"
+	// msgPeerUpdate announces a replacement worker's data address and
+	// incarnation to the survivors (they feed it to SetPeerAddr).
+	msgPeerUpdate = "peerupdate"
+)
+
+// ctrlMsg is the single wire struct of the control protocol — one JSON
+// object per line, fields populated per Type (see the message constants).
+type ctrlMsg struct {
+	Type string `json:"type"`
+
+	// hello, peerupdate, result: the worker's rank. start, hello,
+	// peerupdate: the spawn generation.
+	Rank        int `json:"rank"`
+	Incarnation int `json:"incarnation"`
+
+	// hello: the worker's pre-bound data listener. peerupdate: the
+	// replacement's data listener.
+	DataAddr string `json:"data_addr,omitempty"`
+	Addr     string `json:"addr,omitempty"`
+
+	// start.
+	RunID  string              `json:"run_id,omitempty"`
+	Spec   *engine.JobSpec     `json:"spec,omitempty"`
+	Peers  []string            `json:"peers,omitempty"`
+	Resume *core.EpisodeResume `json:"resume,omitempty"`
+
+	// progress.
+	Event *core.ProgressEvent `json:"event,omitempty"`
+
+	// failed.
+	Iteration int   `json:"iteration,omitempty"`
+	Victims   []int `json:"victims,omitempty"`
+
+	// result.
+	Solution *engine.Solution        `json:"solution,omitempty"`
+	Stats    *cluster.TransportStats `json:"stats,omitempty"`
+	Err      string                  `json:"err,omitempty"`
+}

@@ -50,6 +50,14 @@ const (
 	// failure notification, for stressing the resilience protocol's
 	// ordering assumptions.
 	ChaosTransport Transport = engine.TransportChaos
+	// NetTransport runs every rank-to-rank message over real TCP sockets
+	// with length-prefixed frames — delivery semantics and results are
+	// bit-identical to ChanTransport. In-process solves run it in
+	// self-loop mode (every rank in this process, one socket pair); under
+	// the esrd daemon's -peers coordinator each rank is a separate OS
+	// process, and a killed process is a real node failure that ESR
+	// recovers from.
+	NetTransport Transport = engine.TransportNet
 )
 
 // Strategy is a typed failure-recovery selector for WithStrategy. Its

@@ -463,6 +463,14 @@ func TestQuickSolverTransport(t *testing.T) {
 			t.Fatalf("x[%d]: fast %g != chan %g", i, got[i], ref[i])
 		}
 	}
+	// Net runs the same solve over real TCP sockets (self-loop mode here:
+	// all ranks in-process behind one socket pair) — still bit-identical.
+	net := solveOn(NetTransport)
+	for i := range ref {
+		if ref[i] != net[i] {
+			t.Fatalf("x[%d]: net %g != chan %g", i, net[i], ref[i])
+		}
+	}
 
 	// Transport is preparation-scoped: changing it per solve is rejected.
 	s, err := NewSolver(a, WithRanks(4))
