@@ -6,7 +6,7 @@
 //	esrd [-addr :8080] [-workers 4] [-queue 256] [-max-jobs 4096]
 //	     [-job-ttl 0] [-prep-cache 8] [-prep-ttl 10m] [-max-matrices 64]
 //	     [-transport chan|fast|chaos|net] [-strategy esr|checkpoint|restart]
-//	     [-threads 0] [-peers 0] [-drain-timeout 30s] [-pprof addr]
+//	     [-threads 0] [-block-size 0] [-peers 0] [-drain-timeout 30s] [-pprof addr]
 //	     [-trace-iters 0] [-log-format text|json]
 //	esrd -worker    (internal: one rank of a multi-process solve)
 //
@@ -81,6 +81,8 @@ func main() {
 		"default failure-recovery strategy for jobs that do not pick one (esr|checkpoint|restart)")
 	threads := flag.Int("threads", 0,
 		"default per-rank kernel thread cap for jobs that do not pick one (0 = GOMAXPROCS)")
+	blockSize := flag.Int("block-size", 0,
+		"default block width for batch jobs that do not pick one (0 = library default; 1 disables blocking)")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this separate listener (e.g. localhost:6060; empty disables)")
 	traceIters := flag.Int("trace-iters", 0,
@@ -132,6 +134,9 @@ func main() {
 	}
 	if err := (engine.Config{Threads: *threads}).Validate(); err != nil {
 		fatal("bad -threads", "err", err)
+	}
+	if err := (engine.Config{BlockSize: *blockSize}).Validate(); err != nil {
+		fatal("bad -block-size", "err", err)
 	}
 	if *traceIters < 0 {
 		fatal("bad -trace-iters", "trace_iters", *traceIters, "want", "non-negative")
@@ -196,7 +201,8 @@ func main() {
 		PrepCacheSize: *prepCache, PrepCacheTTL: *prepTTL,
 		MaxMatrices: *maxMatrices, DefaultTransport: *transport,
 		DefaultStrategy: *strategy, DefaultThreads: *threads,
-		TraceIters: *traceIters, NetRunner: netRunner,
+		DefaultBlockSize: *blockSize,
+		TraceIters:       *traceIters, NetRunner: netRunner,
 	})
 	if coord != nil {
 		// esrd_net_* series: the multi-process listener/fleet state. The

@@ -369,6 +369,8 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 		// Kernel threading posture: daemon default cap, GOMAXPROCS, and the
 		// shared worker pool's resident size.
 		"threads": h.Threads,
+		// Daemon default block width for batch jobs (0 = library default).
+		"block_size_default": h.BlockSizeDefault,
 	}
 	// Multi-process fleet state (the esrd_net_* series, prefix stripped);
 	// present only when the daemon runs the net coordinator.

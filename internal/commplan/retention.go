@@ -21,6 +21,10 @@ type Retention struct {
 	gens [2]retGen
 	// evicted is the reusable scratch returned by Store.
 	evicted [][]float64
+	// width is the number of consecutive values stored per index: 1 for the
+	// single-RHS solve path, k for blocked multi-RHS solves whose halo
+	// payloads carry k columns per element (see NewRetentionK).
+	width int
 }
 
 type retGen struct {
@@ -31,8 +35,18 @@ type retGen struct {
 
 // NewRetention creates a retention store for a rank that receives the given
 // static per-source index lists each iteration (see RecvLists).
-func NewRetention(idxFrom [][]int) *Retention {
-	rt := &Retention{idxFrom: idxFrom, pos: make([]map[int]int, len(idxFrom))}
+func NewRetention(idxFrom [][]int) *Retention { return NewRetentionK(idxFrom, 1) }
+
+// NewRetentionK is NewRetention for width-k payloads: each retained index
+// carries k consecutive values (one per column of a blocked multi-RHS
+// solve), so Store expects len(IndicesFrom(src))*k values per source and
+// ValuesFor returns k values per requested index. Width 1 is exactly
+// NewRetention.
+func NewRetentionK(idxFrom [][]int, width int) *Retention {
+	if width < 1 {
+		panic(fmt.Sprintf("commplan: retention width %d < 1", width))
+	}
+	rt := &Retention{idxFrom: idxFrom, pos: make([]map[int]int, len(idxFrom)), width: width}
 	for src, idx := range idxFrom {
 		if len(idx) == 0 {
 			continue
@@ -50,6 +64,10 @@ func NewRetention(idxFrom [][]int) *Retention {
 
 // IndicesFrom returns the static indices held from source src.
 func (rt *Retention) IndicesFrom(src int) []int { return rt.idxFrom[src] }
+
+// Width returns the number of values stored per index (1 unless the store
+// was created with NewRetentionK).
+func (rt *Retention) Width() int { return rt.width }
 
 // Store records generation iter: the rank's own vector block and the values
 // received from each source (aligned with IndicesFrom(src)). The oldest of
@@ -84,9 +102,9 @@ func (rt *Retention) Store(iter int, own []float64, recv [][]float64) (evicted [
 		if src < len(recv) {
 			in = recv[src]
 		}
-		if len(in) != len(rt.idxFrom[src]) {
+		if len(in) != len(rt.idxFrom[src])*rt.width {
 			panic(fmt.Sprintf("commplan: Retention.Store source %d got %d values, want %d",
-				src, len(in), len(rt.idxFrom[src])))
+				src, len(in), len(rt.idxFrom[src])*rt.width))
 		}
 		if old := g.vals[src]; cap(old) > 0 && (cap(in) == 0 || &old[:1][0] != &in[:1][0]) {
 			rt.evicted = append(rt.evicted, old)
@@ -125,20 +143,22 @@ func (rt *Retention) Own(iter int) ([]float64, error) {
 }
 
 // ValuesFor returns the retained values of generation iter for the requested
-// global indices of source src's block. Every requested index must be held.
+// global indices of source src's block: width consecutive values per
+// requested index, in request order. Every requested index must be held.
 func (rt *Retention) ValuesFor(iter, src int, indices []int) ([]float64, error) {
 	g := rt.gen(iter)
 	if g == nil {
 		return nil, fmt.Errorf("commplan: generation %d not retained", iter)
 	}
 	pos := rt.pos[src]
-	out := make([]float64, len(indices))
+	w := rt.width
+	out := make([]float64, len(indices)*w)
 	for i, gi := range indices {
 		p, ok := pos[gi]
 		if !ok {
 			return nil, fmt.Errorf("commplan: index %d of rank %d not held here", gi, src)
 		}
-		out[i] = g.vals[src][p]
+		copy(out[i*w:i*w+w], g.vals[src][p*w:p*w+w])
 	}
 	return out, nil
 }

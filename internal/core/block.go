@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/distmat"
+	"repro/internal/faults"
+	"repro/internal/vec"
+)
+
+// Blocked multi-RHS driver: BlockESRPCG runs k independent PCG recurrences
+// in lockstep off shared SpMM and preconditioner applications, fusing the k
+// dot-products and the k (||r||^2, r'z) pairs into single length-k and
+// length-2k allreduces. Because the group allreduce combines element-wise
+// over a fixed binomial tree, slot c of a fused allreduce is bitwise
+// identical to the scalar allreduce the single-RHS driver performs for
+// column c — so every column's trajectory, and its solution, is bitwise
+// identical to a solo ResilientPCG of that column on every transport.
+//
+// Convergence is per column: a converged column's solution block is
+// snapshotted at its convergence iteration (exactly what the solo solve
+// would return) and the column is masked out of the residual check, but it
+// stays in the block — its recurrences freeze while the k-wide SpMM, halo
+// frames and retention generations keep their shape — until every column
+// lands, preserving determinism for the still-active columns.
+//
+// ESR recovery generalizes to the block: one episode reconstructs all k
+// lost columns, with the redundant k-strided retention payloads gathered by
+// the same width-aware RecoverBlocks protocol and all k columns of x_If
+// rebuilt by ONE recovery subsystem per failed block (the subsystem
+// environment, matrix and preconditioner are built once and solve the k
+// right-hand sides back to back, so each column's subsystem trajectory
+// matches its solo counterpart bit for bit).
+
+// blockState is the per-rank live state of the blocked driver: column c of
+// every slice is the SolverState of an independent single-RHS solve.
+type blockState struct {
+	E     *distmat.Env
+	A     *distmat.Matrix
+	M     Precond
+	Sched *faults.Schedule
+	Opts  Options
+
+	B             []distmat.Vector
+	X, R, Z, P, U []distmat.Vector
+	R0, RZ, Beta  []float64
+
+	// done masks a column out of the residual check: converged (snapshot
+	// taken) or failed (err recorded). Frozen columns stop updating but
+	// stay in the k-wide block.
+	done   []bool
+	errs   []error
+	res    []Result
+	xFinal [][]float64 // per-column solution snapshot at convergence
+}
+
+func (bs *blockState) k() int { return len(bs.B) }
+
+// wipe destroys this rank's dynamic blocked solver data, mirroring
+// SolverState.Wipe for all k columns.
+func (bs *blockState) wipe() {
+	nan := math.NaN()
+	for c := range bs.B {
+		vec.Fill(bs.X[c].Local, nan)
+		vec.Fill(bs.R[c].Local, nan)
+		vec.Fill(bs.Z[c].Local, nan)
+		vec.Fill(bs.P[c].Local, nan)
+		vec.Fill(bs.U[c].Local, nan)
+		bs.R0[c] = nan
+		bs.RZ[c] = nan
+		bs.Beta[c] = nan
+	}
+	if bs.A.Ret != nil {
+		bs.A.Ret.Wipe()
+	}
+}
+
+// allDone reports whether every column converged or failed.
+func (bs *blockState) allDone() bool {
+	for _, d := range bs.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// maxActiveResidual is the observational residual for progress/trace events
+// (the largest residual among columns still in the race).
+func (bs *blockState) maxActiveResidual() float64 {
+	m := 0.0
+	for c := range bs.done {
+		if !bs.done[c] && bs.res[c].FinalResidual > m {
+			m = bs.res[c].FinalResidual
+		}
+	}
+	return m
+}
+
+// applyPrecondBlock applies m to every column pair, through the fused
+// k-column path (BlockPrecond) when the preconditioner has one — a single
+// structure traversal (or halo exchange) instead of k — and column by
+// column otherwise. Both paths are bitwise identical per column.
+func applyPrecondBlock(e *distmat.Env, m Precond, z, r []distmat.Vector) error {
+	if bp, ok := m.(BlockPrecond); ok && len(z) > 1 {
+		return bp.ApplyBlock(e, z, r)
+	}
+	for c := range z {
+		if err := m.Apply(e, z[c], r[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// initIteration0Block (re)builds the iteration-0 state for every column:
+// r(0) = b - A x(0) via one SpMM, ONE fused k-column preconditioner
+// application, and ONE fused length-2k allreduce for the k (||r0||^2,
+// r0'z0) pairs.
+func initIteration0Block(bs *blockState) error {
+	k := bs.k()
+	if err := bs.A.ResidualBlock(bs.E, bs.R, bs.B, bs.X, -1); err != nil {
+		return err
+	}
+	if err := applyPrecondBlock(bs.E, bs.M, bs.Z, bs.R); err != nil {
+		return err
+	}
+	fused := make([]float64, 2*k)
+	for c := 0; c < k; c++ {
+		vec.Copy(bs.P[c].Local, bs.Z[c].Local)
+		fused[2*c] = vec.ParNrm2SqN(bs.R[c].Local, bs.Opts.Threads)
+		fused[2*c+1] = vec.ParDotN(bs.R[c].Local, bs.Z[c].Local, bs.Opts.Threads)
+	}
+	norms, err := bs.E.Grp.Allreduce(cluster.OpSum, fused)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < k; c++ {
+		bs.R0[c] = math.Sqrt(norms[2*c])
+		bs.RZ[c] = norms[2*c+1]
+		bs.Beta[c] = 0
+	}
+	bs.E.Grp.Recycle(norms)
+	return nil
+}
+
+// BlockESRPCG solves the k systems A x[c] = b[c] in lockstep under ESR
+// protection (the empty-schedule case is the plain blocked PCG). It returns
+// per-column results and per-column errors (a breakdown or divergence of
+// one column freezes only that column); the third return is a global error
+// (communication failure, cancellation, unrecoverable data loss) that
+// aborts the whole block.
+func BlockESRPCG(e *distmat.Env, a *distmat.Matrix, x, b []distmat.Vector, m Precond, opts Options, sched *faults.Schedule) ([]Result, []error, error) {
+	k := len(b)
+	if k == 0 || len(x) != k {
+		return nil, nil, fmt.Errorf("core: BlockESRPCG needs matching non-empty column sets (%d vs %d)", len(x), k)
+	}
+	if m == nil {
+		m = IdentityPrecond()
+	}
+	opts = opts.withDefaults(a.P.N())
+	if opts.Resume != nil {
+		return nil, nil, fmt.Errorf("core: blocked solves do not support episode Resume")
+	}
+	if err := sched.Validate(e.Size()); err != nil {
+		return nil, nil, err
+	}
+	if !sched.Empty() && a.Ret == nil {
+		return nil, nil, fmt.Errorf("core: ESR recovery needs a resilience-enabled matrix (phi >= 1) to honour a failure schedule")
+	}
+	start := time.Now()
+
+	bs := &blockState{
+		E: e, A: a, M: m, Sched: sched, Opts: opts,
+		B: b, X: x,
+		R: make([]distmat.Vector, k), Z: make([]distmat.Vector, k),
+		P: make([]distmat.Vector, k), U: make([]distmat.Vector, k),
+		R0: make([]float64, k), RZ: make([]float64, k), Beta: make([]float64, k),
+		done: make([]bool, k), errs: make([]error, k),
+		res: make([]Result, k), xFinal: make([][]float64, k),
+	}
+	for c := 0; c < k; c++ {
+		bs.R[c] = distmat.NewVector(a.P, e.Pos)
+		bs.Z[c] = distmat.NewVector(a.P, e.Pos)
+		bs.P[c] = distmat.NewVector(a.P, e.Pos)
+		bs.U[c] = distmat.NewVector(a.P, e.Pos)
+	}
+
+	if err := initIteration0Block(bs); err != nil {
+		return bs.res, bs.errs, err
+	}
+	for c := 0; c < k; c++ {
+		bs.res[c] = Result{InitialResidual: bs.R0[c], FinalResidual: bs.R0[c]}
+		if bs.R0[c] == 0 {
+			// The initial guess already solves column c.
+			bs.res[c].Converged = true
+			bs.done[c] = true
+			bs.xFinal[c] = vec.Clone(bs.X[c].Local)
+		}
+	}
+
+	var clock *phaseClock
+	if opts.Tracer != nil {
+		clock = &phaseClock{}
+	}
+	fused2k := make([]float64, 2*k)
+	alpha := make([]float64, k)
+	zAct := make([]distmat.Vector, 0, k)
+	rAct := make([]distmat.Vector, 0, k)
+
+	fired := map[int]bool{}
+	for j := 0; j < opts.MaxIter && !bs.allDone(); j++ {
+		if err := opts.poll(); err != nil {
+			return bs.res, bs.errs, err
+		}
+		for c := 0; c < k; c++ {
+			if !bs.done[c] {
+				bs.res[c].WorkIterations++
+			}
+		}
+		// u[c] = A p[c] for every column in one SpMM: the k-column halo
+		// exchange that distributes (and retains) the k-strided redundant
+		// copies of generation j.
+		clock.start()
+		if err := a.MatMat(e, bs.U, bs.P, j); err != nil {
+			return bs.res, bs.errs, err
+		}
+		clock.stopSpMV()
+		// Poll point: failures strike after the copies of p(j) exist on phi
+		// other ranks, exactly as in the single-RHS driver.
+		if v := sched.AtIteration(j); len(v) > 0 && !fired[j] {
+			fired[j] = true
+			if opts.OnFailure != nil {
+				opts.OnFailure(j, v)
+			}
+			rec, err := bs.recoverEpisode(j, v)
+			if err != nil {
+				return bs.res, bs.errs, err
+			}
+			for c := 0; c < k; c++ {
+				// A solo solve of an already-landed column would have ended
+				// before this iteration: the episode belongs to the columns
+				// still running.
+				if !bs.done[c] {
+					bs.res[c].Reconstructions = append(bs.res[c].Reconstructions, rec)
+					bs.res[c].ReconstructTime += rec.Duration
+				}
+			}
+			recCopy := rec
+			opts.notify(ProgressEvent{
+				Iteration: j, Residual: bs.maxActiveResidual(), Reconstruction: &recCopy,
+			})
+			if opts.Tracer != nil {
+				opts.Tracer.TraceRecovery(RecoveryTrace{
+					Iteration: j, Strategy: StrategyESR,
+					FailedRanks: rec.FailedRanks, Restarts: rec.Restarts,
+					Duration: rec.Duration,
+				})
+			}
+			// In-place reconstruction: redo the SpMM of iteration j and
+			// recompute the k r'z scalars off the reconstructed blocks.
+			clock.start()
+			if err := a.MatMat(e, bs.U, bs.P, j); err != nil {
+				return bs.res, bs.errs, err
+			}
+			clock.stopSpMV()
+			for c := 0; c < k; c++ {
+				fused2k[c] = vec.ParDotN(bs.R[c].Local, bs.Z[c].Local, opts.Threads)
+			}
+			clock.start()
+			rzs, err := e.Grp.Allreduce(cluster.OpSum, fused2k[:k])
+			clock.stopAllreduce()
+			if err != nil {
+				return bs.res, bs.errs, err
+			}
+			copy(bs.RZ, rzs[:k])
+			e.Grp.Recycle(rzs)
+		}
+		// Fused length-k allreduce of the k p'Ap dot products. Frozen
+		// columns contribute a deterministic 0 slot.
+		for c := 0; c < k; c++ {
+			if bs.done[c] {
+				fused2k[c] = 0
+				continue
+			}
+			fused2k[c] = vec.ParDotN(bs.P[c].Local, bs.U[c].Local, opts.Threads)
+		}
+		clock.start()
+		pus, err := e.Grp.Allreduce(cluster.OpSum, fused2k[:k])
+		clock.stopAllreduce()
+		if err != nil {
+			return bs.res, bs.errs, err
+		}
+		for c := 0; c < k; c++ {
+			if bs.done[c] {
+				alpha[c] = 0
+				continue
+			}
+			pu := pus[c]
+			// Negated comparison so NaN also trips the breakdown. A blocked
+			// breakdown freezes only its column.
+			if !(pu > 0) {
+				bs.errs[c] = fmt.Errorf("core: block-PCG breakdown, p'Ap = %g at column %d iteration %d", pu, c, j)
+				bs.done[c] = true
+				alpha[c] = 0
+				continue
+			}
+			alpha[c] = bs.RZ[c] / pu
+		}
+		e.Grp.Recycle(pus)
+		// Per-column updates and preconditioner applications; frozen
+		// columns are skipped (their state stays at the landing iteration).
+		for c := 0; c < k; c++ {
+			if bs.done[c] {
+				continue
+			}
+			vec.ParAxpyAxpy(alpha[c], bs.P[c].Local, bs.X[c].Local, -alpha[c], bs.U[c].Local, bs.R[c].Local, opts.Threads)
+		}
+		clock.start()
+		// One fused application for the still-active columns (every rank
+		// freezes the same columns off the shared allreduce results, so the
+		// active set — and any fused halo exchange it drives — stays
+		// uniform across ranks).
+		zAct, rAct = zAct[:0], rAct[:0]
+		for c := 0; c < k; c++ {
+			if bs.done[c] {
+				continue
+			}
+			zAct = append(zAct, bs.Z[c])
+			rAct = append(rAct, bs.R[c])
+		}
+		if err := applyPrecondBlock(e, m, zAct, rAct); err != nil {
+			return bs.res, bs.errs, err
+		}
+		clock.stopPrecond()
+		// ONE fused length-2k allreduce for the k (||r||^2, r'z) pairs.
+		for c := 0; c < k; c++ {
+			if bs.done[c] {
+				fused2k[2*c], fused2k[2*c+1] = 0, 0
+				continue
+			}
+			fused2k[2*c] = vec.ParNrm2SqN(bs.R[c].Local, opts.Threads)
+			fused2k[2*c+1] = vec.ParDotN(bs.R[c].Local, bs.Z[c].Local, opts.Threads)
+		}
+		clock.start()
+		norms, err := e.Grp.Allreduce(cluster.OpSum, fused2k)
+		clock.stopAllreduce()
+		if err != nil {
+			return bs.res, bs.errs, err
+		}
+		for c := 0; c < k; c++ {
+			if bs.done[c] {
+				continue
+			}
+			rn := math.Sqrt(norms[2*c])
+			rzNew := norms[2*c+1]
+			bs.res[c].Iterations = j + 1
+			bs.res[c].FinalResidual = rn
+			if math.IsNaN(rn) || math.IsInf(rn, 0) {
+				bs.errs[c] = fmt.Errorf("core: block-PCG diverged, ||r|| = %g at column %d iteration %d", rn, c, j)
+				bs.done[c] = true
+				continue
+			}
+			if rn <= opts.Tol*bs.R0[c] {
+				// Column c lands: snapshot exactly what its solo solve would
+				// return, then mask it out of the residual check.
+				bs.res[c].Converged = true
+				bs.done[c] = true
+				bs.xFinal[c] = vec.Clone(bs.X[c].Local)
+				continue
+			}
+			bs.Beta[c] = rzNew / bs.RZ[c]
+			bs.RZ[c] = rzNew
+			vec.Axpby(1, bs.Z[c].Local, bs.Beta[c], bs.P[c].Local)
+		}
+		e.Grp.Recycle(norms)
+		opts.notify(ProgressEvent{Iteration: j + 1, Residual: bs.maxActiveResidual()})
+		clock.emit(opts.Tracer, j+1, bs.maxActiveResidual(), 0)
+	}
+
+	// Columns that exhausted MaxIter keep their last iterate, like the solo
+	// driver.
+	for c := 0; c < k; c++ {
+		if bs.xFinal[c] == nil && bs.errs[c] == nil {
+			bs.xFinal[c] = vec.Clone(bs.X[c].Local)
+		}
+	}
+	if err := finishResultsBlock(bs); err != nil {
+		return bs.res, bs.errs, err
+	}
+	elapsed := time.Since(start)
+	for c := 0; c < k; c++ {
+		if bs.xFinal[c] != nil {
+			copy(bs.X[c].Local, bs.xFinal[c])
+		}
+		bs.res[c].SolveTime = elapsed
+	}
+	return bs.res, bs.errs, nil
+}
+
+// finishResultsBlock verifies every non-errored column against its snapshot
+// with one SpMM and one fused length-k norm allreduce: per column the same
+// ||b - A x|| (and Eqn. 7 delta) the solo finishResult computes.
+func finishResultsBlock(bs *blockState) error {
+	k := bs.k()
+	xs := make([]distmat.Vector, k)
+	ts := make([]distmat.Vector, k)
+	for c := 0; c < k; c++ {
+		local := bs.xFinal[c]
+		if local == nil {
+			// Errored column: verify its last iterate so the fused SpMM keeps
+			// its k-wide shape; the column's error is what the caller sees.
+			local = bs.X[c].Local
+		}
+		xs[c] = distmat.Vector{P: bs.A.P, Pos: bs.E.Pos, Local: local}
+		ts[c] = distmat.NewVector(bs.A.P, bs.E.Pos)
+	}
+	if err := bs.A.ResidualBlock(bs.E, ts, bs.B, xs, -1); err != nil {
+		return err
+	}
+	fused := make([]float64, k)
+	for c := 0; c < k; c++ {
+		fused[c] = vec.ParNrm2SqN(ts[c].Local, bs.Opts.Threads)
+	}
+	norms, err := bs.E.Grp.Allreduce(cluster.OpSum, fused)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < k; c++ {
+		s := norms[c]
+		if s < 0 {
+			s = 0
+		}
+		tn := math.Sqrt(s)
+		bs.res[c].TrueResidual = tn
+		if tn > 0 {
+			bs.res[c].Delta = (bs.res[c].FinalResidual - tn) / tn
+		}
+	}
+	bs.E.Grp.Recycle(norms)
+	return nil
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/distmat"
+	"repro/internal/partition"
+	"repro/internal/precond"
+	"repro/internal/vec"
+)
+
+// Blocked ESR recovery: one episode reconstructs all k columns of the lost
+// blocks, phase for phase the single-RHS protocol of recovery.go —
+// replicated scalars (now 2k per failed rank, fused in one message), the
+// width-k redundant-copy gather, per-column z/r reconstruction, and ONE
+// recovery subsystem per failed block solving all k columns of x_If.
+// Overlapping failures restart the episode at phase boundaries with the
+// enlarged failed set, exactly as in the solo episode (Sec. 4.1).
+
+// recoverEpisode executes one blocked reconstruction episode for the
+// failure of `victims` detected at iteration j.
+func (bs *blockState) recoverEpisode(j int, victims []int) (Reconstruction, error) {
+	startT := time.Now()
+	rec := Reconstruction{Iteration: j}
+	ef := NewEpisodeFailures(bs.Sched, j, bs.E.Pos, bs.wipe, victims)
+
+restart:
+	failedList := ef.Ranks()
+	rec.FailedRanks = failedList
+	ep := &blockEpisode{
+		bs:         bs,
+		iter:       j,
+		failed:     ef.Failed,
+		failedList: failedList,
+		amFailed:   ef.AmFailed(),
+	}
+	for phase := 1; phase <= numPhases; phase++ {
+		if ef.AtPhase(phase) {
+			rec.Restarts++
+			goto restart
+		}
+		var err error
+		switch phase {
+		case phaseScalars:
+			err = ep.runScalars()
+		case phasePGather:
+			err = ep.runPGather()
+		case phaseZR:
+			err = ep.runZR()
+		case phaseXSystem:
+			err = ep.runXSystem()
+		case phaseFinalize:
+			var iters float64
+			iters, err = bs.E.Grp.AllreduceScalar(cluster.OpMax, float64(ep.subIters))
+			ep.subIters = int(iters)
+		}
+		if err != nil {
+			return rec, err
+		}
+	}
+	rec.SubIterations = ep.subIters
+	rec.Duration = time.Since(startT)
+	return rec, nil
+}
+
+// blockEpisode is the per-attempt state of a blocked reconstruction.
+type blockEpisode struct {
+	bs         *blockState
+	iter       int
+	failed     map[int]bool
+	failedList []int
+	amFailed   bool
+
+	pPrev    [][]float64 // p(j-1) per column on the replacement's block
+	subIters int
+}
+
+func (ep *blockEpisode) lowestSurvivor() int {
+	for r := 0; r < ep.bs.E.Size(); r++ {
+		if !ep.failed[r] {
+			return r
+		}
+	}
+	return -1 // unreachable: schedules are validated against phi < N
+}
+
+// runScalars transfers the 2k replicated scalars — beta(j-1) and ||r0|| of
+// every column — from the lowest surviving rank to each replacement in one
+// fused message per failed rank.
+func (ep *blockEpisode) runScalars() error {
+	bs := ep.bs
+	k := bs.k()
+	s0 := ep.lowestSurvivor()
+	if bs.E.Pos == s0 {
+		payload := make([]float64, 2*k)
+		copy(payload[:k], bs.Beta)
+		copy(payload[k:], bs.R0)
+		for _, f := range ep.failedList {
+			if err := bs.E.C.Send(cluster.CatRecovery, f, tagRecScalar, payload, nil); err != nil {
+				return err
+			}
+		}
+	}
+	if ep.amFailed {
+		vals, err := bs.E.C.RecvFloats(s0, tagRecScalar)
+		if err != nil {
+			return err
+		}
+		if len(vals) != 2*k {
+			return fmt.Errorf("core: blocked scalar recovery got %d values, want %d", len(vals), 2*k)
+		}
+		copy(bs.Beta, vals[:k])
+		copy(bs.R0, vals[k:])
+	}
+	return nil
+}
+
+// runPGather reconstructs all k columns of p(j)_If (and p(j-1)_If) from the
+// k-strided redundant copies via the width-aware RecoverBlocks protocol,
+// then deinterleaves them back into the per-column vectors.
+func (ep *blockEpisode) runPGather() error {
+	bs := ep.bs
+	k := bs.k()
+	n := len(bs.P[0].Local)
+	gens := []int{ep.iter}
+	pNow := make([]float64, n*k)
+	out := [][]float64{pNow}
+	var pPrevI []float64
+	if ep.iter > 0 {
+		gens = append(gens, ep.iter-1)
+		pPrevI = make([]float64, n*k)
+		out = append(out, pPrevI)
+	}
+	if err := RecoverBlocks(bs.E, bs.A, ep.iter, ep.failed, ep.failedList, gens, out); err != nil {
+		return err
+	}
+	if !ep.amFailed {
+		return nil
+	}
+	ep.pPrev = make([][]float64, k)
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			bs.P[c].Local[i] = pNow[i*k+c]
+		}
+		if pPrevI != nil {
+			ep.pPrev[c] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				ep.pPrev[c][i] = pPrevI[i*k+c]
+			}
+		}
+	}
+	return nil
+}
+
+// runZR reconstructs z_If and r_If column by column (Alg. 2 lines 4-6 per
+// column): z[c] = p(j)[c] - beta[c] p(j-1)[c], then the block-local
+// preconditioner application r[c] = M_f z[c].
+func (ep *blockEpisode) runZR() error {
+	bs := ep.bs
+	if ep.amFailed {
+		for c := 0; c < bs.k(); c++ {
+			if ep.iter == 0 {
+				vec.Copy(bs.Z[c].Local, bs.P[c].Local)
+			} else {
+				vec.XpayInto(bs.Z[c].Local, bs.P[c].Local, -bs.Beta[c], ep.pPrev[c])
+			}
+		}
+	}
+	switch pm := bs.M.(type) {
+	case LocalPrecond:
+		if ep.amFailed {
+			for c := 0; c < bs.k(); c++ {
+				pm.P.ApplyM(bs.R[c].Local, bs.Z[c].Local)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: preconditioner %s does not support blocked reconstruction", bs.M.Name())
+	}
+}
+
+// runXSystem forms w[c] = b[c]_If - r[c]_If - A_{If, I\If} x[c]_{I\If} for
+// every column off ONE fused k-strided ghost gather, then solves the k
+// right-hand sides through one shared recovery subsystem (see
+// SubsystemSolveBlock).
+func (ep *blockEpisode) runXSystem() error {
+	bs := ep.bs
+	k := bs.k()
+	locals := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		locals[c] = bs.X[c].Local
+	}
+	ghosts, err := GatherGhostK(bs.E, bs.A, locals, ep.failed, ep.failedList, tagRecXHalo)
+	if err != nil {
+		return err
+	}
+	if !ep.amFailed {
+		return nil
+	}
+	rhs := make([][]float64, k)
+	sols := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		w := append([]float64(nil), bs.B[c].Local...)
+		vec.Axpy(-1, bs.R[c].Local, w)
+		neg := make([]float64, len(w))
+		bs.A.GhostProduct(neg, ghosts[c])
+		vec.Axpy(-1, neg, w)
+		rhs[c] = w
+		sols[c] = bs.X[c].Local
+	}
+	iters, err := SubsystemSolveBlock(bs.E, bs.A, ep.failedList, rhs, sols, ctxSubA,
+		bs.Opts.LocalTol, bs.Opts.LocalMaxIter)
+	if err != nil {
+		return err
+	}
+	ep.subIters += iters
+	return nil
+}
+
+// GatherGhostK is GatherGhost for k columns at once: survivors send ONE
+// k-strided frame per replacement (k consecutive values per ghost element)
+// and replacements scatter it into k per-column ghost maps. Column c of the
+// result carries exactly the values GatherGhost would deliver for column c.
+func GatherGhostK(e *distmat.Env, mat *distmat.Matrix, locals [][]float64, failed map[int]bool, failedList []int, tag int) ([]map[int]float64, error) {
+	me := e.Pos
+	k := len(locals)
+	if !failed[me] {
+		lo, _ := mat.P.Range(me)
+		for _, f := range failedList {
+			idx := mat.Plan.SendTo[f]
+			if len(idx) == 0 {
+				continue
+			}
+			vals := make([]float64, len(idx)*k)
+			for t, g := range idx {
+				for c := 0; c < k; c++ {
+					vals[t*k+c] = locals[c][g-lo]
+				}
+			}
+			if err := e.C.SendFloats(cluster.CatRecovery, f, tag, vals); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	ghosts := make([]map[int]float64, k)
+	for c := range ghosts {
+		ghosts[c] = map[int]float64{}
+	}
+	for r := 0; r < e.Size(); r++ {
+		if r == me || failed[r] {
+			continue
+		}
+		idx := mat.Plan.RecvFrom[r]
+		if len(idx) == 0 {
+			continue
+		}
+		vals, err := e.C.RecvFloats(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(idx)*k {
+			return nil, fmt.Errorf("core: blocked ghost gather from %d: %d values, want %d", r, len(vals), len(idx)*k)
+		}
+		for t, g := range idx {
+			for c := 0; c < k; c++ {
+				ghosts[c][g] = vals[t*k+c]
+			}
+		}
+	}
+	return ghosts, nil
+}
+
+// SubsystemSolveBlock is SubsystemSolve for k right-hand sides: the
+// subsystem environment, distributed matrix and block-local preconditioner
+// are built ONCE per failed block, then the k systems are solved back to
+// back through them. Each column's subsystem trajectory is bit-identical to
+// a solo SubsystemSolve of that column (same matrix, same factorization,
+// same right-hand side). Returns the largest per-column iteration count.
+func SubsystemSolveBlock(e *distmat.Env, mat *distmat.Matrix, failedList []int, rhs, sol [][]float64, ctx int, tol float64, maxIter int) (int, error) {
+	sizes := make([]int, len(failedList))
+	var ifIdx []int
+	myPos := -1
+	for t, f := range failedList {
+		flo, fhi := mat.P.Range(f)
+		sizes[t] = fhi - flo
+		for g := flo; g < fhi; g++ {
+			ifIdx = append(ifIdx, g)
+		}
+		if f == e.Pos {
+			myPos = t
+		}
+	}
+	if myPos < 0 {
+		return 0, fmt.Errorf("core: SubsystemSolveBlock called by a non-failed rank")
+	}
+	subP := partition.FromSizes(sizes)
+	localRows := make([]int, mat.Rows.Rows)
+	for i := range localRows {
+		localRows[i] = i
+	}
+	subRows := mat.Rows.Submatrix(localRows, ifIdx)
+
+	subEnv, err := distmat.GroupEnv(e.C, failedList, ctx)
+	if err != nil {
+		return 0, err
+	}
+	subA, err := distmat.NewMatrix(subEnv, subRows, subP, 0, ctx)
+	if err != nil {
+		return 0, err
+	}
+	var sub Precond
+	if ilu, err := precond.NewBlockJacobiILU(subA.OwnBlock()); err == nil {
+		sub = LocalPrecond{P: ilu}
+	} else {
+		sub = IdentityPrecond()
+	}
+	if maxIter <= 0 {
+		maxIter = 20 * subP.N()
+		if maxIter < 500 {
+			maxIter = 500
+		}
+	}
+	maxIters := 0
+	for c := range rhs {
+		xf := distmat.NewVector(subP, myPos)
+		bv := distmat.Vector{P: subP, Pos: myPos, Local: rhs[c]}
+		res, err := PCG(subEnv, subA, xf, bv, sub, Options{Tol: tol, MaxIter: maxIter})
+		if err != nil {
+			return 0, err
+		}
+		if !res.Converged && res.RelResidual() > 1e-6 {
+			return res.Iterations, fmt.Errorf("core: blocked reconstruction subsystem stagnated at column %d (relres %.2e)", c, res.RelResidual())
+		}
+		copy(sol[c], xf.Local)
+		if res.Iterations > maxIters {
+			maxIters = res.Iterations
+		}
+	}
+	return maxIters, nil
+}

@@ -23,10 +23,19 @@ import (
 //
 // This is the phase-2 protocol of the ESR reconstruction, factored out so
 // the SPCG, BiCGSTAB and stationary-method variants reuse it.
+//
+// The protocol is width-aware: when the matrix's retention store was
+// prepared with SetBlockWidth(w) (blocked multi-RHS solves), every element
+// carries w consecutive values and out[k] receives the interleaved
+// w-strided block. Width 1 is the single-RHS protocol unchanged.
 func RecoverBlocks(e *distmat.Env, a *distmat.Matrix, iter int, failed map[int]bool, failedList []int, gens []int, out [][]float64) error {
 	me := e.Pos
 	amFailed := failed[me]
 	lo, _ := a.P.Range(me)
+	w := 1
+	if a.Ret != nil {
+		w = a.Ret.Width()
+	}
 
 	// Sub-phase A: coverage status broadcast (deterministic abort).
 	var byHolder map[int][]int
@@ -112,14 +121,14 @@ func RecoverBlocks(e *distmat.Env, a *distmat.Matrix, iter int, failed map[int]b
 				return err
 			}
 			idx := byHolder[r]
-			if len(vals) != len(idx)*len(gens) {
+			if len(vals) != len(idx)*len(gens)*w {
 				return fmt.Errorf("core: recovery response from %d has %d values, want %d",
-					r, len(vals), len(idx)*len(gens))
+					r, len(vals), len(idx)*len(gens)*w)
 			}
 			for k := range gens {
-				part := vals[k*len(idx) : (k+1)*len(idx)]
+				part := vals[k*len(idx)*w : (k+1)*len(idx)*w]
 				for t, g := range idx {
-					out[k][g-lo] = part[t]
+					copy(out[k][(g-lo)*w:(g-lo)*w+w], part[t*w:t*w+w])
 				}
 			}
 		}

@@ -1,0 +1,162 @@
+package distmat
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/matgen"
+	"repro/internal/partition"
+)
+
+// TestMatMatBitwiseMatVec is the blocked halo-exchange contract: column j of
+// a width-k MatMat must be bitwise identical to a solo MatVec of that
+// column — same partial sums, same retention contents — on every transport.
+func TestMatMatBitwiseMatVec(t *testing.T) {
+	a := matgen.Poisson2D(14, 11)
+	const ranks, phi, k = 4, 2, 5
+	p := partition.NewBlockRow(a.Rows, ranks)
+	cols := make([][]float64, k)
+	for j := range cols {
+		cols[j] = make([]float64, a.Rows)
+		for i := range cols[j] {
+			cols[j][i] = math.Sin(float64(i)*0.37+float64(j)) + 0.1*float64(j)
+		}
+	}
+	for _, tr := range []string{cluster.TransportChan, cluster.TransportFast, cluster.TransportChaos, cluster.TransportNet} {
+		t.Run(tr, func(t *testing.T) {
+			// Solo reference: per-column MatVec on its own runtime.
+			want := make([][][]float64, k) // [col][pos]local
+			for j := range want {
+				want[j] = make([][]float64, ranks)
+			}
+			for j := 0; j < k; j++ {
+				j := j
+				tp, err := cluster.NewTransport(tr, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rt := cluster.New(ranks, cluster.WithTransport(tp))
+				if err := rt.Run(func(c *cluster.Comm) error {
+					e := WorldEnv(c)
+					lo, hi := p.Range(e.Pos)
+					m, err := NewMatrix(e, a.RowBlock(lo, hi), p, phi, 0)
+					if err != nil {
+						return err
+					}
+					x := distribute(cols[j], p, e.Pos)
+					y := NewVector(p, e.Pos)
+					for iter := 0; iter < 3; iter++ {
+						if err := m.MatVec(e, y, x, iter); err != nil {
+							return err
+						}
+					}
+					want[j][e.Pos] = append([]float64(nil), y.Local...)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Blocked: one width-k MatMat per iteration on one runtime.
+			tp, err := cluster.NewTransport(tr, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := cluster.New(ranks, cluster.WithTransport(tp))
+			if err := rt.Run(func(c *cluster.Comm) error {
+				e := WorldEnv(c)
+				lo, hi := p.Range(e.Pos)
+				m, err := NewMatrix(e, a.RowBlock(lo, hi), p, phi, 0)
+				if err != nil {
+					return err
+				}
+				m.SetBlockWidth(k)
+				x := make([]Vector, k)
+				y := make([]Vector, k)
+				for j := 0; j < k; j++ {
+					x[j] = distribute(cols[j], p, e.Pos)
+					y[j] = NewVector(p, e.Pos)
+				}
+				for iter := 0; iter < 3; iter++ {
+					if err := m.MatMat(e, y, x, iter); err != nil {
+						return err
+					}
+				}
+				for j := 0; j < k; j++ {
+					for i := range y[j].Local {
+						if y[j].Local[i] != want[j][e.Pos][i] {
+							return fmt.Errorf("pos %d col %d row %d: MatMat %x, MatVec %x",
+								e.Pos, j, lo+i, y[j].Local[i], want[j][e.Pos][i])
+						}
+					}
+				}
+				// The width-k retention must answer recovery reads with the
+				// same values the halo carried, k-strided per index.
+				newest, _ := m.Ret.Generations()
+				if newest != 2 {
+					return fmt.Errorf("pos %d: newest retained generation %d, want 2", e.Pos, newest)
+				}
+				for src := 0; src < ranks; src++ {
+					idx := m.Ret.IndicesFrom(src)
+					if len(idx) == 0 {
+						continue
+					}
+					vals, err := m.Ret.ValuesFor(2, src, idx)
+					if err != nil {
+						return err
+					}
+					for i, g := range idx {
+						for j := 0; j < k; j++ {
+							if vals[i*k+j] != cols[j][g] {
+								return fmt.Errorf("pos %d retention src %d idx %d col %d: %x, want %x",
+									e.Pos, src, g, j, vals[i*k+j], cols[j][g])
+							}
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMatMatWidthOne pins the k==1 delegation: a width-1 MatMat is exactly
+// MatVec (no interleave, no k-strided frames).
+func TestMatMatWidthOne(t *testing.T) {
+	a := matgen.Poisson2D(8, 8)
+	const ranks = 3
+	p := partition.NewBlockRow(a.Rows, ranks)
+	xFull := make([]float64, a.Rows)
+	for i := range xFull {
+		xFull[i] = float64(i%9) - 3.5
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(want, xFull)
+	runSPMD(t, ranks, func(c *cluster.Comm) error {
+		e := WorldEnv(c)
+		lo, hi := p.Range(e.Pos)
+		m, err := NewMatrix(e, a.RowBlock(lo, hi), p, 0, 0)
+		if err != nil {
+			return err
+		}
+		x := []Vector{distribute(xFull, p, e.Pos)}
+		y := []Vector{NewVector(p, e.Pos)}
+		if err := m.MatMat(e, y, x, 0); err != nil {
+			return err
+		}
+		ref := NewVector(p, e.Pos)
+		if err := m.MatVec(e, ref, x[0], 1); err != nil {
+			return err
+		}
+		for i := range ref.Local {
+			if y[0].Local[i] != ref.Local[i] {
+				return fmt.Errorf("pos %d row %d: %x vs %x", e.Pos, lo+i, y[0].Local[i], ref.Local[i])
+			}
+		}
+		return nil
+	})
+}

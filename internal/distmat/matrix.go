@@ -39,7 +39,13 @@ type Matrix struct {
 	recvLists   [][]int // merged indices received per source
 	xbuf        []float64
 	recvScratch [][]float64 // per-MatVec staging of retained payloads
-	tagBase     int
+	// Blocked-solve scratch (see matmat.go): interleaved k-strided input and
+	// output blocks plus the MatMat staging of retained payloads. Lazily
+	// sized; per-fork like xbuf/recvScratch.
+	xbufK        []float64
+	ybufK        []float64
+	recvScratchK [][]float64
+	tagBase      int
 
 	// Static kernel plans, precomputed once after the symbolic phase so the
 	// per-iteration MatVec runs without a single map lookup (they used to
@@ -347,6 +353,7 @@ func (m *Matrix) Fork() *Matrix {
 	n := *m
 	n.xbuf = make([]float64, len(m.xbuf))
 	n.recvScratch = nil // per-solve staging must not be shared across forks
+	n.xbufK, n.ybufK, n.recvScratchK = nil, nil, nil
 	if m.Ret != nil {
 		n.Ret = commplan.NewRetention(m.recvLists)
 	}

@@ -62,6 +62,19 @@ const (
 // on full parallelism against a daemon started with -threads N.
 const ThreadsAuto = -1
 
+// DefaultBlockSize is the blocked multi-RHS width applied to batched solves
+// whose Config.BlockSize is 0: large enough that the shared SpMM and fused
+// allreduces amortize the per-iteration communication over many columns,
+// small enough that the k-strided halo frames and the k per-rank column
+// vectors stay cache- and pool-friendly.
+const DefaultBlockSize = 32
+
+// MaxBlockSize caps Config.BlockSize: one k-wide solve keeps k column
+// vectors of every recurrence on every rank plus k-strided halo and
+// retention payloads, so an unbounded width from a network-submitted job
+// could exhaust memory before the solver's first iteration.
+const MaxBlockSize = 4096
+
 // Transport names accepted by Config (mirroring internal/cluster). The
 // empty string selects the default chan transport.
 const (
@@ -150,6 +163,16 @@ type Config struct {
 	// Preparation-scoped: the prepared per-rank kernels bake it in, and the
 	// field keys the prepared-session cache.
 	Threads int `json:"threads,omitempty"`
+	// BlockSize is the width of the blocked multi-RHS solve path: batched
+	// right-hand sides are solved in lockstep groups of up to BlockSize
+	// columns sharing each SpMM, halo exchange and (fused) allreduce. 0 (the
+	// default) selects DefaultBlockSize; 1 disables blocking (every RHS
+	// solves independently); other values must lie in [1, MaxBlockSize] and
+	// are rejected with *InvalidBlockSizeError otherwise. Batch-scoped: it
+	// only shapes SolveBatch/batch jobs, never a single solve, and it is
+	// deliberately absent from the prepared-session cache key (no prepared
+	// state depends on it — the k-wide retention stores are built per solve).
+	BlockSize int `json:"block_size,omitempty"`
 	// Schedule injects node failures (nil for a failure-free run).
 	Schedule *faults.Schedule `json:"schedule,omitempty"`
 	// Progress, when non-nil, observes the solve from rank 0: one event per
@@ -197,6 +220,9 @@ func (c Config) WithDefaults() Config {
 	if c.CheckpointInterval == 0 {
 		c.CheckpointInterval = checkpoint.DefaultInterval
 	}
+	if c.BlockSize == 0 {
+		c.BlockSize = DefaultBlockSize
+	}
 	if c.Threads == ThreadsAuto {
 		// The explicit-automatic sentinel has served its purpose by the time
 		// defaults are applied (the engine's default-threads injection only
@@ -243,6 +269,20 @@ type InvalidThreadsError struct {
 // Error implements the error interface.
 func (e *InvalidThreadsError) Error() string {
 	return fmt.Sprintf("engine: threads %d invalid: use a positive cap, 0 for automatic GOMAXPROCS, or -1 for explicitly automatic", e.Threads)
+}
+
+// InvalidBlockSizeError reports a meaningless blocked multi-RHS width: 0
+// means the default, 1..MaxBlockSize are valid widths, and nothing else is
+// meaningful.
+type InvalidBlockSizeError struct {
+	// BlockSize is the rejected width.
+	BlockSize int
+}
+
+// Error implements the error interface.
+func (e *InvalidBlockSizeError) Error() string {
+	return fmt.Sprintf("engine: block size %d invalid: use 1..%d, or 0 for the default (%d)",
+		e.BlockSize, MaxBlockSize, DefaultBlockSize)
 }
 
 // InvalidCheckpointIntervalError reports a non-positive checkpoint interval:
@@ -317,6 +357,11 @@ func (c Config) Validate() error {
 	}
 	if c.Threads < ThreadsAuto {
 		return &InvalidThreadsError{Threads: c.Threads}
+	}
+	if c.BlockSize < 1 || c.BlockSize > MaxBlockSize {
+		// WithDefaults resolves the unset zero to DefaultBlockSize, so only
+		// explicitly negative or oversized widths reach this check.
+		return &InvalidBlockSizeError{BlockSize: c.BlockSize}
 	}
 	if c.Phi < 0 || c.Phi >= c.Ranks {
 		return fmt.Errorf("engine: phi %d out of range [0, %d)", c.Phi, c.Ranks)

@@ -71,7 +71,7 @@ type JobStatus struct {
 	ID    string `json:"id"`
 	State State  `json:"state"`
 	// Spec is the job as submitted, minus the bulk payloads: uploaded
-	// MatrixMarket bytes and an explicit RHS are replaced by nil in
+	// MatrixMarket bytes and an explicit RHS (or RHS batch) are replaced by nil in
 	// snapshots (and released from the store once the job is terminal) so
 	// the in-memory result store and status responses stay small.
 	Spec JobSpec `json:"spec"`
@@ -128,6 +128,10 @@ type job struct {
 	// payloadBytes is this job's share of the engine's pending-payload
 	// budget; zeroed (and returned to the budget) by Engine.finishPayloads.
 	payloadBytes int64
+	// batchK is the number of right-hand sides of a batch job
+	// (len(spec.RHSBatch)); 0 for single-RHS jobs. Kept separately so the
+	// job trace can report it after finishPayloads drops the spec payload.
+	batchK int
 	// em mirrors lifecycle transitions into the engine's metrics (set at
 	// Submit, before the job is reachable by a worker).
 	em *engineMetrics
@@ -202,6 +206,7 @@ func (j *job) status() JobStatus {
 	spec := j.spec
 	spec.Matrix.MatrixMarket = nil
 	spec.RHS = nil
+	spec.RHSBatch = nil
 	st := JobStatus{
 		ID: j.id, State: j.state, Spec: spec, Error: j.errMsg,
 		Result: j.result, Events: len(j.events), EnqueuedAt: j.enqueued,
@@ -252,6 +257,11 @@ type Options struct {
 	// Config.Threads is 0 (0 keeps the library default: GOMAXPROCS). Must be
 	// non-negative.
 	DefaultThreads int
+	// DefaultBlockSize is the blocked multi-RHS width applied to batch jobs
+	// whose Config.BlockSize is 0 (0 keeps the library default,
+	// DefaultBlockSize = 32; 1 disables blocking). Must be a width
+	// Config.Validate accepts.
+	DefaultBlockSize int
 	// TraceIters, when > 0, captures the last TraceIters per-iteration
 	// traces of every job in a bounded ring (plus all recovery episodes),
 	// served by Engine.Trace. 0 (the default) disables capture; the metric
@@ -287,6 +297,7 @@ type Engine struct {
 	defaultTransport string
 	defaultStrategy  string
 	defaultThreads   int
+	defaultBlockSize int
 	traceIters       int
 	netRunner        NetRunner
 	metrics          *engineMetrics
@@ -353,6 +364,12 @@ func New(opts Options) *Engine {
 		// And again for the kernel thread cap.
 		panic(fmt.Sprintf("engine: invalid Options.DefaultThreads %d", opts.DefaultThreads))
 	}
+	if opts.DefaultBlockSize != 0 {
+		// And again for the blocked multi-RHS width.
+		if err := (Config{BlockSize: opts.DefaultBlockSize}).Validate(); err != nil {
+			panic(fmt.Sprintf("engine: invalid Options.DefaultBlockSize %d", opts.DefaultBlockSize))
+		}
+	}
 	if opts.TraceIters < 0 {
 		opts.TraceIters = 0
 	}
@@ -366,6 +383,7 @@ func New(opts Options) *Engine {
 		defaultTransport: opts.DefaultTransport,
 		defaultStrategy:  opts.DefaultStrategy,
 		defaultThreads:   opts.DefaultThreads,
+		defaultBlockSize: opts.DefaultBlockSize,
 		traceIters:       opts.TraceIters,
 		netRunner:        opts.NetRunner,
 		tstats:           map[string]*TransportUsage{},
@@ -527,10 +545,15 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 		return "", err
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
+	var batchFloats int64
+	for _, b := range spec.RHSBatch {
+		batchFloats += int64(len(b))
+	}
 	j := &job{
 		spec: spec, ctx: ctx, cancel: cancel, em: e.metrics,
 		state: StateQueued, updated: make(chan struct{}), enqueued: time.Now(),
-		payloadBytes: int64(len(spec.Matrix.MatrixMarket)) + 8*int64(len(spec.RHS)),
+		payloadBytes: int64(len(spec.Matrix.MatrixMarket)) + 8*(int64(len(spec.RHS))+batchFloats),
+		batchK:       len(spec.RHSBatch),
 	}
 	if spec.MatrixID != "" {
 		a, rec, err := e.matrices.resolve(spec.MatrixID)
@@ -540,6 +563,13 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 		}
 		if len(spec.RHS) > 0 && len(spec.RHS) != rec.Rows {
 			err := fmt.Errorf("engine: rhs length %d != matrix %s rows %d", len(spec.RHS), rec.ID, rec.Rows)
+			cancel(err)
+			return "", err
+		}
+		if len(spec.RHSBatch) > 0 && len(spec.RHSBatch[0]) != rec.Rows {
+			// validateBatch already enforced intra-batch consistency, so
+			// checking column 0 against the registered matrix covers them all.
+			err := &InvalidRHSError{Index: 0, Elem: -1, Len: len(spec.RHSBatch[0]), Want: rec.Rows}
 			cancel(err)
 			return "", err
 		}
@@ -898,6 +928,7 @@ func (e *Engine) finishPayloads(j *job) {
 	j.mu.Lock()
 	j.spec.Matrix.MatrixMarket = nil
 	j.spec.RHS = nil
+	j.spec.RHSBatch = nil
 	j.mat = nil
 	pb := j.payloadBytes
 	j.payloadBytes = 0
@@ -957,10 +988,21 @@ func (e *Engine) run(j *job) {
 		// to automatic in WithDefaults.
 		cfg.Threads = e.defaultThreads
 	}
+	if cfg.BlockSize == 0 {
+		// Daemon-level default block width for batch jobs that did not pick
+		// one. Batch-scoped: deliberately NOT part of the prep cache key.
+		cfg.BlockSize = e.defaultBlockSize
+	}
 	if cfg.Transport == TransportNet && e.netRunner != nil {
 		// A coordinator daemon fans net-transport jobs out to external rank
 		// processes; each worker process prepares its own session, so the
 		// coordinator's prep cache and trace ring do not apply.
+		if len(j.spec.RHSBatch) > 0 {
+			// The dispatcher protocol carries one RHS per job; batch jobs on a
+			// coordinator daemon must be split by the client.
+			j.transition(StateFailed, "engine: batch jobs are not supported on the multi-process net path; submit one job per rhs")
+			return
+		}
 		e.runNet(ctx, j, cfg)
 		return
 	}
@@ -1046,8 +1088,17 @@ func (e *Engine) run(j *job) {
 	}
 	defer release()
 
+	batch := j.spec.RHSBatch
 	b := j.spec.RHS
-	if b == nil {
+	if len(batch) > 0 {
+		// Spec validation checked intra-batch consistency and finiteness;
+		// inline-matrix jobs still need the column length checked against the
+		// freshly materialized system.
+		if len(batch[0]) != prep.N() {
+			j.transition(StateFailed, fmt.Sprintf("engine: rhs batch columns have length %d, want matrix rows %d", len(batch[0]), prep.N()))
+			return
+		}
+	} else if b == nil {
 		b = make([]float64, prep.N())
 		for i := range b {
 			b[i] = 1
@@ -1092,8 +1143,69 @@ func (e *Engine) run(j *job) {
 		})
 	}
 
-	sol, err := prep.Solve(ctx, b, opts)
+	var sol Solution
+	if len(batch) > 0 {
+		sol, err = e.solveBatch(ctx, cfg, prep, opts, batch)
+	} else {
+		sol, err = prep.Solve(ctx, b, opts)
+	}
 	e.finishJob(j, sol, err)
+}
+
+// solveBatch runs one batch job's right-hand sides against the acquired
+// prepared session. When the session supports the blocked multi-RHS driver
+// (ESR strategy, no SPCG) and the resolved block size allows it, the batch
+// is chunked into BlockSize-wide groups solved in lockstep through
+// Prepared.SolveBlock; otherwise the columns are solved one by one through
+// the single-RHS path, bitwise identical either way. Any per-column
+// breakdown fails the whole job, naming the offending columns.
+func (e *Engine) solveBatch(ctx context.Context, cfg Config, prep *Prepared, opts SolveOpts, batch [][]float64) (Solution, error) {
+	k := len(batch)
+	e.metrics.batchRHS.Add(float64(k))
+	blockSize := cfg.WithDefaults().BlockSize
+	blocked := blockSize > 1 && prep.CanSolveBlock(opts)
+
+	xs := make([][]float64, k)
+	results := make([]core.Result, k)
+	var colErrs []error
+	if blocked {
+		for lo := 0; lo < k; lo += blockSize {
+			hi := lo + blockSize
+			if hi > k {
+				hi = k
+			}
+			sols, errsPerCol, err := prep.SolveBlock(ctx, batch[lo:hi], opts)
+			if err != nil {
+				return Solution{}, err
+			}
+			e.metrics.blockSolves.Add(1)
+			e.metrics.blockRHS.Add(float64(hi - lo))
+			for c := lo; c < hi; c++ {
+				xs[c] = sols[c-lo].X
+				results[c] = sols[c-lo].Result
+				if errsPerCol[c-lo] != nil {
+					colErrs = append(colErrs, fmt.Errorf("rhs %d: %w", c, errsPerCol[c-lo]))
+				}
+			}
+		}
+	} else {
+		for c := 0; c < k; c++ {
+			s, err := prep.Solve(ctx, batch[c], opts)
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return Solution{}, err
+				}
+				colErrs = append(colErrs, fmt.Errorf("rhs %d: %w", c, err))
+				continue
+			}
+			xs[c] = s.X
+			results[c] = s.Result
+		}
+	}
+	if len(colErrs) > 0 {
+		return Solution{}, errors.Join(colErrs...)
+	}
+	return Solution{X: xs[0], Result: results[0], XS: xs, Results: results}, nil
 }
 
 // runNet hands one net-transport job to the installed NetRunner dispatcher
@@ -1143,6 +1255,7 @@ func (e *Engine) finishJob(j *job, sol Solution, err error) {
 	case err == nil:
 		if !j.spec.KeepSolution {
 			sol.X = nil
+			sol.XS = nil
 		}
 		j.mu.Lock()
 		j.result = &sol

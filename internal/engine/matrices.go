@@ -213,7 +213,10 @@ func (ms MatrixSpec) contentHash() string {
 // strategy (and, for checkpoint only, the interval) is preparation-scoped
 // the same way — a session runs every solve under one strategy and owns its
 // checkpoint state — so sessions differing only in strategy or interval
-// must not share an entry.
+// must not share an entry. BlockSize is batch-scoped and deliberately
+// excluded: no prepared state depends on it (the blocked path builds its
+// k-wide retention stores on per-solve forks), so jobs differing only in
+// blocking share one session.
 func prepKey(matrixHash string, cfg Config) string {
 	cfg = cfg.WithDefaults()
 	omega := 0.0

@@ -46,6 +46,10 @@ type engineMetrics struct {
 	strategyStat map[string]*metrics.CounterVec // strategy
 	recoverySecs *metrics.CounterVec            // strategy
 
+	batchRHS    *metrics.Counter
+	blockSolves *metrics.Counter
+	blockRHS    *metrics.Counter
+
 	iterations   *metrics.Counter
 	iterPhase    *metrics.HistogramVec // phase
 	episodeSecs  *metrics.HistogramVec // strategy
@@ -127,6 +131,12 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		strategyStat: map[string]*metrics.CounterVec{},
 		recoverySecs: r.CounterVec("solver_recovery_seconds_total",
 			"Wall-clock seconds spent in recovery episodes per strategy.", "strategy"),
+		batchRHS: r.Counter("solver_batch_rhs_total",
+			"Right-hand-side columns submitted through batch jobs."),
+		blockSolves: r.Counter("solver_block_solves_total",
+			"Blocked multi-RHS lockstep solves (one per BlockSize-wide group)."),
+		blockRHS: r.Counter("solver_block_rhs_total",
+			"Right-hand-side columns solved through the blocked multi-RHS path."),
 		iterations: r.Counter("solver_iterations_total",
 			"Completed PCG iterations observed across all engine solves (rank 0)."),
 		iterPhase: r.HistogramVec("solver_iteration_phase_seconds",
@@ -162,6 +172,9 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	})
 	r.GaugeFunc("esrd_threads_default", "Daemon default kernel thread cap (0 = automatic).", func() float64 {
 		return float64(e.ThreadStats().Default)
+	})
+	r.GaugeFunc("esrd_block_size_default", "Daemon default batch block width (0 = library default).", func() float64 {
+		return float64(e.defaultBlockSize)
 	})
 	r.GaugeFunc("esrd_threads_maxprocs", "Process GOMAXPROCS.", func() float64 {
 		return float64(e.ThreadStats().MaxProcs)
@@ -350,6 +363,9 @@ type JobTrace struct {
 	IterationsSeen int                   `json:"iterations_seen"`
 	Iterations     []core.IterationTrace `json:"iterations"`
 	Recoveries     []core.RecoveryTrace  `json:"recoveries"`
+	// BatchRHS is the number of right-hand sides of a batch job
+	// (len(JobSpec.RHSBatch)); 0 for single-RHS jobs.
+	BatchRHS int `json:"batch_rhs,omitempty"`
 }
 
 // Trace returns the captured per-iteration trace of a job. It fails with
@@ -367,9 +383,10 @@ func (e *Engine) Trace(id string) (JobTrace, error) {
 	j.mu.Lock()
 	ring := j.trace
 	state := j.state
+	batchK := j.batchK
 	j.mu.Unlock()
 	out := JobTrace{
-		JobID: id, State: state, Capacity: e.traceIters,
+		JobID: id, State: state, Capacity: e.traceIters, BatchRHS: batchK,
 		Iterations: []core.IterationTrace{}, Recoveries: []core.RecoveryTrace{},
 	}
 	if ring != nil {
@@ -396,6 +413,9 @@ type HealthSnapshot struct {
 	Strategies map[string]core.StrategyStats `json:"strategies"`
 	// Threads reports the kernel threading posture.
 	Threads ThreadStats `json:"threads"`
+	// BlockSizeDefault is the daemon-level default batch block width (0 =
+	// library default).
+	BlockSizeDefault int `json:"block_size_default"`
 	// Net mirrors the daemon's esrd_net_* gauges (multi-process listener
 	// state: live peers, respawns, worker liveness), keyed by the series
 	// name with the prefix stripped. Empty when the daemon runs without the
@@ -415,14 +435,16 @@ func (e *Engine) Health() HealthSnapshot {
 	def, _ := s.Value("esrd_threads_default")
 	maxp, _ := s.Value("esrd_threads_maxprocs")
 	pool, _ := s.Value("esrd_threads_pool_workers")
+	blockDef, _ := s.Value("esrd_block_size_default")
 	return HealthSnapshot{
-		Jobs:       int(jobs),
-		Matrices:   int(matrices),
-		PrepCache:  PrepCacheStats{Size: int(size), Hits: int64(hits), Misses: int64(misses)},
-		Transports: snapshotTransports(s),
-		Strategies: snapshotStrategies(s),
-		Net:        snapshotNet(s),
-		Threads:    ThreadStats{Default: int(def), MaxProcs: int(maxp), PoolWorkers: int(pool)},
+		Jobs:             int(jobs),
+		Matrices:         int(matrices),
+		PrepCache:        PrepCacheStats{Size: int(size), Hits: int64(hits), Misses: int64(misses)},
+		Transports:       snapshotTransports(s),
+		Strategies:       snapshotStrategies(s),
+		Net:              snapshotNet(s),
+		Threads:          ThreadStats{Default: int(def), MaxProcs: int(maxp), PoolWorkers: int(pool)},
+		BlockSizeDefault: int(blockDef),
 	}
 }
 

@@ -13,6 +13,11 @@ type Solution struct {
 	X []float64 `json:"x"`
 	// Result carries convergence and reconstruction statistics.
 	Result core.Result `json:"result"`
+	// XS and Results carry the per-RHS solutions and statistics of a batch
+	// job (JobSpec.RHSBatch), aligned with the submitted batch; X and Result
+	// then mirror column 0. Empty for single-RHS solves.
+	XS      [][]float64   `json:"xs,omitempty"`
+	Results []core.Result `json:"results,omitempty"`
 }
 
 // solveOpts extracts the per-solve parameters of a one-shot Config.

@@ -250,6 +250,12 @@ type JobSpec struct {
 	// RHS is the right-hand side; nil selects the all-ones vector of
 	// matching length (the paper's b).
 	RHS []float64 `json:"rhs,omitempty"`
+	// RHSBatch submits several right-hand sides as one job, solved through
+	// the blocked multi-RHS path in lockstep groups of Config.BlockSize
+	// columns (per-column results are bitwise identical to submitting each
+	// RHS alone). Mutually exclusive with RHS. The result's XS/Results are
+	// aligned with this batch.
+	RHSBatch [][]float64 `json:"bs,omitempty"`
 	// Config is the solver configuration (esr.Config).
 	Config Config `json:"config"`
 	// TimeoutMillis, when > 0, bounds the solve's wall-clock time from the
@@ -259,6 +265,52 @@ type JobSpec struct {
 	// default only convergence statistics are kept (X can be large and the
 	// store is in-memory).
 	KeepSolution bool `json:"keep_solution,omitempty"`
+}
+
+// InvalidRHSError reports a structurally invalid right-hand side in a
+// batch, naming the offending column so a client submitting hundreds of
+// vectors knows which one to fix. Elem is the offending element for a
+// non-finite value, or -1 for a length mismatch (Len vs Want).
+type InvalidRHSError struct {
+	// Index is the column's position in the batch.
+	Index int
+	// Elem is the offending element index, -1 for a length mismatch.
+	Elem int
+	// Len and Want describe a length mismatch (Elem == -1).
+	Len, Want int
+}
+
+// Error implements the error interface.
+func (e *InvalidRHSError) Error() string {
+	if e.Elem < 0 {
+		return fmt.Sprintf("engine: rhs batch[%d] has length %d, want %d", e.Index, e.Len, e.Want)
+	}
+	return fmt.Sprintf("engine: rhs batch[%d][%d] is not finite", e.Index, e.Elem)
+}
+
+// validateBatch fail-fast checks every column of a right-hand-side batch —
+// length against want (when want > 0, else against the first column) and
+// element finiteness — BEFORE any solve launches, returning a typed
+// *InvalidRHSError naming the offending column. Shared by JobSpec.Validate
+// and the public SolveBatch entry point.
+func validateBatch(batch [][]float64, want int) error {
+	for i, b := range batch {
+		w := want
+		if w <= 0 {
+			w = len(batch[0])
+		}
+		if len(b) != w || len(b) == 0 {
+			// An empty column can never match any system; reported against
+			// want so "length 0, want 0" never reads as consistent.
+			return &InvalidRHSError{Index: i, Elem: -1, Len: len(b), Want: w}
+		}
+		for p, v := range b {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return &InvalidRHSError{Index: i, Elem: p}
+			}
+		}
+	}
+	return nil
 }
 
 // Validate performs the cheap structural checks done at submission time
@@ -293,6 +345,14 @@ func (s JobSpec) Validate() error {
 		// results that no JSON surface can encode; reject at the door.
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("engine: rhs[%d] is not finite", i)
+		}
+	}
+	if len(s.RHSBatch) > 0 {
+		if len(s.RHS) > 0 {
+			return fmt.Errorf("engine: job sets both rhs and a rhs batch")
+		}
+		if err := validateBatch(s.RHSBatch, 0); err != nil {
+			return err
 		}
 	}
 	cfg := s.Config.WithDefaults()

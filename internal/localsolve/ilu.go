@@ -117,6 +117,70 @@ func (f *ILU0) Solve(z, r []float64) {
 	}
 }
 
+// SolveK computes z[c] such that (LU) z[c] = r[c] for every column in ONE
+// sweep over the factor: the rowPtr/diag/col indices and the factor values
+// are loaded once per stored entry and applied to all k columns, where k
+// back-to-back Solve calls would re-walk the index structure k times. The
+// per-column arithmetic is the exact operation sequence of Solve — for each
+// column c, s accumulates the same products in the same stored-entry order
+// — so column c of SolveK is bitwise identical to Solve(z[c], r[c]). z[c]
+// may alias r[c].
+func (f *ILU0) SolveK(z, r [][]float64) {
+	k := len(z)
+	if k != len(r) {
+		panic("localsolve: ILU0.SolveK column count mismatch")
+	}
+	n := f.n
+	for c := 0; c < k; c++ {
+		if len(z[c]) != n || len(r[c]) != n {
+			panic("localsolve: ILU0.SolveK dimension mismatch")
+		}
+	}
+	// Columns go through in chunks of four with the slice headers hoisted
+	// into locals and the running sums in registers; the remainder falls
+	// back to the single-column sweep. Chunking only regroups independent
+	// columns — each column's arithmetic is untouched.
+	c := 0
+	for ; c+4 <= k; c += 4 {
+		f.solve4(z[c], z[c+1], z[c+2], z[c+3], r[c], r[c+1], r[c+2], r[c+3])
+	}
+	for ; c < k; c++ {
+		f.Solve(z[c], r[c])
+	}
+}
+
+// solve4 is the width-4 fused sweep behind SolveK: one traversal of the
+// factor's index structure serves four columns.
+func (f *ILU0) solve4(z0, z1, z2, z3, r0, r1, r2, r3 []float64) {
+	n := f.n
+	rowPtr, diag, col, val := f.rowPtr, f.diag, f.col, f.val
+	// L y = r (unit diagonal)
+	for i := 0; i < n; i++ {
+		s0, s1, s2, s3 := r0[i], r1[i], r2[i], r3[i]
+		for p := rowPtr[i]; p < diag[i]; p++ {
+			v, j := val[p], col[p]
+			s0 -= v * z0[j]
+			s1 -= v * z1[j]
+			s2 -= v * z2[j]
+			s3 -= v * z3[j]
+		}
+		z0[i], z1[i], z2[i], z3[i] = s0, s1, s2, s3
+	}
+	// U x = y
+	for i := n - 1; i >= 0; i-- {
+		s0, s1, s2, s3 := z0[i], z1[i], z2[i], z3[i]
+		for p := diag[i] + 1; p < rowPtr[i+1]; p++ {
+			v, j := val[p], col[p]
+			s0 -= v * z0[j]
+			s1 -= v * z1[j]
+			s2 -= v * z2[j]
+			s3 -= v * z3[j]
+		}
+		d := val[diag[i]]
+		z0[i], z1[i], z2[i], z3[i] = s0/d, s1/d, s2/d, s3/d
+	}
+}
+
 // Multiply computes y = L U x, the action of the preconditioner M = LU
 // itself (needed by the ESR reconstruction variant that applies M rather
 // than M^{-1}).

@@ -1,0 +1,76 @@
+package localsolve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matgen"
+)
+
+// TestILU0SolveKBitwiseSolve pins the fused sweep's contract: column c of
+// SolveK is bitwise identical to Solve(z[c], r[c]), across widths that
+// exercise the width-4 chunks and every remainder branch.
+func TestILU0SolveKBitwiseSolve(t *testing.T) {
+	a := matgen.Poisson2D(13, 11)
+	f, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 11} {
+		r := make([][]float64, k)
+		zFused := make([][]float64, k)
+		zSolo := make([][]float64, k)
+		for c := range r {
+			r[c] = make([]float64, a.Rows)
+			for i := range r[c] {
+				r[c][i] = rng.NormFloat64()
+			}
+			zFused[c] = make([]float64, a.Rows)
+			zSolo[c] = make([]float64, a.Rows)
+		}
+		f.SolveK(zFused, r)
+		for c := range r {
+			f.Solve(zSolo[c], r[c])
+			for i := range zSolo[c] {
+				if zFused[c][i] != zSolo[c][i] {
+					t.Fatalf("k=%d column %d: SolveK[%d] = %x, Solve = %x",
+						k, c, i, zFused[c][i], zSolo[c][i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkILU0SolveK compares k back-to-back Solve calls against the fused
+// SolveK sweep at the blocked driver's default width.
+func BenchmarkILU0SolveK(b *testing.B) {
+	a := matgen.Poisson2D(24, 24)
+	f, err := NewILU0(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 32
+	rng := rand.New(rand.NewSource(1))
+	z := make([][]float64, k)
+	r := make([][]float64, k)
+	for c := range z {
+		z[c] = make([]float64, a.Rows)
+		r[c] = make([]float64, a.Rows)
+		for i := range r[c] {
+			r[c][i] = rng.NormFloat64()
+		}
+	}
+	b.Run("looped", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for c := 0; c < k; c++ {
+				f.Solve(z[c], r[c])
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.SolveK(z, r)
+		}
+	})
+}

@@ -35,6 +35,17 @@ type Preconditioner interface {
 	ApplyM(y, x []float64)
 }
 
+// BatchApplier is an optional interface for preconditioners with a fused
+// multi-column inverse application: one structure traversal serves all k
+// columns. Column c of ApplyInvK must be bitwise identical to
+// ApplyInv(z[c], r[c]) — the blocked solver relies on it for per-column
+// bit-identity with single-RHS solves. Preconditioners without it are
+// applied column by column.
+type BatchApplier interface {
+	// ApplyInvK computes z[c] = M_i^{-1} r[c] for every column.
+	ApplyInvK(z, r [][]float64)
+}
+
 // Split is a preconditioner with an explicit symmetric split M = L L^T.
 type Split interface {
 	Preconditioner
@@ -59,6 +70,13 @@ func (Identity) ApplyInv(z, r []float64) { copy(z, r) }
 
 // ApplyM implements Preconditioner.
 func (Identity) ApplyM(y, x []float64) { copy(y, x) }
+
+// ApplyInvK implements BatchApplier: a copy per column.
+func (Identity) ApplyInvK(z, r [][]float64) {
+	for c := range z {
+		copy(z[c], r[c])
+	}
+}
 
 // Jacobi is the diagonal (point Jacobi) preconditioner M = diag(A). Its
 // applications are element-wise independent — the one preconditioner family
@@ -116,6 +134,19 @@ func (j *Jacobi) ApplyInv(z, r []float64) {
 				z[i] = r[i] / d[i]
 			}
 		})
+}
+
+// ApplyInvK implements BatchApplier: each diagonal entry is loaded once and
+// divided into all k columns. Element-wise per column, so trivially
+// bit-identical to k ApplyInv calls.
+func (j *Jacobi) ApplyInvK(z, r [][]float64) {
+	d := j.d
+	for i := range d {
+		v := d[i]
+		for c := range z {
+			z[c][i] = r[c][i] / v
+		}
+	}
 }
 
 // ApplyM implements Preconditioner. Element-wise, like ApplyInv.
@@ -190,6 +221,10 @@ func (b *BlockJacobiILU) Name() string { return "block-jacobi(ilu0)" }
 
 // ApplyInv implements Preconditioner.
 func (b *BlockJacobiILU) ApplyInv(z, r []float64) { b.ilu.Solve(z, r) }
+
+// ApplyInvK implements BatchApplier: one fused triangular sweep for all k
+// columns (ILU0.SolveK), bitwise identical per column to ApplyInv.
+func (b *BlockJacobiILU) ApplyInvK(z, r [][]float64) { b.ilu.SolveK(z, r) }
 
 // ApplyM implements Preconditioner: M_i = L U, applied by Multiply.
 func (b *BlockJacobiILU) ApplyM(y, x []float64) { b.ilu.Multiply(y, x) }
@@ -346,4 +381,7 @@ var (
 	_ Preconditioner = (*BlockJacobiILU)(nil)
 	_ Preconditioner = (*SSOR)(nil)
 	_ Split          = (*IC0Split)(nil)
+	_ BatchApplier   = Identity{}
+	_ BatchApplier   = (*Jacobi)(nil)
+	_ BatchApplier   = (*BlockJacobiILU)(nil)
 )

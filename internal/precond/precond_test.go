@@ -243,3 +243,47 @@ func TestPositiveDefinitenessOfApplyInv(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchApplierBitwise pins the fused multi-column contract for every
+// preconditioner that offers one: column c of ApplyInvK must be bitwise
+// identical to a solo ApplyInv on the same pair.
+func TestBatchApplierBitwise(t *testing.T) {
+	blk := matgen.Poisson2D(9, 7)
+	jac, err := NewJacobi(blk.Diag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilu, err := NewBlockJacobiILU(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range []Preconditioner{Identity{}, jac, ilu} {
+		ba, ok := p.(BatchApplier)
+		if !ok {
+			t.Fatalf("%s lost its BatchApplier", p.Name())
+		}
+		const k = 6
+		r := make([][]float64, k)
+		zFused := make([][]float64, k)
+		zSolo := make([][]float64, k)
+		for c := range r {
+			r[c] = make([]float64, blk.Rows)
+			for i := range r[c] {
+				r[c][i] = rng.NormFloat64()
+			}
+			zFused[c] = make([]float64, blk.Rows)
+			zSolo[c] = make([]float64, blk.Rows)
+		}
+		ba.ApplyInvK(zFused, r)
+		for c := range r {
+			p.ApplyInv(zSolo[c], r[c])
+			for i := range zSolo[c] {
+				if zFused[c][i] != zSolo[c][i] {
+					t.Fatalf("%s column %d: ApplyInvK[%d] = %x, ApplyInv = %x",
+						p.Name(), c, i, zFused[c][i], zSolo[c][i])
+				}
+			}
+		}
+	}
+}

@@ -116,10 +116,24 @@ type InvalidCheckpointIntervalError = engine.InvalidCheckpointIntervalError
 // ThreadsAuto).
 type InvalidThreadsError = engine.InvalidThreadsError
 
+// InvalidBlockSizeError reports a block width outside 1..MaxBlockSize.
+type InvalidBlockSizeError = engine.InvalidBlockSizeError
+
+// InvalidRHSError reports a malformed right-hand side in a batch: a column
+// with the wrong length or a non-finite element, naming its index.
+type InvalidRHSError = engine.InvalidRHSError
+
 // ThreadsAuto explicitly selects the automatic GOMAXPROCS thread cap; on
 // the wire it bypasses a daemon-level -threads default, unlike the zero
 // value.
 const ThreadsAuto = engine.ThreadsAuto
+
+// DefaultBlockSize is the block width SolveBatch uses when none is
+// configured; MaxBlockSize bounds WithBlockSize.
+const (
+	DefaultBlockSize = engine.DefaultBlockSize
+	MaxBlockSize     = engine.MaxBlockSize
+)
 
 // Option is a typed functional configuration knob for NewSolver (and, for
 // the solve-scoped subset, Solver.Solve). Options lower onto the same
@@ -206,6 +220,26 @@ func WithThreads(n int) Option {
 			return &InvalidThreadsError{Threads: n}
 		}
 		c.Threads = n
+		return nil
+	}
+}
+
+// WithBlockSize sets the block width of batched solves: SolveBatch chunks
+// its right-hand sides into groups of k columns solved in lockstep through
+// the blocked multi-RHS driver (fused k-column SpMM, k-strided halo frames,
+// length-k allreduces). 0 (the default) selects DefaultBlockSize; 1 disables
+// blocking (looped single-RHS solves); values above MaxBlockSize are
+// rejected with a typed *InvalidBlockSizeError. Blocking never changes
+// results — column c of a blocked solve is bitwise identical to a solo
+// solve of that right-hand side — so this is purely a throughput knob.
+// Batch-scoped: it can differ per SolveBatch call without invalidating the
+// session.
+func WithBlockSize(k int) Option {
+	return func(c *Config) error {
+		if k != 0 && (k < 1 || k > MaxBlockSize) {
+			return &InvalidBlockSizeError{BlockSize: k}
+		}
+		c.BlockSize = k
 		return nil
 	}
 }

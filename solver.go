@@ -82,14 +82,16 @@ func (s *Solver) StrategyStats() StrategyStats { return s.prep.StrategyStats() }
 // overridden by the solve-scoped opts. Preparation-scoped fields must not
 // change — the session's partition, redundancy protocol and preconditioner
 // are already built.
-func (s *Solver) solveOpts(opts []Option) (engine.SolveOpts, error) {
+// The resolved Config is returned alongside for the batch-scoped fields
+// (BlockSize) that do not lower onto SolveOpts.
+func (s *Solver) solveOpts(opts []Option) (engine.SolveOpts, Config, error) {
 	cfg := s.cfg
 	for _, opt := range opts {
 		if opt == nil {
 			continue
 		}
 		if err := opt(&cfg); err != nil {
-			return engine.SolveOpts{}, err
+			return engine.SolveOpts{}, Config{}, err
 		}
 	}
 	// Normalize before comparing: s.cfg is already defaulted, and a per-call
@@ -104,14 +106,14 @@ func (s *Solver) solveOpts(opts []Option) (engine.SolveOpts, error) {
 		cfg.Transport != s.cfg.Transport || cfg.TransportSeed != s.cfg.TransportSeed ||
 		cfg.Strategy != s.cfg.Strategy || cfg.CheckpointInterval != s.cfg.CheckpointInterval ||
 		cfg.Threads != s.cfg.Threads {
-		return engine.SolveOpts{}, fmt.Errorf(
+		return engine.SolveOpts{}, Config{}, fmt.Errorf(
 			"esr: preparation-scoped option (ranks, phi, preconditioner, ssor omega, transport, strategy, checkpoint interval, threads) passed to Solve; set it on NewSolver")
 	}
 	return engine.SolveOpts{
 		Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol,
 		Schedule: cfg.Schedule, Method: cfg.Method, Progress: cfg.Progress,
 		Tracer: cfg.Tracer,
-	}, nil
+	}, cfg, nil
 }
 
 // Solve runs one solve of A x = b against the prepared session state. The
@@ -121,24 +123,46 @@ func (s *Solver) solveOpts(opts []Option) (engine.SolveOpts, error) {
 // preconditioner (SPCG needs an IC0 session). Cancelling ctx aborts only
 // this solve; sibling solves on the same session are unaffected.
 func (s *Solver) Solve(ctx context.Context, b []float64, opts ...Option) (Solution, error) {
-	so, err := s.solveOpts(opts)
+	so, _, err := s.solveOpts(opts)
 	if err != nil {
 		return Solution{}, err
 	}
 	return s.prep.Solve(ctx, b, so)
 }
 
-// SolveBatch solves one system per right-hand side, concurrently, reusing
-// the prepared session state for all of them. The returned slice is aligned
-// with bs; entries whose solve failed are zero-valued and the joined errors
-// are returned alongside the successful solutions. Cancelling ctx aborts
-// the whole batch.
+// SolveBatch solves one system per right-hand side, reusing the prepared
+// session state for all of them. On ESR sessions the batch is chunked into
+// WithBlockSize-wide groups solved in lockstep through the blocked multi-RHS
+// driver — one fused k-column SpMM, k-strided halo frames and length-k
+// allreduces per iteration — which is the throughput path for many
+// right-hand sides (see BenchmarkSolveBatch); column c of a blocked group is
+// bitwise identical to Solve(ctx, bs[c]). Sessions the blocked driver does
+// not cover (checkpoint/restart strategies, SPCG, Resume) fall back to
+// concurrent looped single-RHS solves, also bit-identical.
+//
+// The whole batch is validated before any solve launches: a column with the
+// wrong length or a non-finite element fails fast with a typed
+// *InvalidRHSError naming it, having spent no solve work. The returned slice
+// is aligned with bs; entries whose solve broke down are zero-valued and the
+// joined errors (each naming its column) are returned alongside the
+// successful solutions. Cancelling ctx aborts the whole batch.
 func (s *Solver) SolveBatch(ctx context.Context, bs [][]float64, opts ...Option) ([]Solution, error) {
 	if len(bs) == 0 {
 		return nil, nil
 	}
-	// Each solve spawns Ranks goroutine ranks; bound the in-flight solves so
-	// a huge batch degrades to a pipeline instead of an army of runtimes.
+	so, cfg, err := s.solveOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.prep.ValidateBatch(bs); err != nil {
+		return nil, err
+	}
+	if cfg.BlockSize > 1 && s.prep.CanSolveBlock(so) {
+		return s.solveBlocked(ctx, bs, so, cfg.BlockSize)
+	}
+	// Looped fallback: each solve spawns Ranks goroutine ranks; bound the
+	// in-flight solves so a huge batch degrades to a pipeline instead of an
+	// army of runtimes.
 	workers := runtime.GOMAXPROCS(0)/s.prep.Ranks() + 1
 	if workers > len(bs) {
 		workers = len(bs)
@@ -153,7 +177,7 @@ func (s *Solver) SolveBatch(ctx context.Context, bs [][]float64, opts ...Option)
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			sol, err := s.Solve(ctx, b, opts...)
+			sol, err := s.prep.Solve(ctx, b, so)
 			if err != nil {
 				errs[i] = fmt.Errorf("rhs %d: %w", i, err)
 				return
@@ -162,6 +186,31 @@ func (s *Solver) SolveBatch(ctx context.Context, bs [][]float64, opts ...Option)
 		}(i, b)
 	}
 	wg.Wait()
+	return sols, errors.Join(errs...)
+}
+
+// solveBlocked runs the batch through Prepared.SolveBlock in BlockSize-wide
+// groups, sequentially: each group already runs all ranks in lockstep, so
+// group-level concurrency would only fight over cores.
+func (s *Solver) solveBlocked(ctx context.Context, bs [][]float64, so engine.SolveOpts, k int) ([]Solution, error) {
+	sols := make([]Solution, len(bs))
+	var errs []error
+	for lo := 0; lo < len(bs); lo += k {
+		hi := lo + k
+		if hi > len(bs) {
+			hi = len(bs)
+		}
+		blockSols, colErrs, err := s.prep.SolveBlock(ctx, bs[lo:hi], so)
+		if err != nil {
+			return nil, err
+		}
+		for c := lo; c < hi; c++ {
+			sols[c] = blockSols[c-lo]
+			if colErrs[c-lo] != nil {
+				errs = append(errs, fmt.Errorf("rhs %d: %w", c, colErrs[c-lo]))
+			}
+		}
+	}
 	return sols, errors.Join(errs...)
 }
 

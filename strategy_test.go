@@ -115,6 +115,49 @@ func TestChaosStrategySoak(t *testing.T) {
 			}
 		})
 	}
+
+	// The blocked multi-RHS path under the same chaos wire and overlapping
+	// schedule: the k-wide recovery episode (including its restart) must
+	// land every column regardless of delivery order.
+	t.Run("esr-blocked-batch", func(t *testing.T) {
+		const k = 3
+		bs := make([][]float64, k)
+		for j := range bs {
+			bs[j] = variedRHS(a.Rows, j)
+		}
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			s, err := NewSolver(a,
+				WithRanks(4),
+				WithTransport(ChaosTransport),
+				WithTransportSeed(seed),
+				WithSchedule(sched),
+				WithStrategy(ESRStrategy),
+				WithPhi(3),
+			)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			sols, err := s.SolveBatch(context.Background(), bs, WithBlockSize(k))
+			s.Close()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for j, sol := range sols {
+				if !sol.Result.Converged {
+					t.Fatalf("seed %d column %d: did not converge: %+v", seed, j, sol.Result)
+				}
+				if len(sol.Result.Reconstructions) != 1 {
+					t.Fatalf("seed %d column %d: episodes = %d", seed, j, len(sol.Result.Reconstructions))
+				}
+				if rec := sol.Result.Reconstructions[0]; rec.Restarts != 1 {
+					t.Fatalf("seed %d column %d: overlapping failure did not restart: %+v", seed, j, rec)
+				}
+				if rn := ResidualNorm(a, sol.X, bs[j]); rn > 1e-4 {
+					t.Fatalf("seed %d column %d: true residual %g", seed, j, rn)
+				}
+			}
+		}
+	})
 }
 
 // TestStrategyRollbackDeterminism: under the checkpoint strategy the
