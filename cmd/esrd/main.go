@@ -7,8 +7,16 @@
 //	     [-job-ttl 0] [-prep-cache 8] [-prep-ttl 10m] [-max-matrices 64]
 //	     [-transport chan|fast|chaos|net] [-strategy esr|checkpoint|restart]
 //	     [-threads 0] [-block-size 0] [-peers 0] [-drain-timeout 30s] [-pprof addr]
-//	     [-trace-iters 0] [-log-format text|json]
+//	     [-trace-iters 0] [-data-dir dir] [-fsync] [-log-format text|json]
 //	esrd -worker    (internal: one rank of a multi-process solve)
+//
+// Durability: -data-dir DIR journals every accepted job and registered
+// matrix to a write-ahead log (matrices additionally to content-addressed
+// blob files) and replays it on startup — queued and running jobs re-run,
+// terminal records and the matrix registry reload. Without the flag the
+// daemon is fully in-memory, exactly as before. -fsync flushes the journal
+// on every record (power-loss durability; kill -9 is survived either way).
+// See the README's "Durability" section.
 //
 // Multi-process ranks: -peers N enables jobs with "transport": "net" — each
 // such job runs its ranks as separate OS processes (re-executing this binary
@@ -64,6 +72,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/netrun"
+	"repro/internal/store"
 )
 
 func main() {
@@ -87,6 +96,10 @@ func main() {
 		"serve net/http/pprof on this separate listener (e.g. localhost:6060; empty disables)")
 	traceIters := flag.Int("trace-iters", 0,
 		"capture the last N per-iteration phase traces of every job, served by GET /v1/jobs/{id}/trace (0 disables)")
+	dataDir := flag.String("data-dir", "",
+		"persist jobs and matrices here (write-ahead journal + matrix blobs) and replay them on startup; empty keeps the daemon fully in-memory")
+	fsync := flag.Bool("fsync", false,
+		"fsync the journal on every record (survives power loss, not just process death); needs -data-dir")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	worker := flag.Bool("worker", false,
 		"run as one rank worker of a multi-process solve (internal; spawned by the coordinator)")
@@ -140,6 +153,24 @@ func main() {
 	}
 	if *traceIters < 0 {
 		fatal("bad -trace-iters", "trace_iters", *traceIters, "want", "non-negative")
+	}
+	if *fsync && *dataDir == "" {
+		fatal("-fsync needs -data-dir (there is no journal to sync without one)")
+	}
+
+	// Durable store: opened before the engine so New can replay the
+	// recovered journal, closed after Close has flushed the final records.
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *dataDir, Fsync: *fsync})
+		if err != nil {
+			fatal("opening -data-dir store", "dir", *dataDir, "err", err)
+		}
+		stats := st.Stats()
+		logger.Info("store opened", "dir", *dataDir, "fsync", *fsync,
+			"journal_records", stats.JournalRecords, "journal_bytes", stats.JournalBytes,
+			"truncated_bytes", stats.TruncatedBytes, "blobs", stats.Blobs)
 	}
 
 	if *pprofAddr != "" {
@@ -203,6 +234,7 @@ func main() {
 		DefaultStrategy: *strategy, DefaultThreads: *threads,
 		DefaultBlockSize: *blockSize,
 		TraceIters:       *traceIters, NetRunner: netRunner,
+		Store: st,
 	})
 	if coord != nil {
 		// esrd_net_* series: the multi-process listener/fleet state. The
@@ -245,8 +277,15 @@ func main() {
 		dcancel()
 		// Close is idempotent after a clean drain; after a failed one it
 		// cancels every remaining job, which also terminates the open NDJSON
-		// event streams so the HTTP drain below can finish.
+		// event streams so the HTTP drain below can finish. Close also
+		// flushes the journal; the store itself closes once nothing can
+		// append to it anymore.
 		eng.Close()
+		if st != nil {
+			if err := st.Close(); err != nil {
+				logger.Error("closing store", "err", err)
+			}
+		}
 		shutdownCtx, done := context.WithTimeout(context.Background(), 10*time.Second)
 		defer done()
 		_ = srv.Shutdown(shutdownCtx)

@@ -3,7 +3,6 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -13,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/xerr"
 )
 
 // server exposes the job engine over HTTP:
@@ -144,9 +144,16 @@ func (w *statusWriter) code() int {
 	return w.status
 }
 
-// apiError is the uniform JSON error envelope.
+// apiError is the uniform JSON error envelope: a stable machine-readable
+// code (the error's xerr class) alongside the human-readable message, so
+// clients branch on codes instead of matching message strings.
 type apiError struct {
-	Error string `json:"error"`
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -159,7 +166,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	if err := enc.Encode(v); err != nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintf(w, "{\"error\":%q}\n", "encoding response: "+err.Error())
+		fmt.Fprintf(w, "{\"error\":{\"code\":%q,\"message\":%q}}\n",
+			xerr.Internal.Code(), "encoding response: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -168,23 +176,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, apiError{Error: err.Error()})
+	wire := xerr.Code(err)
+	if wire == "" {
+		wire = xerr.Internal.Code()
+	}
+	writeJSON(w, code, apiError{Error: apiErrorBody{Code: wire, Message: err.Error()}})
 }
 
-// statusFor maps engine errors to HTTP codes.
+// classStatus is the single place an error class becomes an HTTP status.
+// statusFor consults only this table — no concrete error types — so a new
+// error introduced anywhere in the engine maps correctly the moment it
+// carries a class, with no server change.
+var classStatus = map[*xerr.Class]int{
+	xerr.InvalidArgument:    http.StatusBadRequest,
+	xerr.NotFound:           http.StatusNotFound,
+	xerr.AlreadyExists:      http.StatusConflict,
+	xerr.FailedPrecondition: http.StatusConflict,
+	xerr.ResourceExhausted:  http.StatusTooManyRequests,
+	xerr.Unavailable:        http.StatusServiceUnavailable,
+	xerr.Internal:           http.StatusInternalServerError,
+}
+
+// statusFor maps an error to its HTTP status via the class table. An
+// unclassified error is a bug by construction (every API-surface error
+// carries a class); it maps to 500 so the gap is visible, never masked as a
+// client mistake.
 func statusFor(err error) int {
-	switch {
-	case errors.Is(err, engine.ErrNotFound), errors.Is(err, engine.ErrMatrixNotFound),
-		errors.Is(err, engine.ErrTraceDisabled):
-		return http.StatusNotFound
-	case errors.Is(err, engine.ErrQueueFull), errors.Is(err, engine.ErrMatrixStoreFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, engine.ErrClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, engine.ErrTerminal):
-		return http.StatusConflict
+	if code, ok := classStatus[xerr.ClassOf(err)]; ok {
+		return code
 	}
-	return http.StatusBadRequest
+	return http.StatusInternalServerError
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
@@ -192,7 +213,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		writeErr(w, http.StatusBadRequest, xerr.Newf(xerr.InvalidArgument, "decoding job spec: %v", err))
 		return
 	}
 	id, err := s.eng.Submit(spec)
@@ -250,7 +271,7 @@ func (s *server) putMatrix(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding matrix spec: %w", err))
+		writeErr(w, http.StatusBadRequest, xerr.Newf(xerr.InvalidArgument, "decoding matrix spec: %v", err))
 		return
 	}
 	rec, err := s.eng.PutMatrix(spec)
@@ -290,7 +311,7 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("from"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from parameter %q", q))
+			writeErr(w, http.StatusBadRequest, xerr.Newf(xerr.InvalidArgument, "bad from parameter %q", q))
 			return
 		}
 		from = v
@@ -317,7 +338,8 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 			if err := enc.Encode(ev); err != nil {
 				// An unencodable event (NaN residual) must not silently
 				// truncate the stream: emit an error line, then stop.
-				fmt.Fprintf(w, "{\"error\":%q}\n", "encoding event: "+err.Error())
+				fmt.Fprintf(w, "{\"error\":{\"code\":%q,\"message\":%q}}\n",
+					xerr.Internal.Code(), "encoding event: "+err.Error())
 				return
 			}
 			if flusher != nil {
@@ -376,6 +398,11 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 	// present only when the daemon runs the net coordinator.
 	if len(h.Net) > 0 {
 		body["net"] = h.Net
+	}
+	// Durable-store state (the esrd_store_* series, prefix stripped);
+	// present only when the daemon runs with -data-dir.
+	if len(h.Store) > 0 {
+		body["store"] = h.Store
 	}
 	writeJSON(w, http.StatusOK, body)
 }

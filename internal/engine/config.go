@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/xerr"
 )
 
 // Preconditioner names accepted by Config.
@@ -246,6 +247,10 @@ func (e *InvalidOmegaError) Error() string {
 	return fmt.Sprintf("engine: SSOR omega %g outside (0, 2)", e.Omega)
 }
 
+// Is claims the InvalidArgument class, so errors.Is(err, xerr.InvalidArgument)
+// holds without wrapping.
+func (e *InvalidOmegaError) Is(target error) bool { return target == xerr.InvalidArgument }
+
 // InvalidStrategyError reports an unknown failure-recovery strategy name.
 type InvalidStrategyError struct {
 	// Strategy is the rejected name.
@@ -257,6 +262,9 @@ func (e *InvalidStrategyError) Error() string {
 	return fmt.Sprintf("engine: unknown strategy %q (want %q, %q or %q)",
 		e.Strategy, StrategyESR, StrategyCheckpoint, StrategyRestart)
 }
+
+// Is claims the InvalidArgument class.
+func (e *InvalidStrategyError) Is(target error) bool { return target == xerr.InvalidArgument }
 
 // InvalidThreadsError reports a meaningless thread cap: 0 means automatic
 // (GOMAXPROCS), ThreadsAuto (-1) means explicitly automatic, positive
@@ -270,6 +278,9 @@ type InvalidThreadsError struct {
 func (e *InvalidThreadsError) Error() string {
 	return fmt.Sprintf("engine: threads %d invalid: use a positive cap, 0 for automatic GOMAXPROCS, or -1 for explicitly automatic", e.Threads)
 }
+
+// Is claims the InvalidArgument class.
+func (e *InvalidThreadsError) Is(target error) bool { return target == xerr.InvalidArgument }
 
 // InvalidBlockSizeError reports a meaningless blocked multi-RHS width: 0
 // means the default, 1..MaxBlockSize are valid widths, and nothing else is
@@ -285,6 +296,9 @@ func (e *InvalidBlockSizeError) Error() string {
 		e.BlockSize, MaxBlockSize, DefaultBlockSize)
 }
 
+// Is claims the InvalidArgument class.
+func (e *InvalidBlockSizeError) Is(target error) bool { return target == xerr.InvalidArgument }
+
 // InvalidCheckpointIntervalError reports a non-positive checkpoint interval:
 // a save period of zero or fewer iterations never produces a rollback
 // target.
@@ -298,14 +312,23 @@ func (e *InvalidCheckpointIntervalError) Error() string {
 	return fmt.Sprintf("engine: checkpoint interval %d must be positive", e.Interval)
 }
 
+// Is claims the InvalidArgument class.
+func (e *InvalidCheckpointIntervalError) Is(target error) bool { return target == xerr.InvalidArgument }
+
 // Validate checks the configuration after WithDefaults normalization:
 // preconditioner and method names must be known, the SSOR relaxation factor
 // must satisfy 0 < omega < 2 (rejected with *InvalidOmegaError otherwise),
 // phi must lie in [0, ranks), and SPCG requires the split-capable "ic0"
 // preconditioner. It is called at job submission and at session preparation,
 // so invalid configurations are rejected at the door rather than failing
-// (or silently diverging) mid-solve.
+// (or silently diverging) mid-solve. Every rejection carries the
+// xerr.InvalidArgument class (the typed errors claim it themselves; the
+// plain ones are classified at this boundary).
 func (c Config) Validate() error {
+	return xerr.Ensure(xerr.InvalidArgument, c.validate())
+}
+
+func (c Config) validate() error {
 	c = c.WithDefaults()
 	switch c.Preconditioner {
 	case PrecondIdentity, PrecondJacobi, PrecondBlockJacobiILU, PrecondBlockJacobiChol, PrecondSSOR, PrecondIC0:

@@ -13,7 +13,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sparse"
+	"repro/internal/store"
 	"repro/internal/vec"
+	"repro/internal/xerr"
 )
 
 // State is a job lifecycle state. Transitions are
@@ -100,17 +102,19 @@ var maxProgressEventsPerJob = 100_000
 // tests can lower it.
 var maxPendingPayloadBytes int64 = 256 << 20
 
-// Errors returned by the engine's control surface.
+// Errors returned by the engine's control surface. Each carries its
+// xerr class, so API layers derive protocol codes from the class table
+// instead of matching these sentinels one by one.
 var (
 	// ErrQueueFull reports that the FIFO queue is at capacity, or that the
 	// pending jobs' uploaded payloads exceed the engine's memory budget.
-	ErrQueueFull = errors.New("engine: job queue is full")
+	ErrQueueFull = xerr.New(xerr.ResourceExhausted, "engine: job queue is full")
 	// ErrClosed reports a submission to a closed engine.
-	ErrClosed = errors.New("engine: engine is closed")
+	ErrClosed = xerr.New(xerr.Unavailable, "engine: engine is closed")
 	// ErrNotFound reports an unknown job id.
-	ErrNotFound = errors.New("engine: no such job")
+	ErrNotFound = xerr.New(xerr.NotFound, "engine: no such job")
 	// ErrTerminal reports a cancel of an already-terminal job.
-	ErrTerminal = errors.New("engine: job already in a terminal state")
+	ErrTerminal = xerr.New(xerr.FailedPrecondition, "engine: job already in a terminal state")
 )
 
 // job is the engine-side record of one solve.
@@ -135,6 +139,10 @@ type job struct {
 	// em mirrors lifecycle transitions into the engine's metrics (set at
 	// Submit, before the job is reachable by a worker).
 	em *engineMetrics
+	// eng, when non-nil, journals lifecycle transitions into the engine's
+	// persistent store (set alongside em only when the engine runs with
+	// Options.Store).
+	eng *Engine
 
 	mu       sync.Mutex
 	state    State
@@ -196,6 +204,12 @@ func (j *job) transitionLocked(s State, errMsg string) bool {
 		// against concurrent transitions (the updates are pure atomics).
 		j.em.jobTransition(j, s)
 	}
+	if j.eng != nil {
+		// Journal the transition while j.mu still serializes it, so the
+		// journal sees transitions in the order the job took them. The
+		// store's own mutex is a leaf lock.
+		j.eng.journalState(j.id, s, errMsg)
+	}
 	j.appendEventLocked(Event{Kind: EventState, State: s, Error: errMsg})
 	return true
 }
@@ -226,6 +240,9 @@ func (j *job) status() JobStatus {
 type Options struct {
 	// Workers is the size of the worker pool (default 2). Each worker runs
 	// one job at a time; a job itself spawns Config.Ranks goroutine ranks.
+	// A negative value starts NO workers: jobs are accepted and queue but
+	// never run — a standby mode used by restart/replay tests to freeze an
+	// engine's queue state.
 	Workers int
 	// QueueCap bounds the FIFO queue of jobs waiting for a worker
 	// (default 64). Submissions beyond it fail with ErrQueueFull.
@@ -274,6 +291,13 @@ type Options struct {
 	// every other transport — and net jobs when the hook is nil, which
 	// fall back to the single-process self-loop fabric — are unaffected.
 	NetRunner NetRunner
+	// Store, when non-nil, makes the engine durable: accepted jobs and
+	// registered matrices are journaled to it, and New replays its recovered
+	// records before the workers start — non-terminal jobs re-enter the
+	// queue, terminal records reload with their results, and the matrix
+	// registry warms from the content-addressed blob store. A nil Store
+	// keeps the engine fully in-memory, byte-for-byte today's behavior.
+	Store *store.Store
 }
 
 // NetRunner solves one job by fanning its ranks out to external OS
@@ -301,6 +325,7 @@ type Engine struct {
 	traceIters       int
 	netRunner        NetRunner
 	metrics          *engineMetrics
+	store            *store.Store
 
 	tmu    sync.Mutex
 	tstats map[string]*TransportUsage     // per-transport aggregates, by name
@@ -322,10 +347,16 @@ type Engine struct {
 // it.
 var janitorInterval = 30 * time.Second
 
-// New starts an engine with the given pool size and queue capacity.
+// New starts an engine with the given pool size and queue capacity. With
+// Options.Store set, the store's recovered journal is replayed before any
+// worker starts: queued and running jobs resume (re-enqueued as queued, in
+// original submission order) and terminal records reload with their
+// results.
 func New(opts Options) *Engine {
-	if opts.Workers <= 0 {
+	if opts.Workers == 0 {
 		opts.Workers = 2
+	} else if opts.Workers < 0 {
+		opts.Workers = 0 // standby: accept and queue, never run
 	}
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = 64
@@ -374,7 +405,6 @@ func New(opts Options) *Engine {
 		opts.TraceIters = 0
 	}
 	e := &Engine{
-		queue:            make(chan *job, opts.QueueCap),
 		jobs:             map[string]*job{},
 		maxJobs:          opts.MaxJobs,
 		jobTTL:           opts.JobTTL,
@@ -386,12 +416,28 @@ func New(opts Options) *Engine {
 		defaultBlockSize: opts.DefaultBlockSize,
 		traceIters:       opts.TraceIters,
 		netRunner:        opts.NetRunner,
+		store:            opts.Store,
 		tstats:           map[string]*TransportUsage{},
 		sstats:           map[string]*core.StrategyStats{},
 		janitorQuit:      make(chan struct{}),
 		janitorDone:      make(chan struct{}),
 	}
 	e.metrics = newEngineMetrics(e)
+	// Replay the recovered journal before any worker starts: parse first to
+	// learn how many interrupted jobs re-enter the queue, so the queue can
+	// be sized to hold them all even when they exceed QueueCap (they were
+	// all accepted once; replay must not drop them).
+	var rs *replayState
+	if e.store != nil {
+		rs = e.parseJournal()
+		if n := rs.pending(); n > opts.QueueCap {
+			opts.QueueCap = n
+		}
+	}
+	e.queue = make(chan *job, opts.QueueCap)
+	if rs != nil {
+		e.applyReplay(rs)
+	}
 	e.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go e.worker()
@@ -432,6 +478,9 @@ func (e *Engine) sweepJobsLocked(now time.Time) {
 			j.mu.Unlock()
 			if expired {
 				delete(e.jobs, id)
+				if e.store != nil {
+					e.journalDelete(id)
+				}
 				removed = true
 			}
 		}
@@ -455,6 +504,9 @@ func (e *Engine) sweepJobsLocked(now time.Time) {
 				break
 			}
 			delete(e.jobs, d.j.id)
+			if e.store != nil {
+				e.journalDelete(d.j.id)
+			}
 			removed = true
 		}
 	}
@@ -536,6 +588,11 @@ func (e *Engine) Close() {
 	// With the workers drained, no prepared session has in-flight solves;
 	// tear the cache down.
 	e.prep.closeAll()
+	if e.store != nil {
+		// Best-effort flush of the final shutdown records (no-op when the
+		// daemon already closed the store, as in crash-simulation tests).
+		e.store.Sync()
+	}
 }
 
 // Submit validates and enqueues a job, returning its id. The queue is FIFO:
@@ -562,7 +619,7 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 			return "", err
 		}
 		if len(spec.RHS) > 0 && len(spec.RHS) != rec.Rows {
-			err := fmt.Errorf("engine: rhs length %d != matrix %s rows %d", len(spec.RHS), rec.ID, rec.Rows)
+			err := xerr.Newf(xerr.InvalidArgument, "engine: rhs length %d != matrix %s rows %d", len(spec.RHS), rec.ID, rec.Rows)
 			cancel(err)
 			return "", err
 		}
@@ -591,6 +648,18 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 	}
 	e.seq++
 	j.id = fmt.Sprintf("job-%06d", e.seq)
+	if e.store != nil {
+		// Journal the acceptance before the job is reachable anywhere: a
+		// submit that cannot be made durable is refused, so every job the
+		// caller ever saw an id for survives a restart. Writing under e.mu
+		// also orders submit records before any of the job's state records.
+		j.eng = e
+		if err := e.journalSubmit(j); err != nil {
+			e.mu.Unlock()
+			cancel(err)
+			return "", err
+		}
+	}
 	// Log the queued event and account the payload budget before the job is
 	// reachable by a worker: the event stream must open with queued (seq 0)
 	// even if a worker logs running immediately, and a worker finishing fast
@@ -601,6 +670,11 @@ func (e *Engine) Submit(spec JobSpec) (string, error) {
 	case e.queue <- j:
 	default:
 		e.payloadBytes -= j.payloadBytes
+		if e.store != nil {
+			// Undo the durable acceptance: without this, a restart would
+			// resurrect a job whose submission the caller saw fail.
+			e.journalDelete(j.id)
+		}
 		e.mu.Unlock()
 		cancel(ErrQueueFull)
 		return "", ErrQueueFull
@@ -640,6 +714,9 @@ func (e *Engine) Delete(id string) (removed bool, err error) {
 	e.mu.Lock()
 	if _, ok := e.jobs[id]; ok {
 		delete(e.jobs, id)
+		if e.store != nil {
+			e.journalDelete(id)
+		}
 		kept := e.order[:0]
 		for _, o := range e.order {
 			if o.id != id {
@@ -661,12 +738,25 @@ func (e *Engine) Delete(id string) (removed bool, err error) {
 // content identical to an existing record return that record (idempotent).
 func (e *Engine) PutMatrix(spec MatrixSpec) (MatrixRecord, error) {
 	if spec.Generator != "" && len(spec.MatrixMarket) > 0 {
-		return MatrixRecord{}, fmt.Errorf("engine: matrix spec sets both generator and matrix_market")
+		return MatrixRecord{}, xerr.New(xerr.InvalidArgument, "engine: matrix spec sets both generator and matrix_market")
 	}
 	if err := spec.checkBounds(); err != nil {
+		return MatrixRecord{}, xerr.Ensure(xerr.InvalidArgument, err)
+	}
+	rec, a, created, err := e.matrices.put(spec)
+	if err != nil {
 		return MatrixRecord{}, err
 	}
-	return e.matrices.put(spec)
+	if created && e.store != nil {
+		// Persist only genuinely new registrations (dedup hits reuse an
+		// already-journaled record). If the registration cannot be made
+		// durable, roll it back so memory and disk agree.
+		if err := e.journalPutMatrix(rec, a); err != nil {
+			e.matrices.delete(rec.ID)
+			return MatrixRecord{}, err
+		}
+	}
+	return rec, nil
 }
 
 // GetMatrix returns the record of a registered matrix.
@@ -674,7 +764,16 @@ func (e *Engine) GetMatrix(id string) (MatrixRecord, error) { return e.matrices.
 
 // DeleteMatrix removes a registered matrix. Jobs already submitted against
 // it finish normally; new submissions referencing the id fail.
-func (e *Engine) DeleteMatrix(id string) error { return e.matrices.delete(id) }
+func (e *Engine) DeleteMatrix(id string) error {
+	rec, err := e.matrices.delete(id)
+	if err != nil {
+		return err
+	}
+	if e.store != nil {
+		e.journalDeleteMatrix(rec)
+	}
+	return nil
+}
 
 // ListMatrices returns all registered matrices, oldest first.
 func (e *Engine) ListMatrices() []MatrixRecord { return e.matrices.list() }
@@ -1260,6 +1359,12 @@ func (e *Engine) finishJob(j *job, sol Solution, err error) {
 		j.mu.Lock()
 		j.result = &sol
 		j.mu.Unlock()
+		if j.eng != nil {
+			// The result record goes to the journal before the done state
+			// record: a crash between the two replays the job as interrupted
+			// and re-runs it, never as done-without-result.
+			j.eng.journalResult(j.id, &sol)
+		}
 		j.transition(StateDone, "")
 	case errors.Is(err, context.Canceled):
 		j.transition(StateCancelled, "")

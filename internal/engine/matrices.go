@@ -3,7 +3,6 @@ package engine
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -11,14 +10,15 @@ import (
 	"time"
 
 	"repro/internal/sparse"
+	"repro/internal/xerr"
 )
 
 // Errors of the matrix store.
 var (
 	// ErrMatrixNotFound reports an unknown matrix id.
-	ErrMatrixNotFound = errors.New("engine: no such matrix")
+	ErrMatrixNotFound = xerr.New(xerr.NotFound, "engine: no such matrix")
 	// ErrMatrixStoreFull reports that the store is at capacity.
-	ErrMatrixStoreFull = errors.New("engine: matrix store is full")
+	ErrMatrixStoreFull = xerr.New(xerr.ResourceExhausted, "engine: matrix store is full")
 )
 
 // MatrixRecord describes one uploaded (registered) system matrix. Clients
@@ -65,21 +65,23 @@ func newMatrixStore(max int) *matrixStore {
 
 // put validates, materializes and registers a matrix spec. Content identical
 // to an existing record (same canonical hash) deduplicates: the existing
-// record is returned and no new slot is used.
-func (s *matrixStore) put(spec MatrixSpec) (MatrixRecord, error) {
+// record is returned with created = false and no new slot is used. For new
+// registrations the pinned CSR is returned alongside the record so the
+// caller can persist it.
+func (s *matrixStore) put(spec MatrixSpec) (MatrixRecord, *sparse.CSR, bool, error) {
 	if spec.Generator == "" && len(spec.MatrixMarket) == 0 {
-		return MatrixRecord{}, fmt.Errorf("engine: matrix spec needs a generator or matrix_market")
+		return MatrixRecord{}, nil, false, xerr.New(xerr.InvalidArgument, "engine: matrix spec needs a generator or matrix_market")
 	}
 	hash := spec.contentHash()
 	s.mu.Lock()
 	if sm, ok := s.byHash[hash]; ok {
 		rec := sm.rec
 		s.mu.Unlock()
-		return rec, nil
+		return rec, sm.a, false, nil
 	}
 	if s.max > 0 && len(s.byID) >= s.max {
 		s.mu.Unlock()
-		return MatrixRecord{}, fmt.Errorf("%w (%d matrices); DELETE unused ones first", ErrMatrixStoreFull, s.max)
+		return MatrixRecord{}, nil, false, xerr.Newf(xerr.ResourceExhausted, "%w (%d matrices); DELETE unused ones first", ErrMatrixStoreFull, s.max)
 	}
 	s.mu.Unlock()
 
@@ -87,16 +89,16 @@ func (s *matrixStore) put(spec MatrixSpec) (MatrixRecord, error) {
 	// not stall lookups. A racing identical upload is resolved below.
 	a, err := spec.Build()
 	if err != nil {
-		return MatrixRecord{}, err
+		return MatrixRecord{}, nil, false, xerr.Ensure(xerr.InvalidArgument, err)
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sm, ok := s.byHash[hash]; ok {
-		return sm.rec, nil
+		return sm.rec, sm.a, false, nil
 	}
 	if s.max > 0 && len(s.byID) >= s.max {
-		return MatrixRecord{}, fmt.Errorf("%w (%d matrices); DELETE unused ones first", ErrMatrixStoreFull, s.max)
+		return MatrixRecord{}, nil, false, xerr.Newf(xerr.ResourceExhausted, "%w (%d matrices); DELETE unused ones first", ErrMatrixStoreFull, s.max)
 	}
 	s.seq++
 	sm := &storedMatrix{
@@ -108,7 +110,28 @@ func (s *matrixStore) put(spec MatrixSpec) (MatrixRecord, error) {
 	}
 	s.byID[sm.rec.ID] = sm
 	s.byHash[hash] = sm
-	return sm.rec, nil
+	return sm.rec, a, true, nil
+}
+
+// restore reinstates a replayed registration under its original id, hash and
+// counters. Replay-only: it trusts the journaled record and does not bump
+// the sequence (setSeq restores that separately).
+func (s *matrixStore) restore(rec MatrixRecord, a *sparse.CSR) {
+	s.mu.Lock()
+	sm := &storedMatrix{rec: rec, a: a}
+	s.byID[rec.ID] = sm
+	s.byHash[rec.Hash] = sm
+	s.mu.Unlock()
+}
+
+// setSeq raises the id sequence to at least n, so post-replay registrations
+// never reuse an id the journal has already seen (including deleted ones).
+func (s *matrixStore) setSeq(n int) {
+	s.mu.Lock()
+	if n > s.seq {
+		s.seq = n
+	}
+	s.mu.Unlock()
 }
 
 // get returns the record for id.
@@ -145,18 +168,19 @@ func (s *matrixStore) noteJob(id string) {
 	s.mu.Unlock()
 }
 
-// delete removes the record. Jobs already submitted against it keep their
-// pinned CSR and finish normally.
-func (s *matrixStore) delete(id string) error {
+// delete removes the record, returning it so the caller can release any
+// persistent state filed under its hash. Jobs already submitted against it
+// keep their pinned CSR and finish normally.
+func (s *matrixStore) delete(id string) (MatrixRecord, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sm, ok := s.byID[id]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrMatrixNotFound, id)
+		return MatrixRecord{}, fmt.Errorf("%w: %q", ErrMatrixNotFound, id)
 	}
 	delete(s.byID, id)
 	delete(s.byHash, sm.rec.Hash)
-	return nil
+	return sm.rec, nil
 }
 
 // count returns the number of registered matrices.

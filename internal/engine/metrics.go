@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -11,11 +10,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/distmat"
 	"repro/internal/metrics"
+	"repro/internal/xerr"
 )
 
 // ErrTraceDisabled reports a Trace call on an engine started without
 // per-iteration trace capture (Options.TraceIters / esrd -trace-iters).
-var ErrTraceDisabled = errors.New("engine: per-iteration trace capture is disabled (enable with -trace-iters)")
+var ErrTraceDisabled = xerr.New(xerr.NotFound, "engine: per-iteration trace capture is disabled (enable with -trace-iters)")
 
 // phaseBuckets are the histogram bounds of the per-phase solve timings.
 // The phases live in the microsecond-to-millisecond range on the in-process
@@ -55,6 +55,12 @@ type engineMetrics struct {
 	episodeSecs  *metrics.HistogramVec // strategy
 	matvecPhase  *metrics.HistogramVec // transport, phase
 	spmvChildren sync.Map              // transport -> [4]*metrics.Histogram
+
+	// The store series exist only when the engine runs with Options.Store;
+	// the inc helpers below nil-guard so the hot paths need no store check.
+	storeReplayed *metrics.CounterVec // state
+	storeErrors   *metrics.Counter
+	storeSync     *metrics.Histogram
 }
 
 // transportStatNames maps the cluster.TransportStats fields onto counter
@@ -182,7 +188,49 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	r.GaugeFunc("esrd_threads_pool_workers", "Resident size of the shared kernel worker pool.", func() float64 {
 		return float64(e.ThreadStats().PoolWorkers)
 	})
+	if e.store != nil {
+		em.storeReplayed = r.CounterVec("esrd_store_replayed_jobs_total",
+			"Jobs reinstated from the journal at startup, by journaled state.", "state")
+		em.storeErrors = r.Counter("esrd_store_errors_total",
+			"Failed store operations (journal appends, blob IO, undecodable replay records).")
+		em.storeSync = r.Histogram("esrd_store_journal_sync_seconds",
+			"Journal fsync latency.", metrics.ExpBuckets(1e-5, 4, 10))
+		e.store.SetSyncObserver(func(d time.Duration) { em.storeSync.Observe(d.Seconds()) })
+		r.CounterFunc("esrd_store_journal_records_total",
+			"Records in the write-ahead journal (recovered at open plus appended since).", func() float64 {
+				return float64(e.store.Stats().JournalRecords)
+			})
+		r.GaugeFunc("esrd_store_bytes",
+			"Bytes on disk under the data dir (journal plus matrix blobs).", func() float64 {
+				st := e.store.Stats()
+				return float64(st.JournalBytes + st.BlobBytes)
+			})
+		r.GaugeFunc("esrd_store_blobs",
+			"Matrix blobs in the content-addressed store.", func() float64 {
+				return float64(e.store.Stats().Blobs)
+			})
+		r.GaugeFunc("esrd_store_journal_truncated_bytes",
+			"Torn journal tail bytes discarded at the last open.", func() float64 {
+				return float64(e.store.Stats().TruncatedBytes)
+			})
+	}
 	return em
+}
+
+// storeReplayedInc counts one job reinstated from the journal, by its
+// journaled state. No-op on an engine without a store.
+func (em *engineMetrics) storeReplayedInc(s State) {
+	if em.storeReplayed != nil {
+		em.storeReplayed.With(string(s)).Inc()
+	}
+}
+
+// storeErrorInc counts one failed store operation. No-op on an engine
+// without a store.
+func (em *engineMetrics) storeErrorInc() {
+	if em.storeErrors != nil {
+		em.storeErrors.Inc()
+	}
 }
 
 // jobTransition mirrors a job lifecycle transition into the metrics. Called
@@ -421,6 +469,10 @@ type HealthSnapshot struct {
 	// name with the prefix stripped. Empty when the daemon runs without the
 	// net coordinator.
 	Net map[string]float64 `json:"net,omitempty"`
+	// Store mirrors the esrd_store_* counters and gauges (journal records,
+	// bytes on disk, replayed jobs by state), keyed by the series name with
+	// the prefix stripped. Empty when the daemon runs without -data-dir.
+	Store map[string]float64 `json:"store,omitempty"`
 }
 
 // Health derives the healthz gauges from one Gather of the metric registry —
@@ -443,6 +495,7 @@ func (e *Engine) Health() HealthSnapshot {
 		Transports:       snapshotTransports(s),
 		Strategies:       snapshotStrategies(s),
 		Net:              snapshotNet(s),
+		Store:            snapshotStore(s),
 		Threads:          ThreadStats{Default: int(def), MaxProcs: int(maxp), PoolWorkers: int(pool)},
 		BlockSizeDefault: int(blockDef),
 	}
@@ -524,6 +577,32 @@ func snapshotNet(s metrics.Snapshot) map[string]float64 {
 				out[strings.TrimPrefix(fam.Name, "esrd_net_")] = sm.Value
 			}
 		}
+	}
+	return out
+}
+
+// snapshotStore collects every esrd_store_-prefixed counter and gauge from a
+// gathered registry snapshot into the healthz "store" block, keyed by the
+// series name with the prefix stripped (labeled series flatten to
+// key_labelvalue). The sync-latency histogram is skipped: healthz reports
+// scalars, and the full distribution lives on /metrics. Nil without a store.
+func snapshotStore(s metrics.Snapshot) map[string]float64 {
+	out := map[string]float64{}
+	for _, fam := range s {
+		if !strings.HasPrefix(fam.Name, "esrd_store_") || fam.Type == metrics.TypeHistogram {
+			continue
+		}
+		key := strings.TrimPrefix(fam.Name, "esrd_store_")
+		for _, sm := range fam.Samples {
+			k := key
+			for _, l := range sm.Labels {
+				k += "_" + l.Value
+			}
+			out[k] = sm.Value
+		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sparse"
+	"repro/internal/store"
+	"repro/internal/xerr"
+)
+
+// This file is the engine<->store glue: journal hooks at the job lifecycle
+// edges and the startup replay that rebuilds engine state from the
+// journal.
+//
+// Journal discipline:
+//
+//   - A submit record is appended (and, with -fsync, flushed) BEFORE the
+//     job becomes reachable by a worker, so no state record can precede
+//     its submit record and a failed WAL write fails the submission.
+//   - Every state transition appends a state record from transitionLocked,
+//     the engine's single transition point — cancel, eviction sweep, batch
+//     chunking failures and net-fleet retries all pass through it.
+//   - A done job's result record is appended before its terminal state
+//     record: a crash between the two replays the job as still running,
+//     which re-runs it — never a terminal job with a half-written result.
+//   - Deletes (explicit or TTL/MaxJobs eviction) append delete records, so
+//     a replayed store honours the same retention the live engine did.
+//
+// Replay is idempotent: replaying the journal twice yields the same
+// engine state as replaying it once, because records are keyed by job id
+// and state transitions are absorbing (a second "running" record is a
+// no-op on a running job, and replay itself appends no records for the
+// jobs it rebuilds).
+
+// journalAppend appends best-effort: runtime journaling failures (disk
+// full, store closed during shutdown races) degrade durability, not
+// service. They are counted on esrd_store_errors_total.
+func (e *Engine) journalAppend(rec store.Record) {
+	if err := e.store.Append(rec); err != nil {
+		e.metrics.storeErrorInc()
+	}
+}
+
+// journalSubmit persists an accepted job, while it is NOT yet reachable by
+// any worker. Unlike the other hooks this one is fallible: accepting a job
+// the WAL cannot record would break the durability contract, so Submit
+// fails the submission instead.
+func (e *Engine) journalSubmit(j *job) error {
+	specJSON, err := json.Marshal(j.spec)
+	if err != nil {
+		return xerr.Newf(xerr.Internal, "engine: encoding job spec for the journal: %v", err)
+	}
+	rec := store.Record{Kind: store.KindSubmit, Time: j.enqueued, JobID: j.id, Spec: specJSON}
+	if err := e.store.Append(rec); err != nil {
+		e.metrics.storeErrorInc()
+		return fmt.Errorf("engine: journaling submit: %w", err)
+	}
+	return nil
+}
+
+// journalState records a lifecycle transition. Called from transitionLocked
+// with j.mu held; the store's mutex is a leaf lock, so no ordering cycle.
+func (e *Engine) journalState(id string, s State, errMsg string) {
+	e.journalAppend(store.Record{
+		Kind: store.KindState, Time: time.Now(), JobID: id, State: string(s), Error: errMsg,
+	})
+}
+
+// journalResult records a finished job's solution, before the done state
+// record. A solution that cannot be marshalled (NaN from a diverged solve)
+// is skipped — the job replays as unfinished and re-runs.
+func (e *Engine) journalResult(id string, sol *Solution) {
+	b, err := json.Marshal(sol)
+	if err != nil {
+		e.metrics.storeErrorInc()
+		return
+	}
+	e.journalAppend(store.Record{Kind: store.KindResult, Time: time.Now(), JobID: id, Result: b})
+}
+
+// journalDelete records a job removal (explicit delete, eviction sweep, or
+// the rollback of a journaled submit that lost the queue-capacity race).
+func (e *Engine) journalDelete(id string) {
+	e.journalAppend(store.Record{Kind: store.KindDelete, Time: time.Now(), JobID: id})
+}
+
+// journalPutMatrix persists a newly registered matrix: the CSR payload
+// into the content-addressed blob store, then the registration record.
+// Fallible for the same reason as journalSubmit.
+func (e *Engine) journalPutMatrix(rec MatrixRecord, a *sparse.CSR) error {
+	if err := e.store.PutCSR(rec.Hash, a); err != nil {
+		e.metrics.storeErrorInc()
+		return fmt.Errorf("engine: persisting matrix blob: %w", err)
+	}
+	recJSON, err := json.Marshal(rec)
+	if err != nil {
+		return xerr.Newf(xerr.Internal, "engine: encoding matrix record for the journal: %v", err)
+	}
+	if err := e.store.Append(store.Record{
+		Kind: store.KindPutMatrix, Time: rec.CreatedAt, MatrixID: rec.ID, Matrix: recJSON,
+	}); err != nil {
+		e.metrics.storeErrorInc()
+		return fmt.Errorf("engine: journaling matrix registration: %w", err)
+	}
+	return nil
+}
+
+// journalDeleteMatrix records a matrix removal and drops its blob. The
+// registry dedups by content hash, so exactly one live record references
+// the blob and removing it cannot orphan another record.
+func (e *Engine) journalDeleteMatrix(rec MatrixRecord) {
+	e.journalAppend(store.Record{Kind: store.KindDeleteMatrix, Time: time.Now(), MatrixID: rec.ID})
+	if err := e.store.DeleteCSR(rec.Hash); err != nil {
+		e.metrics.storeErrorInc()
+	}
+}
+
+// replayedJob accumulates one job's journal records.
+type replayedJob struct {
+	id       string
+	spec     JobSpec
+	hasSpec  bool
+	state    State
+	errMsg   string
+	result   *Solution
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// replayState is the parsed journal, ready to apply.
+type replayState struct {
+	jobs     map[string]*replayedJob
+	jobOrder []string
+	mats     map[string]MatrixRecord
+	matOrder []string
+	matJobs  map[string]int // accepted submissions per matrix id, recomputed
+	maxJob   int
+	maxMat   int
+}
+
+// pending counts the jobs that will re-enter the queue, so New can size the
+// queue to hold them all before the workers start.
+func (rs *replayState) pending() int {
+	n := 0
+	for _, id := range rs.jobOrder {
+		if rj, ok := rs.jobs[id]; ok && rj.hasSpec && !rj.state.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// idSeq extracts the numeric suffix of a "job-%06d" / "mat-%06d" id.
+func idSeq(id, prefix string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, prefix))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// parseJournal folds the recovered records into per-entity final states.
+// Sequence counters derive from every id ever journaled — including later
+// deleted ones — so a restarted engine never reissues an id.
+func (e *Engine) parseJournal() *replayState {
+	rs := &replayState{
+		jobs:    map[string]*replayedJob{},
+		mats:    map[string]MatrixRecord{},
+		matJobs: map[string]int{},
+	}
+	for _, r := range e.store.Records() {
+		switch r.Kind {
+		case store.KindSubmit:
+			if n := idSeq(r.JobID, "job-"); n > rs.maxJob {
+				rs.maxJob = n
+			}
+			rj := &replayedJob{id: r.JobID, state: StateQueued, enqueued: r.Time}
+			if err := json.Unmarshal(r.Spec, &rj.spec); err != nil {
+				e.metrics.storeErrorInc()
+			} else {
+				rj.hasSpec = true
+			}
+			if _, seen := rs.jobs[r.JobID]; !seen {
+				rs.jobOrder = append(rs.jobOrder, r.JobID)
+			}
+			rs.jobs[r.JobID] = rj
+			if rj.hasSpec && rj.spec.MatrixID != "" {
+				rs.matJobs[rj.spec.MatrixID]++
+			}
+		case store.KindState:
+			rj, ok := rs.jobs[r.JobID]
+			if !ok {
+				continue
+			}
+			s := State(r.State)
+			switch s {
+			case StateRunning:
+				rj.state, rj.started = s, r.Time
+			case StateDone, StateFailed, StateCancelled:
+				rj.state, rj.finished, rj.errMsg = s, r.Time, r.Error
+			}
+		case store.KindResult:
+			rj, ok := rs.jobs[r.JobID]
+			if !ok {
+				continue
+			}
+			var sol Solution
+			if err := json.Unmarshal(r.Result, &sol); err != nil {
+				e.metrics.storeErrorInc()
+				continue
+			}
+			rj.result = &sol
+		case store.KindDelete:
+			delete(rs.jobs, r.JobID)
+		case store.KindPutMatrix:
+			if n := idSeq(r.MatrixID, "mat-"); n > rs.maxMat {
+				rs.maxMat = n
+			}
+			var rec MatrixRecord
+			if err := json.Unmarshal(r.Matrix, &rec); err != nil {
+				e.metrics.storeErrorInc()
+				continue
+			}
+			if _, seen := rs.mats[r.MatrixID]; !seen {
+				rs.matOrder = append(rs.matOrder, r.MatrixID)
+			}
+			rs.mats[r.MatrixID] = rec
+		case store.KindDeleteMatrix:
+			delete(rs.mats, r.MatrixID)
+		}
+	}
+	return rs
+}
+
+// applyReplay rebuilds engine state from a parsed journal: the matrix
+// registry warms from the blob store first (jobs resolve against it), then
+// terminal jobs reload as records and non-terminal jobs re-enter the queue
+// as queued — a job that was mid-run when the daemon died re-runs from
+// scratch, which the deterministic solver makes bit-identical. Finally the
+// normal retention sweep applies MaxJobs/JobTTL to what was reloaded,
+// journaling the evictions like any live sweep.
+func (e *Engine) applyReplay(rs *replayState) {
+	for _, id := range rs.matOrder {
+		rec, ok := rs.mats[id]
+		if !ok {
+			continue
+		}
+		// The journaled Jobs counter is stale by design (reference counts are
+		// not journaled); recompute it from the submit records.
+		rec.Jobs = rs.matJobs[id]
+		a, err := e.store.GetCSR(rec.Hash)
+		if err != nil {
+			// Missing or corrupt blob: drop the registration rather than serve
+			// a matrix we cannot verify. Jobs referencing it fail on replay
+			// with a not-found error naming the id.
+			e.metrics.storeErrorInc()
+			continue
+		}
+		e.matrices.restore(rec, a)
+	}
+	e.matrices.setSeq(rs.maxMat)
+
+	e.mu.Lock()
+	if rs.maxJob > e.seq {
+		e.seq = rs.maxJob
+	}
+	for _, id := range rs.jobOrder {
+		rj, ok := rs.jobs[id]
+		if !ok || !rj.hasSpec {
+			continue
+		}
+		e.metrics.storeReplayedInc(rj.state)
+		if rj.state.Terminal() {
+			e.restoreTerminalLocked(rj)
+		} else {
+			e.requeueLocked(rj)
+		}
+	}
+	e.sweepJobsLocked(time.Now())
+	e.mu.Unlock()
+}
+
+// restoreTerminalLocked reloads one terminal job as a finished record: the
+// journaled outcome, a synthesized state-event log with the journaled
+// timestamps, and the bulk payloads stripped exactly as finishPayloads
+// leaves live terminal records. e.mu must be held.
+func (e *Engine) restoreTerminalLocked(rj *replayedJob) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	spec := rj.spec
+	batchK := len(spec.RHSBatch)
+	spec.Matrix.MatrixMarket = nil
+	spec.RHS = nil
+	spec.RHSBatch = nil
+	j := &job{
+		id: rj.id, spec: spec, ctx: ctx, cancel: cancel, em: e.metrics, eng: e,
+		batchK: batchK, state: rj.state, updated: make(chan struct{}),
+		errMsg: rj.errMsg, result: rj.result,
+		enqueued: rj.enqueued, started: rj.started, finished: rj.finished,
+	}
+	evs := []Event{{JobID: rj.id, Time: rj.enqueued, Kind: EventState, State: StateQueued}}
+	if !rj.started.IsZero() {
+		evs = append(evs, Event{Seq: 1, JobID: rj.id, Time: rj.started, Kind: EventState, State: StateRunning})
+	}
+	evs = append(evs, Event{
+		Seq: len(evs), JobID: rj.id, Time: rj.finished, Kind: EventState, State: rj.state, Error: rj.errMsg,
+	})
+	j.events = evs
+	e.jobs[j.id] = j
+	e.order = append(e.order, j)
+}
+
+// requeueLocked re-enqueues one interrupted job as queued. The progress
+// events of an interrupted run are gone (they lived in memory only); the
+// replayed job starts a fresh event log at its original enqueue time. e.mu
+// must be held, and the queue must have been sized to hold every replayed
+// job (New guarantees this), so the send never blocks.
+func (e *Engine) requeueLocked(rj *replayedJob) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var batchFloats int64
+	for _, b := range rj.spec.RHSBatch {
+		batchFloats += int64(len(b))
+	}
+	pb := int64(len(rj.spec.Matrix.MatrixMarket)) + 8*(int64(len(rj.spec.RHS))+batchFloats)
+	j := &job{
+		id: rj.id, spec: rj.spec, ctx: ctx, cancel: cancel, em: e.metrics, eng: e,
+		state: StateQueued, updated: make(chan struct{}), enqueued: rj.enqueued,
+		batchK: len(rj.spec.RHSBatch),
+	}
+	j.events = []Event{{JobID: j.id, Time: rj.enqueued, Kind: EventState, State: StateQueued}}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j)
+	if rj.spec.MatrixID != "" {
+		a, rec, err := e.matrices.resolve(rj.spec.MatrixID)
+		if err != nil {
+			// The matrix is gone — deleted before the crash with the job still
+			// queued, or its blob failed verification. The job can never run;
+			// fail it terminally (journaled, so the next replay reloads the
+			// failure instead of retrying). The payload budget was never
+			// charged for it, so only the spec payloads need stripping.
+			j.transition(StateFailed, fmt.Sprintf("engine: replayed job references %s: %v", rj.spec.MatrixID, err))
+			j.mu.Lock()
+			j.spec.Matrix.MatrixMarket = nil
+			j.spec.RHS = nil
+			j.spec.RHSBatch = nil
+			j.mu.Unlock()
+			return
+		}
+		j.mat, j.matHash = a, rec.Hash
+	} else {
+		j.matHash = rj.spec.Matrix.contentHash()
+	}
+	j.payloadBytes = pb
+	e.payloadBytes += pb
+	e.queue <- j
+}

@@ -15,11 +15,12 @@ import (
 	"repro/internal/partition"
 	"repro/internal/precond"
 	"repro/internal/sparse"
+	"repro/internal/xerr"
 )
 
 // ErrPreparedClosed reports a Solve on (or racing with) a closed prepared
 // session.
-var ErrPreparedClosed = errors.New("engine: prepared solver session is closed")
+var ErrPreparedClosed = xerr.New(xerr.Unavailable, "engine: prepared solver session is closed")
 
 // maxCholBlock bounds the per-rank block size of the dense block-Jacobi
 // Cholesky preconditioner for network-submitted jobs (enforced by the

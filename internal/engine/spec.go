@@ -8,6 +8,7 @@ import (
 	"repro/internal/matgen"
 	"repro/internal/mmio"
 	"repro/internal/sparse"
+	"repro/internal/xerr"
 )
 
 // MatrixSpec names the system matrix of a job: either a generator from the
@@ -288,6 +289,10 @@ func (e *InvalidRHSError) Error() string {
 	return fmt.Sprintf("engine: rhs batch[%d][%d] is not finite", e.Index, e.Elem)
 }
 
+// Is claims the InvalidArgument class, so errors.Is(err, xerr.InvalidArgument)
+// holds without wrapping.
+func (e *InvalidRHSError) Is(target error) bool { return target == xerr.InvalidArgument }
+
 // validateBatch fail-fast checks every column of a right-hand-side batch —
 // length against want (when want > 0, else against the first column) and
 // element finiteness — BEFORE any solve launches, returning a typed
@@ -314,8 +319,13 @@ func validateBatch(batch [][]float64, want int) error {
 }
 
 // Validate performs the cheap structural checks done at submission time
-// (before a worker spends time materializing the matrix).
+// (before a worker spends time materializing the matrix). Every rejection
+// carries the xerr.InvalidArgument class.
 func (s JobSpec) Validate() error {
+	return xerr.Ensure(xerr.InvalidArgument, s.validate())
+}
+
+func (s JobSpec) validate() error {
 	sources := 0
 	if s.Matrix.Generator != "" {
 		sources++

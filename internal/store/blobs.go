@@ -1,0 +1,251 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sparse"
+	"repro/internal/xerr"
+)
+
+// Blob file layout (all integers little-endian):
+//
+//	magic     [8]byte  "ESRCSRB1"
+//	addrLen   uint32   length of the content-address string
+//	addr      []byte   the content hash the blob is filed under
+//	paySHA    [32]byte sha256 of the payload section
+//	payLen    uint64   payload length in bytes
+//	payload   rows u64 | cols u64 | nnz u64 | rowptr (rows+1)×u64 |
+//	          col nnz×u64 | val nnz×float64-bits
+//
+// The file name is the content address, so the same matrix registered
+// twice (the registry's dedup key) maps to the same file and the second
+// put is a no-op. GetCSR re-verifies both the declared address and the
+// payload checksum before decoding, so silent disk corruption surfaces as
+// ErrBlobCorrupt instead of a wrong solve.
+
+const (
+	blobMagic     = "ESRCSRB1"
+	tmpBlobPrefix = ".tmp-"
+)
+
+// validBlobHash guards against a content address escaping the blob
+// directory; registry hashes are lowercase hex sha256.
+func validBlobHash(hash string) bool {
+	if hash == "" || len(hash) > 128 {
+		return false
+	}
+	for _, c := range hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) blobPath(hash string) (string, error) {
+	if !validBlobHash(hash) {
+		return "", xerr.Newf(xerr.InvalidArgument, "store: invalid blob hash %q", hash)
+	}
+	return filepath.Join(s.blobDir(), hash), nil
+}
+
+func encodeCSR(m *sparse.CSR) []byte {
+	n := 24 + 8*(len(m.RowPtr)+len(m.Col)+len(m.Val))
+	buf := make([]byte, n)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(m.Rows))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(m.Cols))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(m.NNZ()))
+	off := 24
+	for _, v := range m.RowPtr {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+		off += 8
+	}
+	for _, v := range m.Col {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+		off += 8
+	}
+	for _, v := range m.Val {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	return buf
+}
+
+func decodeCSR(buf []byte) (*sparse.CSR, error) {
+	if len(buf) < 24 {
+		return nil, ErrBlobCorrupt
+	}
+	rows := int(binary.LittleEndian.Uint64(buf[0:]))
+	cols := int(binary.LittleEndian.Uint64(buf[8:]))
+	nnz := int(binary.LittleEndian.Uint64(buf[16:]))
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, ErrBlobCorrupt
+	}
+	want := 24 + 8*(rows+1+2*nnz)
+	if len(buf) != want {
+		return nil, ErrBlobCorrupt
+	}
+	m := &sparse.CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int, rows+1),
+		Col:    make([]int, nnz),
+		Val:    make([]float64, nnz),
+	}
+	off := 24
+	for i := range m.RowPtr {
+		m.RowPtr[i] = int(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	for i := range m.Col {
+		m.Col[i] = int(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	for i := range m.Val {
+		m.Val[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return m, nil
+}
+
+// PutCSR stores m in the blob directory under its content address.
+// Content addressing makes the call idempotent: if a blob for hash already
+// exists it is trusted as identical and the write is skipped. The blob is
+// written to a temp file, fsynced, then renamed into place, so a crash at
+// any point leaves either no blob or a complete one.
+func (s *Store) PutCSR(hash string, m *sparse.CSR) error {
+	path, err := s.blobPath(hash)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+
+	payload := encodeCSR(m)
+	paySHA := sha256.Sum256(payload)
+	var hdr bytes.Buffer
+	hdr.WriteString(blobMagic)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint32(lenBuf[:4], uint32(len(hash)))
+	hdr.Write(lenBuf[:4])
+	hdr.WriteString(hash)
+	hdr.Write(paySHA[:])
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(payload)))
+	hdr.Write(lenBuf[:])
+
+	tmp, err := os.CreateTemp(s.blobDir(), tmpBlobPrefix+"*")
+	if err != nil {
+		return xerr.Wrap(xerr.Internal, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(hdr.Bytes()); err == nil {
+		_, err = tmp.Write(payload)
+		if err == nil {
+			err = tmp.Sync()
+		}
+	} else {
+		tmp.Close()
+		return xerr.Wrap(xerr.Internal, err)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return xerr.Wrap(xerr.Internal, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return xerr.Wrap(xerr.Internal, err)
+	}
+	// Best-effort directory sync so the rename itself survives power loss.
+	if d, err := os.Open(s.blobDir()); err == nil {
+		d.Sync()
+		d.Close()
+	}
+
+	size := int64(hdr.Len() + len(payload))
+	s.mu.Lock()
+	s.blobs++
+	s.blobBytes += size
+	s.mu.Unlock()
+	return nil
+}
+
+// GetCSR loads and verifies the blob stored under hash. It returns
+// ErrBlobNotFound if no blob exists and ErrBlobCorrupt (wrapped with
+// detail) if the file fails magic, address, length, or checksum
+// verification.
+func (s *Store) GetCSR(hash string) (*sparse.CSR, error) {
+	path, err := s.blobPath(hash)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrBlobNotFound
+		}
+		return nil, xerr.Wrap(xerr.Internal, err)
+	}
+	if len(buf) < len(blobMagic)+4 || string(buf[:len(blobMagic)]) != blobMagic {
+		return nil, xerr.Newf(xerr.Internal, "%w: %s: bad magic", ErrBlobCorrupt, hash)
+	}
+	off := len(blobMagic)
+	addrLen := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if addrLen <= 0 || len(buf) < off+addrLen+32+8 {
+		return nil, xerr.Newf(xerr.Internal, "%w: %s: truncated header", ErrBlobCorrupt, hash)
+	}
+	addr := string(buf[off : off+addrLen])
+	off += addrLen
+	if addr != hash {
+		return nil, xerr.Newf(xerr.Internal, "%w: %s: blob declares address %s", ErrBlobCorrupt, hash, addr)
+	}
+	var wantSHA [32]byte
+	copy(wantSHA[:], buf[off:off+32])
+	off += 32
+	payLen := binary.LittleEndian.Uint64(buf[off:])
+	off += 8
+	if payLen != uint64(len(buf)-off) {
+		return nil, xerr.Newf(xerr.Internal, "%w: %s: payload length mismatch", ErrBlobCorrupt, hash)
+	}
+	payload := buf[off:]
+	if sha256.Sum256(payload) != wantSHA {
+		return nil, xerr.Newf(xerr.Internal, "%w: %s: payload checksum mismatch", ErrBlobCorrupt, hash)
+	}
+	m, err := decodeCSR(payload)
+	if err != nil {
+		return nil, xerr.Newf(xerr.Internal, "%w: %s: undecodable payload", ErrBlobCorrupt, hash)
+	}
+	return m, nil
+}
+
+// DeleteCSR removes the blob stored under hash. Deleting a missing blob is
+// not an error (the journal may record a delete whose blob never made it
+// to disk).
+func (s *Store) DeleteCSR(hash string) error {
+	path, err := s.blobPath(hash)
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return xerr.Wrap(xerr.Internal, err)
+	}
+	if err := os.Remove(path); err != nil {
+		return xerr.Wrap(xerr.Internal, err)
+	}
+	s.mu.Lock()
+	s.blobs--
+	s.blobBytes -= info.Size()
+	s.mu.Unlock()
+	return nil
+}

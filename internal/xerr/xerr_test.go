@@ -1,0 +1,107 @@
+package xerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestQuickClassMatching(t *testing.T) {
+	err := New(NotFound, "no such thing")
+	if !errors.Is(err, NotFound) {
+		t.Fatal("New(NotFound) does not match NotFound")
+	}
+	if errors.Is(err, InvalidArgument) {
+		t.Fatal("New(NotFound) matches InvalidArgument")
+	}
+	if got := err.Error(); got != "no such thing" {
+		t.Fatalf("message = %q", got)
+	}
+	if ClassOf(err) != NotFound {
+		t.Fatalf("ClassOf = %v", ClassOf(err))
+	}
+	if Code(err) != "not_found" {
+		t.Fatalf("Code = %q", Code(err))
+	}
+}
+
+func TestQuickClassSurvivesWrapping(t *testing.T) {
+	base := New(ResourceExhausted, "queue full")
+	wrapped := fmt.Errorf("submit: %w", fmt.Errorf("engine: %w", base))
+	if ClassOf(wrapped) != ResourceExhausted {
+		t.Fatalf("class lost through wrapping: %v", ClassOf(wrapped))
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("wrapped no longer matches the base sentinel")
+	}
+}
+
+func TestQuickWrapKeepsUnderlying(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := Wrap(Internal, fmt.Errorf("context: %w", sentinel))
+	if !errors.Is(err, sentinel) {
+		t.Fatal("Wrap hides the underlying sentinel")
+	}
+	if !errors.Is(err, Internal) {
+		t.Fatal("Wrap does not attach the class")
+	}
+	if err.Error() != "context: boom" {
+		t.Fatalf("message = %q", err.Error())
+	}
+	if Wrap(Internal, nil) != nil {
+		t.Fatal("Wrap(nil) != nil")
+	}
+}
+
+func TestQuickEnsure(t *testing.T) {
+	if Ensure(InvalidArgument, nil) != nil {
+		t.Fatal("Ensure(nil) != nil")
+	}
+	plain := errors.New("bad value")
+	if got := ClassOf(Ensure(InvalidArgument, plain)); got != InvalidArgument {
+		t.Fatalf("Ensure did not classify: %v", got)
+	}
+	classed := New(Unavailable, "closing")
+	if Ensure(InvalidArgument, classed) != classed {
+		t.Fatal("Ensure re-wrapped an already classified error")
+	}
+	if got := ClassOf(Ensure(InvalidArgument, fmt.Errorf("x: %w", classed))); got != Unavailable {
+		t.Fatalf("Ensure overrode an inherited class: %v", got)
+	}
+}
+
+// typedErr mimics a typed API error that claims a class via an Is method,
+// the migration path for engine's Invalid*Error types.
+type typedErr struct{ field string }
+
+func (e *typedErr) Error() string { return "bad " + e.field }
+func (e *typedErr) Is(target error) bool {
+	return target == InvalidArgument
+}
+
+func TestQuickTypedErrorClaimsClass(t *testing.T) {
+	var err error = fmt.Errorf("validate: %w", &typedErr{field: "omega"})
+	if ClassOf(err) != InvalidArgument {
+		t.Fatalf("typed Is method not honored: %v", ClassOf(err))
+	}
+	var te *typedErr
+	if !errors.As(err, &te) || te.field != "omega" {
+		t.Fatal("errors.As no longer reaches the typed error")
+	}
+}
+
+func TestQuickCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Classes() {
+		if c.Code() == "" || seen[c.Code()] {
+			t.Fatalf("duplicate or empty code %q", c.Code())
+		}
+		seen[c.Code()] = true
+	}
+	if Code(nil) != "" || ClassOf(nil) != nil {
+		t.Fatal("nil error should be unclassified")
+	}
+	if Code(errors.New("plain")) != "" {
+		t.Fatal("plain error should have empty code")
+	}
+}

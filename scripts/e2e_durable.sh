@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# e2e_durable.sh — end-to-end exercise of esrd's crash-safe persistence.
+#
+# Boots esrd on a fresh -data-dir, builds up durable state (a finished job,
+# a registered matrix, a queue of pending jobs behind a slow one), then:
+#
+#   1. SIGKILLs the daemon mid-queue — no drain, no journal flush beyond
+#      the per-record writes — and restarts it on the same -data-dir;
+#   2. asserts the replay through /metrics (esrd_store_replayed_jobs_total,
+#      esrd_store_blobs) and the API: the finished job reloads with its
+#      result, the matrix registry warms from the blob store, every queued
+#      job re-runs to completion under its original id, and a replayed
+#      job's solution is bit-identical to a freshly submitted twin's;
+#   3. repeats the kill/restart with a net-fleet coordinator (-peers): a
+#      net-transport job accepted before kill -9 must complete after the
+#      restart on the same journal.
+#
+# Every wait is deadline-guarded so a hung socket fails the step fast
+# instead of stalling the job.
+set -euo pipefail
+
+BIN=${1:-./esrd}
+ADDR=127.0.0.1:18081
+BASE="http://$ADDR"
+LOG=$(mktemp)
+DATA=$(mktemp -d)
+DAEMON=""
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  tail -50 "$LOG" >&2
+  exit 1
+}
+
+cleanup() {
+  [ -n "$DAEMON" ] && kill -9 "$DAEMON" 2>/dev/null || true
+  # Orphaned net workers survive a coordinator kill -9; reap them. pkill
+  # exits 1 when nothing matched, which is the happy path here.
+  pkill -9 -f "$(basename "$BIN") -worker" 2>/dev/null || true
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+# Poll a command until it succeeds or the deadline (seconds) fires.
+wait_for() {
+  local deadline=$1 what=$2
+  shift 2
+  local t=0
+  until "$@" >/dev/null 2>&1; do
+    sleep 0.5
+    t=$((t + 1))
+    [ $t -lt $((deadline * 2)) ] || fail "timed out after ${deadline}s waiting for $what"
+  done
+}
+
+# job_state <id> -> prints the job's state field.
+job_state() {
+  curl -sf --max-time 5 "$BASE/v1/jobs/$1" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p'
+}
+
+# wait_done <id> <deadline-s>: poll until the job reaches a terminal state;
+# fail unless that state is "done".
+wait_done() {
+  local id=$1 deadline=$2 t=0 st=""
+  while :; do
+    st=$(job_state "$id" || true)
+    case "$st" in
+    done) return 0 ;;
+    failed | cancelled) fail "job $id ended $st: $(curl -s --max-time 5 "$BASE/v1/jobs/$id")" ;;
+    esac
+    sleep 0.5
+    t=$((t + 1))
+    [ $t -lt $((deadline * 2)) ] || fail "job $id stuck in state '$st' after ${deadline}s"
+  done
+}
+
+# metric <name-regex> -> prints the first matching sample's value (0 if
+# absent). The body is buffered before awk so awk's early exit can never
+# surface as a curl write error under set -e.
+metric() {
+  local body
+  body=$(curl -sf --max-time 5 "$BASE/metrics")
+  awk -v re="$1" '$0 ~ re { print $NF; exit }' <<<"$body"
+}
+
+# solution_x <id> -> prints the job's solution vector JSON, verbatim. Go's
+# float64 JSON encoding is deterministic, so byte equality of these strings
+# is bit equality of the vectors.
+solution_x() {
+  curl -sf --max-time 5 "$BASE/v1/jobs/$1" | grep -o '"x":\[[^]]*\]' | head -1
+}
+
+submit() {
+  curl -sf --max-time 5 "$BASE/v1/jobs" -d "$1" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'
+}
+
+start_daemon() {
+  "$BIN" -addr "$ADDR" -data-dir "$DATA" "$@" >>"$LOG" 2>&1 &
+  DAEMON=$!
+  wait_for 15 "daemon healthz" curl -sf --max-time 2 "$BASE/v1/healthz"
+}
+
+QUICK='{"matrix": {"generator": "poisson2d", "params": {"nx": 24}},
+        "config": {"ranks": 4}, "keep_solution": true}'
+
+# --- 1: build durable state, then kill -9 mid-queue ----------------------
+start_daemon -workers 1
+
+# A finished job whose result must survive the crash.
+PRE=$(submit "$QUICK")
+[ -n "$PRE" ] || fail "pre-crash job submit returned no id"
+wait_done "$PRE" 60
+PRE_X=$(solution_x "$PRE")
+[ -n "$PRE_X" ] || fail "pre-crash job kept no solution"
+
+# A registered matrix whose blob must survive the crash.
+MAT=$(curl -sf --max-time 5 "$BASE/v1/matrices" \
+  -d '{"generator": "poisson2d", "params": {"nx": 32}}' |
+  sed -n 's/.*"id":"\(mat-[^"]*\)".*/\1/p')
+[ -n "$MAT" ] || fail "matrix registration returned no id"
+
+# Wedge the single worker on a slow solve, then queue quick jobs behind it.
+SLOW=$(submit '{"matrix": {"generator": "poisson2d", "params": {"nx": 160}},
+                "config": {"ranks": 4, "preconditioner": "identity", "tol": 1e-12}}')
+[ -n "$SLOW" ] || fail "slow job submit returned no id"
+Q1=$(submit "$QUICK")
+Q2=$(submit "$QUICK")
+Q3=$(submit "{\"matrix_id\": \"$MAT\", \"config\": {\"ranks\": 4}, \"keep_solution\": true}")
+[ -n "$Q1" ] && [ -n "$Q2" ] && [ -n "$Q3" ] || fail "queued job submits returned no ids"
+[ "$(job_state "$Q2")" = "queued" ] || fail "job $Q2 not queued behind the slow job"
+
+kill -9 "$DAEMON" || fail "could not kill -9 daemon $DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+DAEMON=""
+echo "killed daemon mid-queue (1 running, 3 queued)"
+
+# --- 2: restart on the same data dir, assert the replay ------------------
+start_daemon -workers 2
+
+# The replay metric labels each job by its journaled last state: the three
+# jobs behind the slow one were queued, the slow one itself was running.
+REPLAYED=$(metric '^esrd_store_replayed_jobs_total\{state="queued"\}')
+INTERRUPTED=$(metric '^esrd_store_replayed_jobs_total\{state="running"\}')
+RELOADED=$(metric '^esrd_store_replayed_jobs_total\{state="done"\}')
+BLOBS=$(metric '^esrd_store_blobs ')
+[ "${REPLAYED:-0}" -ge 3 ] || fail "expected >=3 requeued jobs after restart, metrics say '${REPLAYED:-0}'"
+[ "${INTERRUPTED:-0}" -ge 1 ] || fail "expected >=1 interrupted running job requeued, metrics say '${INTERRUPTED:-0}'"
+[ "${RELOADED:-0}" -ge 1 ] || fail "expected >=1 reloaded terminal job, metrics say '${RELOADED:-0}'"
+[ "${BLOBS:-0}" -ge 1 ] || fail "expected >=1 matrix blob on disk, metrics say '${BLOBS:-0}'"
+
+# The finished job reloads with its exact result, no re-run.
+[ "$(job_state "$PRE")" = "done" ] || fail "pre-crash job $PRE not reloaded as done"
+[ "$(solution_x "$PRE")" = "$PRE_X" ] || fail "pre-crash job $PRE result changed across restart"
+
+# The matrix registry warmed from the blob store.
+curl -sf --max-time 5 "$BASE/v1/matrices/$MAT" >/dev/null ||
+  fail "matrix $MAT did not survive the restart"
+
+# Every interrupted job re-runs to completion under its original id...
+for id in "$Q1" "$Q2" "$Q3" "$SLOW"; do
+  wait_done "$id" 180
+done
+
+# ...and a replayed job's solution is bit-identical to a fresh twin's.
+TWIN=$(submit "$QUICK")
+[ -n "$TWIN" ] || fail "twin job submit returned no id"
+wait_done "$TWIN" 60
+Q1_X=$(solution_x "$Q1")
+TWIN_X=$(solution_x "$TWIN")
+[ -n "$Q1_X" ] || fail "replayed job $Q1 kept no solution"
+[ "$Q1_X" = "$TWIN_X" ] || fail "replayed job $Q1 solution differs from fresh twin $TWIN"
+echo "ok: crash replay (queued=$REPLAYED running=$INTERRUPTED reloaded=$RELOADED), results bit-identical"
+
+kill -TERM "$DAEMON"
+wait "$DAEMON" 2>/dev/null || fail "daemon did not drain cleanly on SIGTERM"
+DAEMON=""
+
+# --- 3: net-fleet coordinator kill -9 / restart --------------------------
+NET=""
+start_daemon -workers 1 -peers 2 -drain-timeout 30s
+NET=$(submit '{"matrix": {"generator": "poisson2d", "params": {"nx": 48}},
+               "config": {"ranks": 2, "transport": "net"}}')
+[ -n "$NET" ] || fail "net job submit returned no id"
+kill -9 "$DAEMON" || fail "could not kill -9 coordinator $DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+DAEMON=""
+pkill -9 -f "$(basename "$BIN") -worker" 2>/dev/null || true
+echo "killed net coordinator with job $NET in flight"
+
+start_daemon -workers 1 -peers 2 -drain-timeout 30s
+wait_done "$NET" 180
+echo "ok: net coordinator restart completed the in-flight job"
+
+kill -TERM "$DAEMON"
+wait "$DAEMON" 2>/dev/null || fail "coordinator did not drain cleanly on SIGTERM"
+DAEMON=""
+trap - EXIT
+cleanup
+echo "PASS"
