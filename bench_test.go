@@ -360,6 +360,48 @@ func BenchmarkStrategyOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkTwinOverhead measures the steady-state cost of the twin-replica
+// strategy against plain ESR on failure-free solves: the shadow sync (four
+// vector copies) plus the checksum exchange per comparison interval. The
+// interval-8 case amortizes both; the CI bench trajectory gates this group so
+// the twin poll point stays cheap relative to the SpMV it rides on.
+func BenchmarkTwinOverhead(b *testing.B) {
+	a := Poisson2D(64, 64)
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = 1 + 0.25*math.Sin(float64(i))
+	}
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"esr-phi1", []Option{WithPhi(1)}},
+		{"twin-every1", []Option{WithStrategy(TwinStrategy)}},
+		{"twin-every8", []Option{WithStrategy(TwinStrategy), WithTwinInterval(8)}},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := NewSolver(a, append([]Option{WithRanks(8)}, tc.opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := s.Solve(ctx, rhs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !sol.Result.Converged {
+					b.Fatal("did not converge")
+				}
+			}
+		})
+	}
+}
+
 // benchCountingTracer is a minimal Tracer for overhead measurement: two
 // atomic increments per callback, nothing else, so the benchmark isolates
 // the solver-side cost of the phase clock and the trace delivery.

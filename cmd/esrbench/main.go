@@ -72,7 +72,7 @@ func main() {
 		table      = flag.Int("table", 0, "reproduce table 1, 2 or 3")
 		figure     = flag.Int("figure", 0, "reproduce figure 1, 2, 3 or 4")
 		analysis   = flag.Bool("analysis", false, "evaluate the Sec. 4.2 communication bounds")
-		strategies = flag.Bool("strategies", false, "compare recovery strategies (ESR vs checkpoint/restart vs restart)")
+		strategies = flag.Bool("strategies", false, "compare recovery strategies (ESR vs twin vs checkpoint/restart vs restart), incl. bit-flip detection latency")
 		all        = flag.Bool("all", false, "reproduce everything")
 		scale      = flag.String("scale", "small", "matrix scale: tiny, small or paper")
 		ranks      = flag.Int("ranks", 16, "number of simulated compute nodes")

@@ -87,7 +87,11 @@ func main() {
 	transport := flag.String("transport", engine.TransportChan,
 		"default communication fabric for jobs that do not pick one (chan|fast|chaos|net)")
 	strategy := flag.String("strategy", engine.StrategyESR,
-		"default failure-recovery strategy for jobs that do not pick one (esr|checkpoint|restart)")
+		"default failure-recovery strategy for jobs that do not pick one (esr|checkpoint|restart|twin)")
+	twinInterval := flag.Int("twin-interval", 0,
+		"default twin-strategy comparison period in iterations for jobs that do not pick one (0 = library default, 1)")
+	sdcCheck := flag.Int("sdc-check-interval", 0,
+		"default true-residual SDC check period in iterations for jobs that do not pick one (0 disables the check)")
 	threads := flag.Int("threads", 0,
 		"default per-rank kernel thread cap for jobs that do not pick one (0 = GOMAXPROCS)")
 	blockSize := flag.Int("block-size", 0,
@@ -144,6 +148,12 @@ func main() {
 	}
 	if err := (engine.Config{Strategy: *strategy}).Validate(); err != nil {
 		fatal("bad -strategy", "err", err)
+	}
+	if err := (engine.Config{TwinInterval: *twinInterval}).Validate(); err != nil {
+		fatal("bad -twin-interval", "err", err)
+	}
+	if err := (engine.Config{SDCCheckInterval: *sdcCheck}).Validate(); err != nil {
+		fatal("bad -sdc-check-interval", "err", err)
 	}
 	if err := (engine.Config{Threads: *threads}).Validate(); err != nil {
 		fatal("bad -threads", "err", err)
@@ -232,6 +242,7 @@ func main() {
 		PrepCacheSize: *prepCache, PrepCacheTTL: *prepTTL,
 		MaxMatrices: *maxMatrices, DefaultTransport: *transport,
 		DefaultStrategy: *strategy, DefaultThreads: *threads,
+		DefaultTwinInterval: *twinInterval, DefaultSDCCheck: *sdcCheck,
 		DefaultBlockSize: *blockSize,
 		TraceIters:       *traceIters, NetRunner: netRunner,
 		Store: st,

@@ -194,6 +194,7 @@ var classStatus = map[*xerr.Class]int{
 	xerr.FailedPrecondition: http.StatusConflict,
 	xerr.ResourceExhausted:  http.StatusTooManyRequests,
 	xerr.Unavailable:        http.StatusServiceUnavailable,
+	xerr.DataLoss:           http.StatusInternalServerError,
 	xerr.Internal:           http.StatusInternalServerError,
 }
 

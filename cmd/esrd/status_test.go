@@ -28,6 +28,7 @@ func TestQuickStatusTable(t *testing.T) {
 		xerr.FailedPrecondition: http.StatusConflict,
 		xerr.ResourceExhausted:  http.StatusTooManyRequests,
 		xerr.Unavailable:        http.StatusServiceUnavailable,
+		xerr.DataLoss:           http.StatusInternalServerError,
 		xerr.Internal:           http.StatusInternalServerError,
 	}
 	classes := xerr.Classes()

@@ -3,12 +3,15 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	esr "repro"
 	"repro/internal/engine"
+	"repro/internal/xerr"
 )
 
 // TestCrossStrategy is the end-to-end strategy matrix: the same system,
@@ -44,6 +47,9 @@ func TestCrossStrategy(t *testing.T) {
 		wantRedone int
 	}{
 		{"esr", esr.Config{Ranks: ranks, Phi: 2, Strategy: esr.StrategyESR, Schedule: sched}, 0},
+		// Twin delegates fail-stop recovery to the ESR reconstruction, so it
+		// shares ESR's zero-redo recovery profile.
+		{"twin", esr.Config{Ranks: ranks, Phi: 2, Strategy: esr.StrategyTwin, Schedule: sched}, 0},
 		{"checkpoint", esr.Config{Ranks: ranks, Strategy: esr.StrategyCheckpoint,
 			CheckpointInterval: interval, Schedule: sched}, failAt + 1 - (failAt/interval)*interval},
 		{"restart", esr.Config{Ranks: ranks, Strategy: esr.StrategyRestart, Schedule: sched}, failAt + 1},
@@ -134,13 +140,13 @@ func TestCrossStrategy(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{esr.StrategyESR, esr.StrategyCheckpoint, esr.StrategyRestart} {
+	for _, name := range []string{esr.StrategyESR, esr.StrategyTwin, esr.StrategyCheckpoint, esr.StrategyRestart} {
 		u, ok := health.Strategies[name]
 		if !ok || u.Solves == 0 || u.Episodes == 0 {
 			t.Fatalf("healthz strategies gauge missing %q: %+v", name, health.Strategies)
 		}
 	}
-	if got := eng.StrategyStats(); len(got) != 3 {
+	if got := eng.StrategyStats(); len(got) != 4 {
 		t.Fatalf("engine strategy gauges = %+v", got)
 	}
 
@@ -181,4 +187,98 @@ func TestCrossStrategy(t *testing.T) {
 			t.Fatalf("stats restarts = %d, want 1", got)
 		}
 	})
+}
+
+// TestQuickTwinSPCGRejectedAtSubmit: the split-preconditioned pipeline only
+// supports the ESR strategy, so a job pairing it with twin must be rejected
+// at submit time with an invalid_argument-classed 400 — not accepted and
+// failed asynchronously.
+func TestQuickTwinSPCGRejectedAtSubmit(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	body := `{"matrix":{"generator":"poisson2d","params":{"nx":8}},
+		"config":{"ranks":2,"strategy":"twin","method":"spcg","preconditioner":"ic0"}}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var envelope apiError
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != xerr.InvalidArgument.Code() {
+		t.Fatalf("error code = %q, want %q", envelope.Error.Code, xerr.InvalidArgument.Code())
+	}
+	if !strings.Contains(envelope.Error.Message, "spcg") {
+		t.Fatalf("error message %q does not name the method", envelope.Error.Message)
+	}
+}
+
+// TestDaemonSDCJob runs a bit-flip job under the twin strategy through the
+// daemon and checks the observability chain end to end: the job result
+// carries the exact SDC counters, the healthz strategies gauge aggregates
+// them, and the /metrics exposition serves the solver_sdc_* series.
+func TestDaemonSDCJob(t *testing.T) {
+	const nx = 16
+	a := esr.Poisson2D(nx, nx)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%4)/4
+	}
+	sched := esr.NewSchedule(
+		esr.BitFlip(5, 1, esr.TargetX, 3, 52),
+		esr.BitFlip(9, 0, esr.TargetR, 0, 51),
+	)
+	ts, _ := newTestServer(t, 1)
+	id := postJob(t, ts, engine.JobSpec{
+		Matrix: engine.MatrixSpec{Generator: "poisson2d", Params: map[string]float64{"nx": nx}},
+		RHS:    b,
+		Config: esr.Config{Ranks: 4, Strategy: esr.StrategyTwin, Schedule: sched},
+	})
+	st := waitState(t, ts, id, 60*time.Second)
+	if st.State != engine.StateDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	res := st.Result.Result
+	if !res.Converged || res.SDCInjected != 2 || res.SDCDetected != 2 || res.SDCCorrected != 2 {
+		t.Fatalf("result %+v, want converged with SDC counters 2/2/2", res)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Strategies map[string]esr.StrategyStats `json:"strategies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	tw, ok := health.Strategies[esr.StrategyTwin]
+	if !ok || tw.SDCInjected != 2 || tw.SDCDetected != 2 || tw.SDCCorrected != 2 {
+		t.Fatalf("healthz twin gauge = %+v, want SDC 2/2/2", health.Strategies)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	exposition, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		`solver_sdc_injected_total{strategy="twin"} 2`,
+		`solver_sdc_detected_total{strategy="twin"} 2`,
+		`solver_sdc_corrected_total{strategy="twin"} 2`,
+	} {
+		if !strings.Contains(string(exposition), series) {
+			t.Fatalf("metrics exposition missing %q", series)
+		}
+	}
 }

@@ -32,6 +32,9 @@ var (
 	ErrResourceExhausted = xerr.ResourceExhausted
 	// ErrUnavailable: the serving component is closed or draining.
 	ErrUnavailable = xerr.Unavailable
+	// ErrDataLoss: solver data was lost beyond the redundancy's coverage, or
+	// silent corruption was detected without a strategy able to repair it.
+	ErrDataLoss = xerr.DataLoss
 	// ErrInternal: an invariant broke; the caller cannot fix this.
 	ErrInternal = xerr.Internal
 )

@@ -103,6 +103,31 @@ func ContiguousRanks(start, count, clusterSize int) []int {
 	return faults.ContiguousRanks(start, count, clusterSize)
 }
 
+// Corruption is the silent-data-corruption payload of a BitFlip event: which
+// solver vector, which local element, which bit.
+type Corruption = faults.Corruption
+
+// Corruption targets: the solver vectors a BitFlip event can strike.
+const (
+	// TargetX is the iterate x(j).
+	TargetX = faults.TargetX
+	// TargetR is the recurrence residual r(j).
+	TargetR = faults.TargetR
+	// TargetP is the search direction p(j).
+	TargetP = faults.TargetP
+	// TargetZ is the preconditioned residual z(j).
+	TargetZ = faults.TargetZ
+)
+
+// BitFlip schedules a silent-data-corruption injection: at the poll point of
+// the given iteration, the given bit of the given local element of one solver
+// vector on one rank is flipped — no crash, no error, just wrong data. The
+// TwinStrategy detects and repairs such events; WithSDCCheck detects them
+// under any strategy.
+func BitFlip(iteration, rank int, target string, index, bit int) Event {
+	return faults.BitFlip(iteration, rank, target, index, bit)
+}
+
 // Result reports a solve: iterations, residuals, the Eqn. 7 deviation
 // metric, and the reconstruction episodes.
 type Result = core.Result
@@ -141,6 +166,12 @@ func MultiTracer(ts ...Tracer) Tracer { return core.MultiTracer(ts...) }
 // the redundancy level covers).
 type DataLossError = core.DataLossError
 
+// SDCDetectedError reports silent data corruption caught by the WithSDCCheck
+// true-residual drift check under a strategy that cannot repair it: the
+// solve is classified as failed (ErrDataLoss) instead of silently returning
+// a wrong answer.
+type SDCDetectedError = core.SDCDetectedError
+
 // Preconditioner names accepted by Config (the wire format). The typed
 // Preconditioner constants in options.go (Identity, Jacobi, ...) are the
 // session-API equivalents.
@@ -169,6 +200,7 @@ const (
 	StrategyESR        = engine.StrategyESR
 	StrategyCheckpoint = engine.StrategyCheckpoint
 	StrategyRestart    = engine.StrategyRestart
+	StrategyTwin       = engine.StrategyTwin
 )
 
 // StrategyStats aggregates a session's recovery-strategy observables:

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -20,6 +21,23 @@ type ChaosConfig struct {
 	// it alive (Alive, and the fail-stop unwinding of Send/Recv). 0
 	// selects 1ms; negative makes notification immediate.
 	NotifyLag time.Duration
+	// CorruptEvery, when > 0, arms the seeded wire-corruption mode: on each
+	// FIFO wire, every CorruptEvery-th qualifying float payload has one
+	// seeded bit flipped in one seeded element before delivery — silent data
+	// corruption in transit, the fault class the SDC detectors must catch.
+	// The flip is deterministic per (seed, wire, message ordinal).
+	CorruptEvery int
+	// CorruptMinLen qualifies payloads by float count: only messages
+	// carrying at least this many floats are eligible for corruption. 0
+	// selects 8, which corrupts the bulk halo/redundancy/recovery frames
+	// while sparing the short collective payloads — those carry replicated
+	// control-flow decisions (convergence, reduction scalars), and
+	// diverging them across ranks would deadlock the SPMD program rather
+	// than model data corruption.
+	CorruptMinLen int
+	// CorruptTags, when non-nil, further restricts corruption to messages
+	// whose tag satisfies the predicate.
+	CorruptTags func(tag int) bool
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -31,6 +49,9 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	}
 	if c.NotifyLag == 0 {
 		c.NotifyLag = time.Millisecond
+	}
+	if c.CorruptMinLen == 0 {
+		c.CorruptMinLen = 8
 	}
 	return c
 }
@@ -60,6 +81,7 @@ type ChaosTransport struct {
 	mu     sync.Mutex
 	chains map[wireKey]chan struct{} // completion of the last wire delivery per key
 	seqs   map[wireKey]uint64        // per-key message counter, for seeded delays
+	cseqs  map[wireKey]uint64        // per-key qualifying-payload counter (corruption mode)
 }
 
 // wireKey identifies one FIFO wire: messages sharing it are never
@@ -76,6 +98,7 @@ func NewChaosTransport(inner Transport, cfg ChaosConfig) *ChaosTransport {
 		cfg:    cfg.withDefaults(),
 		chains: map[wireKey]chan struct{}{},
 		seqs:   map[wireKey]uint64{},
+		cseqs:  map[wireKey]uint64{},
 	}
 }
 
@@ -124,7 +147,27 @@ func (t *ChaosTransport) Deliver(rt *Runtime, sender, dst *node, m Msg, own bool
 	t.chains[key] = done
 	seq := t.seqs[key]
 	t.seqs[key] = seq + 1
+	corrupt := false
+	var cseq uint64
+	if t.cfg.CorruptEvery > 0 && len(m.F) >= t.cfg.CorruptMinLen &&
+		(t.cfg.CorruptTags == nil || t.cfg.CorruptTags(m.Tag)) {
+		cseq = t.cseqs[key]
+		t.cseqs[key] = cseq + 1
+		corrupt = cseq%uint64(t.cfg.CorruptEvery) == uint64(t.cfg.CorruptEvery)-1
+	}
 	t.mu.Unlock()
+	if corrupt {
+		// The payload is owned here (copied above or ownership-transferred
+		// by the sender), so the flip cannot alias the sender's buffer. One
+		// seeded bit of one seeded element flips — deterministic per
+		// (seed, wire, ordinal), like the delay draws.
+		h := splitmix64(uint64(t.cfg.Seed)<<17 ^
+			uint64(key.from)<<42 ^ uint64(key.to)<<21 ^ uint64(key.tag)<<3 ^ cseq)
+		i := int(h % uint64(len(m.F)))
+		bit := uint((h >> 32) % 64)
+		m.F[i] = math.Float64frombits(math.Float64bits(m.F[i]) ^ (1 << bit))
+		t.ct.corrupted.Add(1)
+	}
 	delay := t.delayFor(key, seq)
 	t.ct.delayed.Add(1)
 	time.AfterFunc(delay, func() {

@@ -120,6 +120,9 @@ type TransportStats struct {
 	// runtime aborted while the message was in flight; net: frames decoded
 	// for a dead or aborted destination).
 	Dropped int64 `json:"dropped"`
+	// Corrupted counts payloads the chaos wire's corruption mode bit-flipped
+	// in transit.
+	Corrupted int64 `json:"corrupted"`
 	// BytesSent/BytesReceived count wire traffic (net transport only).
 	BytesSent     int64 `json:"bytes_sent"`
 	BytesReceived int64 `json:"bytes_received"`
@@ -137,6 +140,7 @@ func (s *TransportStats) Add(o TransportStats) {
 	s.PoolNews += o.PoolNews
 	s.Delayed += o.Delayed
 	s.Dropped += o.Dropped
+	s.Corrupted += o.Corrupted
 	s.BytesSent += o.BytesSent
 	s.BytesReceived += o.BytesReceived
 	s.Reconnects += o.Reconnects
@@ -147,7 +151,7 @@ func (s *TransportStats) Add(o TransportStats) {
 type transportCounters struct {
 	delivered, copied           atomic.Int64
 	poolGets, poolPuts, poolNew atomic.Int64
-	delayed, dropped            atomic.Int64
+	delayed, dropped, corrupted atomic.Int64
 }
 
 func (c *transportCounters) snapshot() TransportStats {
@@ -159,6 +163,7 @@ func (c *transportCounters) snapshot() TransportStats {
 		PoolNews:  c.poolNew.Load(),
 		Delayed:   c.delayed.Load(),
 		Dropped:   c.dropped.Load(),
+		Corrupted: c.corrupted.Load(),
 	}
 }
 

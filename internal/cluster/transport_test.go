@@ -391,3 +391,113 @@ func TestQuickTransportByName(t *testing.T) {
 		t.Fatal("unknown transport name should be rejected")
 	}
 }
+
+// TestQuickChaosWireCorruption: the seeded corruption mode flips exactly one
+// bit of one element in every CorruptEvery-th qualifying payload per wire,
+// deterministically per seed; short payloads and excluded tags pass clean,
+// and the Corrupted counter accounts for every flip.
+func TestQuickChaosWireCorruption(t *testing.T) {
+	const (
+		rounds = 6
+		width  = 16
+	)
+	run := func(seed int64, tags func(int) bool) ([][]float64, TransportStats) {
+		t.Helper()
+		tr := NewChaosTransport(NewChanTransport(), ChaosConfig{
+			Seed:         seed,
+			MaxDelay:     -1, // keep ordering trivial; corruption is the subject
+			NotifyLag:    -1,
+			CorruptEvery: 2,
+			CorruptTags:  tags,
+		})
+		rt := New(2, WithTransport(tr))
+		var got [][]float64
+		err := rt.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				for i := 0; i < rounds; i++ {
+					buf := make([]float64, width)
+					for j := range buf {
+						buf[j] = float64(i*width + j)
+					}
+					if err := c.SendFloats(CatOther, 1, 1, buf); err != nil {
+						return err
+					}
+					// Short control payloads must never qualify.
+					if err := c.SendFloats(CatOther, 1, 2, []float64{float64(i)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < rounds; i++ {
+				f, err := c.RecvFloats(0, 1)
+				if err != nil {
+					return err
+				}
+				got = append(got, append([]float64(nil), f...))
+				s, err := c.RecvFloats(0, 2)
+				if err != nil {
+					return err
+				}
+				if len(s) != 1 || s[0] != float64(i) {
+					return fmt.Errorf("short payload %d corrupted: %v", i, s)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, tr.Stats()
+	}
+
+	diffBits := func(i int, f []float64) int {
+		n := 0
+		for j := range f {
+			want := float64(i*width + j)
+			if f[j] != want {
+				x := math.Float64bits(f[j]) ^ math.Float64bits(want)
+				for ; x != 0; x &= x - 1 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+
+	got, st := run(3, nil)
+	// Every 2nd qualifying payload on the wire: ordinals 1, 3, 5.
+	for i, f := range got {
+		bits := diffBits(i, f)
+		if i%2 == 1 && bits != 1 {
+			t.Fatalf("payload %d: %d bits flipped, want exactly 1", i, bits)
+		}
+		if i%2 == 0 && bits != 0 {
+			t.Fatalf("payload %d: corrupted off-cadence (%d bits)", i, bits)
+		}
+	}
+	if st.Corrupted != rounds/2 {
+		t.Fatalf("Corrupted = %d, want %d", st.Corrupted, rounds/2)
+	}
+
+	// Same seed, same flips — bitwise.
+	again, _ := run(3, nil)
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != again[i][j] {
+				t.Fatalf("seed 3 not deterministic at payload %d element %d", i, j)
+			}
+		}
+	}
+
+	// Tag predicate excludes the bulk tag: everything passes clean.
+	clean, cst := run(3, func(tag int) bool { return tag == 99 })
+	for i, f := range clean {
+		if diffBits(i, f) != 0 {
+			t.Fatalf("payload %d corrupted despite excluded tag", i)
+		}
+	}
+	if cst.Corrupted != 0 {
+		t.Fatalf("Corrupted = %d with excluding predicate", cst.Corrupted)
+	}
+}

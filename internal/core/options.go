@@ -59,6 +59,15 @@ type Options struct {
 	// LocalMaxIter bounds the reconstruction subsystem iterations; <= 0
 	// selects 40 * subsystem size.
 	LocalMaxIter int
+	// SDCCheck, when > 0, arms the driver's silent-data-corruption
+	// detector: every SDCCheck iterations (and once more at convergence)
+	// the true residual ||b - A x|| is recomputed and compared against the
+	// recurrence residual ||r||. Drift beyond the tolerance means some
+	// state was corrupted. The twin strategy repairs the drift by forward
+	// recovery (the recurrences restart from the current iterate); every
+	// other strategy fails the solve with *SDCDetectedError instead of
+	// silently converging to a wrong answer. 0 disables the check.
+	SDCCheck int
 	// Threads caps the goroutine fan-out of the node-local parallel kernels
 	// (reductions, fused vector updates, the SpMV row chunks) per rank;
 	// <= 0 selects the automatic GOMAXPROCS default. Thread counts never
@@ -194,6 +203,15 @@ type Result struct {
 	// Reconstructions lists the recovery episodes (empty for reference PCG
 	// or failure-free resilient runs).
 	Reconstructions []Reconstruction
+	// SDCInjected counts the silent-data-corruption injections the schedule
+	// fired; SDCDetected counts detections (twin divergence or true-residual
+	// drift); SDCCorrected counts forward-recovery repairs (twin only).
+	// Replicated: all ranks report identical counts.
+	SDCInjected, SDCDetected, SDCCorrected int
+	// SDCLatency is the total detection latency in iterations, summed over
+	// detected corruptions (0 when every corruption is caught at its own
+	// poll point, as with the twin strategy's default interval of 1).
+	SDCLatency int
 	// SolveTime is the total wall-clock solve time; ReconstructTime is the
 	// part spent in reconstruction episodes.
 	SolveTime, ReconstructTime time.Duration

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/vec"
+	"repro/internal/xerr"
 )
 
 // Recovery phases. Overlapping failures fire at phase boundaries and
@@ -53,6 +54,10 @@ func (e *DataLossError) Error() string {
 	return fmt.Sprintf("core: unrecoverable data loss at iteration %d: failed ranks %v exceed the stored redundancy",
 		e.Iteration, e.FailedRanks)
 }
+
+// Is claims the data_loss error class, so API boundaries classify the
+// failure without matching the concrete type.
+func (e *DataLossError) Is(target error) bool { return target == xerr.DataLoss }
 
 // EpisodeFailures tracks the cumulative failed set of one recovery episode
 // and applies the paper's Sec. 4.1 overlapping-failure rule uniformly for

@@ -25,12 +25,22 @@ const (
 	// all; a failure throws every iteration away and the solve restarts
 	// from the initial guess x0.
 	StrategyRestart = "restart"
+	// StrategyTwin is the TwinCG-style scheme (arXiv:1605.04580): a shadow
+	// replica of the solver state with periodic checksum exchange, forward
+	// recovery of silent data corruption (no rollback), and delegation to
+	// ESR reconstruction for fail-stop failures.
+	StrategyTwin = "twin"
 )
 
 // StrategyNames lists the built-in recovery-strategy names.
 func StrategyNames() []string {
-	return []string{StrategyESR, StrategyCheckpoint, StrategyRestart}
+	return []string{StrategyESR, StrategyCheckpoint, StrategyRestart, StrategyTwin}
 }
+
+// DefaultTwinInterval is the default twin checksum-exchange cadence: every
+// iteration, so a bit-flip is caught at its own poll point — before it leaks
+// into a reduction — and the restored state is bitwise the fault-free one.
+const DefaultTwinInterval = 1
 
 // NumRecoveryPhases is the number of recovery-episode phases at whose
 // boundaries overlapping failures can strike (paper Sec. 4.1). Rollback
@@ -61,6 +71,10 @@ type SolverState struct {
 	// X0 is a clone of the rank's initial-guess block, kept only when the
 	// strategy needs a cold-restart target (see RestartStrategy).
 	X0 []float64
+
+	// Twin is the rank's shadow replica, kept only by the twin strategy
+	// (see NewTwinStrategy).
+	Twin *TwinShadow
 }
 
 // Wipe destroys this rank's dynamic solver data, simulating the memory loss
@@ -143,6 +157,15 @@ type StrategyStats struct {
 	// RecoveryFloats counts reconstruction-episode traffic
 	// (cluster.CatRecovery).
 	RecoveryFloats int64 `json:"recovery_floats"`
+	// SDCInjected counts silent-data-corruption injections
+	// (faults.Corruption events fired at poll points).
+	SDCInjected int64 `json:"sdc_injected"`
+	// SDCDetected counts corruptions detected, by twin divergence or by the
+	// periodic true-residual check.
+	SDCDetected int64 `json:"sdc_detected"`
+	// SDCCorrected counts corruptions repaired by forward recovery (twin
+	// strategy only; detection-only solves detect but never correct).
+	SDCCorrected int64 `json:"sdc_corrected"`
 	// RecoveryTime is the wall-clock time spent in recovery episodes.
 	RecoveryTime time.Duration `json:"recovery_ns"`
 }
@@ -157,6 +180,9 @@ func (s *StrategyStats) Add(o StrategyStats) {
 	s.CheckpointFloats += o.CheckpointFloats
 	s.RedundancyFloats += o.RedundancyFloats
 	s.RecoveryFloats += o.RecoveryFloats
+	s.SDCInjected += o.SDCInjected
+	s.SDCDetected += o.SDCDetected
+	s.SDCCorrected += o.SDCCorrected
 	s.RecoveryTime += o.RecoveryTime
 }
 
@@ -168,6 +194,9 @@ func StatsFromResult(res Result) StrategyStats {
 		Solves:           1,
 		Episodes:         int64(len(res.Reconstructions)),
 		RedoneIterations: int64(res.WorkIterations - res.Iterations),
+		SDCInjected:      int64(res.SDCInjected),
+		SDCDetected:      int64(res.SDCDetected),
+		SDCCorrected:     int64(res.SDCCorrected),
 		RecoveryTime:     res.ReconstructTime,
 	}
 	for _, rec := range res.Reconstructions {
@@ -188,7 +217,9 @@ func NewESRStrategy() Strategy { return esrStrategy{} }
 func (esrStrategy) Name() string { return StrategyESR }
 
 func (esrStrategy) Init(st *SolverState) error {
-	if !st.Sched.Empty() && st.A.Ret == nil {
+	// Corruption-only schedules need no redundancy: corruption victims keep
+	// running, so only fail-stop events require the ESR copies.
+	if st.Sched.HasFailStop() && st.A.Ret == nil {
 		return fmt.Errorf("core: ESR recovery needs a resilience-enabled matrix (phi >= 1) to honour a failure schedule")
 	}
 	return nil
@@ -339,6 +370,20 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 	}
 	target := func() float64 { return opts.Tol * st.R0 }
 
+	// poller is non-nil for strategies that detect and repair silent data
+	// corruption themselves (twin); others rely on the detection-only
+	// SDCCheck drift check below.
+	poller, _ := strat.(sdcPoller)
+	var sdcScratch distmat.Vector
+	if opts.SDCCheck > 0 {
+		sdcScratch = distmat.NewVector(a.P, e.Pos)
+	}
+	// sdcPending tracks injected-but-undetected corruption iterations for
+	// the detection-latency accounting; sdcFired plays the role of `fired`
+	// for corruption events on rollback replays.
+	var sdcPending []int
+	sdcFired := map[int]bool{}
+
 	// clock times the iteration phases for the tracer; nil (the common case)
 	// reduces every hook below to a pointer test, so the untraced loop never
 	// reads the wall clock mid-iteration.
@@ -361,6 +406,10 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 	}
 	for j < opts.MaxIter {
 		var victims []int
+		// redoJ marks that iteration j's state was rebuilt (in-place
+		// fail-stop reconstruction or a non-bitwise corruption repair): the
+		// SpMV of j must be redone and r'z recomputed before continuing.
+		redoJ := false
 		if resuming {
 			resuming = false
 			victims = opts.Resume.Victims
@@ -382,6 +431,73 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 				return res, err
 			}
 			clock.stopSpMV()
+			// Corruption poll point: scheduled bit flips strike here — the
+			// same point as the fail-stop events below, after u = A p(j) was
+			// computed from the still-clean p. All ranks count every
+			// injection (the Result stays replicated); only the victim
+			// applies the flip.
+			if sites := sched.CorruptionsAt(j); len(sites) > 0 && !sdcFired[j] {
+				sdcFired[j] = true
+				res.SDCInjected += len(sites)
+				for _, s := range sites {
+					sdcPending = append(sdcPending, j)
+					if s.Rank == e.Pos {
+						applyCorruption(st, s)
+					}
+				}
+			}
+			// Twin checksum exchange + vote + forward recovery. This runs
+			// before the fail-stop recovery below so the u-test still sees
+			// the pre-injection u = A p(j).
+			if poller != nil {
+				out, perr := poller.PollSDC(st, j)
+				if perr != nil {
+					return res, perr
+				}
+				redoJ = out.Redo
+				if out.Detected > 0 {
+					res.SDCDetected += out.Detected
+					res.SDCCorrected += out.Corrected
+					for _, inj := range sdcPending {
+						res.SDCLatency += j - inj
+					}
+					sdcPending = sdcPending[:0]
+					if opts.Tracer != nil {
+						opts.Tracer.TraceRecovery(RecoveryTrace{
+							Iteration: j, Strategy: strat.Name(),
+							FailedRanks: out.Ranks, Corruption: true,
+						})
+					}
+				}
+			}
+			// Periodic true-residual drift check (detection-only for
+			// strategies without a repair path).
+			if opts.SDCCheck > 0 && j > 0 && j%opts.SDCCheck == 0 {
+				rtrue, rrec, bad, derr := sdcDrift(st, sdcScratch)
+				if derr != nil {
+					return res, derr
+				}
+				if bad {
+					res.SDCDetected++
+					for _, inj := range sdcPending {
+						res.SDCLatency += j - inj
+					}
+					sdcPending = sdcPending[:0]
+					if poller == nil {
+						return res, &SDCDetectedError{Iteration: j, TrueResidual: rtrue, RecurrenceResidual: rrec}
+					}
+					if rerr := poller.RepairDrift(st, j); rerr != nil {
+						return res, rerr
+					}
+					res.SDCCorrected++
+					redoJ = true
+					if opts.Tracer != nil {
+						opts.Tracer.TraceRecovery(RecoveryTrace{
+							Iteration: j, Strategy: strat.Name(), Corruption: true,
+						})
+					}
+				}
+			}
 			// Poll point: the paper's failures strike here, after the copies
 			// of p(j) exist on phi other ranks.
 			if v := sched.AtIteration(j); len(v) > 0 && !fired[j] {
@@ -428,15 +544,19 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 				j = resume
 				continue
 			}
-			// In-place reconstruction: redo the SpMV of iteration j —
-			// recomputes u everywhere and re-establishes the redundancy
-			// copies on the replacements.
+			// In-place reconstruction: fall through to the shared redo.
+			redoJ = true
+		}
+		if redoJ {
+			// Redo the SpMV of iteration j — recomputes u everywhere and
+			// re-establishes the redundancy copies on reconstructed or
+			// repaired state.
 			clock.start()
 			if err := a.MatVec(e, st.U, st.P, j); err != nil {
 				return res, err
 			}
 			clock.stopSpMV()
-			// r'z involves reconstructed blocks: recompute it.
+			// r'z involves rebuilt blocks: recompute it.
 			clock.start()
 			rz, err := distmat.DotN(e, st.R, st.Z, opts.Threads)
 			clock.stopAllreduce()
@@ -494,6 +614,20 @@ func ResilientPCG(e *distmat.Env, a *distmat.Matrix, x, b distmat.Vector, m Prec
 
 	if err := finishResult(e, a, x, b, &res); err != nil {
 		return res, err
+	}
+	// Convergence verification: with SDC checking armed, a solve never
+	// reports success while the recurrence residual disagrees with the true
+	// residual — corruption that slipped between periodic checks surfaces
+	// here instead of as a silently wrong answer.
+	if opts.SDCCheck > 0 && res.Converged {
+		diff := math.Abs(res.TrueResidual - res.FinalResidual)
+		if !(diff <= sdcDriftTol*math.Max(st.R0, res.TrueResidual)) {
+			res.SDCDetected++
+			return res, &SDCDetectedError{
+				Iteration: res.Iterations, TrueResidual: res.TrueResidual,
+				RecurrenceResidual: res.FinalResidual,
+			}
+		}
 	}
 	res.SolveTime = time.Since(start)
 	return res, nil

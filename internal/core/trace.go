@@ -36,6 +36,10 @@ type RecoveryTrace struct {
 	// RedoneIterations is the rollback depth: how many completed iterations
 	// the episode threw away (0 for ESR's in-place reconstruction).
 	RedoneIterations int `json:"redone_iterations"`
+	// Corruption marks a silent-data-corruption correction episode (twin
+	// forward recovery) rather than a fail-stop recovery. FailedRanks then
+	// holds the diverged ranks.
+	Corruption bool `json:"corruption,omitempty"`
 	// Duration is the wall-clock time of the episode.
 	Duration time.Duration `json:"duration_ns"`
 }

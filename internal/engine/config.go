@@ -55,6 +55,14 @@ const (
 	// StrategyRestart is the null strategy: no protection work at all; a
 	// failure restarts the solve from the initial guess. Works at Phi 0.
 	StrategyRestart = core.StrategyRestart
+	// StrategyTwin is the TwinCG-style twin-replica scheme: a node-local
+	// shadow copy of the solver state, compared by checksum every
+	// TwinInterval iterations; on divergence a scalar-residual vote picks
+	// the healthy copy and the solve continues forward (no rollback). The
+	// only strategy that *corrects* silent data corruption. Fail-stop
+	// failures delegate to ESR reconstruction, so it needs Phi >= 1 to
+	// honour a fail-stop schedule (corruption-only schedules run at Phi 0).
+	StrategyTwin = core.StrategyTwin
 )
 
 // ThreadsAuto is the explicit "automatic" value of Config.Threads: it
@@ -151,6 +159,24 @@ type Config struct {
 	// Negative values are rejected with *InvalidCheckpointIntervalError.
 	// Preparation-scoped, like Strategy.
 	CheckpointInterval int `json:"checkpoint_interval,omitempty"`
+	// TwinInterval is the shadow-synchronisation and checksum-comparison
+	// period in iterations of the twin strategy (default 1: every
+	// iteration is compared, so a bit flip is caught at the poll point of
+	// the iteration it strikes and repaired bitwise; ignored by the other
+	// strategies). Negative values are rejected with
+	// *InvalidTwinIntervalError. Preparation-scoped, like Strategy.
+	TwinInterval int `json:"twin_interval,omitempty"`
+	// SDCCheckInterval, when > 0, arms the periodic silent-data-corruption
+	// detector: every SDCCheckInterval iterations (and once more at
+	// convergence) the true residual ||b - A x|| is compared against the
+	// recurrence residual. Under the twin strategy detected drift is
+	// repaired forward; under every other strategy the solve fails with a
+	// data_loss-classed *core.SDCDetectedError instead of silently
+	// returning a wrong answer. 0 (the default) disables the detector;
+	// negative values are rejected with *InvalidSDCCheckIntervalError. The
+	// check needs the resilient solver (it is incompatible with Method
+	// "pcg" and "spcg"). Preparation-scoped, like Strategy.
+	SDCCheckInterval int `json:"sdc_check_interval,omitempty"`
 	// Threads caps the per-rank goroutine fan-out of the node-local parallel
 	// kernels (SpMV row chunks, reductions, fused vector updates, the Jacobi
 	// preconditioner): 0 (the default) selects GOMAXPROCS automatically.
@@ -221,6 +247,9 @@ func (c Config) WithDefaults() Config {
 	if c.CheckpointInterval == 0 {
 		c.CheckpointInterval = checkpoint.DefaultInterval
 	}
+	if c.TwinInterval == 0 {
+		c.TwinInterval = core.DefaultTwinInterval
+	}
 	if c.BlockSize == 0 {
 		c.BlockSize = DefaultBlockSize
 	}
@@ -259,8 +288,8 @@ type InvalidStrategyError struct {
 
 // Error implements the error interface.
 func (e *InvalidStrategyError) Error() string {
-	return fmt.Sprintf("engine: unknown strategy %q (want %q, %q or %q)",
-		e.Strategy, StrategyESR, StrategyCheckpoint, StrategyRestart)
+	return fmt.Sprintf("engine: unknown strategy %q (want %q, %q, %q or %q)",
+		e.Strategy, StrategyESR, StrategyCheckpoint, StrategyRestart, StrategyTwin)
 }
 
 // Is claims the InvalidArgument class.
@@ -315,6 +344,37 @@ func (e *InvalidCheckpointIntervalError) Error() string {
 // Is claims the InvalidArgument class.
 func (e *InvalidCheckpointIntervalError) Is(target error) bool { return target == xerr.InvalidArgument }
 
+// InvalidTwinIntervalError reports a non-positive twin comparison interval:
+// a shadow that is never compared can never catch a corruption.
+type InvalidTwinIntervalError struct {
+	// Interval is the rejected period.
+	Interval int
+}
+
+// Error implements the error interface.
+func (e *InvalidTwinIntervalError) Error() string {
+	return fmt.Sprintf("engine: twin interval %d must be positive", e.Interval)
+}
+
+// Is claims the InvalidArgument class.
+func (e *InvalidTwinIntervalError) Is(target error) bool { return target == xerr.InvalidArgument }
+
+// InvalidSDCCheckIntervalError reports a negative silent-data-corruption
+// check interval: 0 disables the detector, positive values set its period,
+// and nothing else is meaningful.
+type InvalidSDCCheckIntervalError struct {
+	// Interval is the rejected period.
+	Interval int
+}
+
+// Error implements the error interface.
+func (e *InvalidSDCCheckIntervalError) Error() string {
+	return fmt.Sprintf("engine: SDC check interval %d invalid: use a positive period, or 0 to disable the check", e.Interval)
+}
+
+// Is claims the InvalidArgument class.
+func (e *InvalidSDCCheckIntervalError) Is(target error) bool { return target == xerr.InvalidArgument }
+
 // Validate checks the configuration after WithDefaults normalization:
 // preconditioner and method names must be known, the SSOR relaxation factor
 // must satisfy 0 < omega < 2 (rejected with *InvalidOmegaError otherwise),
@@ -354,7 +414,7 @@ func (c Config) validate() error {
 			c.Transport, TransportChan, TransportFast, TransportChaos, TransportNet)
 	}
 	switch c.Strategy {
-	case StrategyESR, StrategyCheckpoint, StrategyRestart:
+	case StrategyESR, StrategyCheckpoint, StrategyRestart, StrategyTwin:
 	default:
 		return &InvalidStrategyError{Strategy: c.Strategy}
 	}
@@ -362,6 +422,18 @@ func (c Config) validate() error {
 		// WithDefaults resolves the unset zero to the default period, so
 		// only explicitly negative intervals reach this check.
 		return &InvalidCheckpointIntervalError{Interval: c.CheckpointInterval}
+	}
+	if c.TwinInterval <= 0 {
+		// Same shape as the checkpoint interval: only explicit negatives
+		// survive WithDefaults.
+		return &InvalidTwinIntervalError{Interval: c.TwinInterval}
+	}
+	if c.SDCCheckInterval < 0 {
+		return &InvalidSDCCheckIntervalError{Interval: c.SDCCheckInterval}
+	}
+	if c.SDCCheckInterval > 0 && (c.Method == MethodPCG || c.Method == MethodSPCG) {
+		return fmt.Errorf("engine: method %q does not run the silent-data-corruption check (use %q or %q)",
+			c.Method, MethodAuto, MethodESRPCG)
 	}
 	if c.Method == MethodSPCG && c.Strategy != StrategyESR {
 		return fmt.Errorf("engine: method %q supports only the %q recovery strategy, got %q",

@@ -270,6 +270,14 @@ type Options struct {
 	// whose Config.Strategy is empty ("" keeps the library default, esr).
 	// Must be a name Config.Validate accepts.
 	DefaultStrategy string
+	// DefaultTwinInterval is the twin comparison period applied to jobs
+	// whose Config.TwinInterval is 0 (0 keeps the library default, 1).
+	// Must be a period Config.Validate accepts.
+	DefaultTwinInterval int
+	// DefaultSDCCheck is the silent-data-corruption check period applied to
+	// jobs whose Config.SDCCheckInterval is 0 (0 keeps the detector off).
+	// Must be a period Config.Validate accepts.
+	DefaultSDCCheck int
 	// DefaultThreads is the per-rank kernel thread cap applied to jobs whose
 	// Config.Threads is 0 (0 keeps the library default: GOMAXPROCS). Must be
 	// non-negative.
@@ -320,6 +328,8 @@ type Engine struct {
 	matrices         *matrixStore
 	defaultTransport string
 	defaultStrategy  string
+	defaultTwin      int
+	defaultSDCCheck  int
 	defaultThreads   int
 	defaultBlockSize int
 	traceIters       int
@@ -388,6 +398,18 @@ func New(opts Options) *Engine {
 			panic(fmt.Sprintf("engine: invalid Options.DefaultStrategy %q", opts.DefaultStrategy))
 		}
 	}
+	if opts.DefaultTwinInterval != 0 {
+		// And again for the twin comparison period.
+		if err := (Config{TwinInterval: opts.DefaultTwinInterval}).Validate(); err != nil {
+			panic(fmt.Sprintf("engine: invalid Options.DefaultTwinInterval %d", opts.DefaultTwinInterval))
+		}
+	}
+	if opts.DefaultSDCCheck != 0 {
+		// And again for the SDC check period.
+		if err := (Config{SDCCheckInterval: opts.DefaultSDCCheck}).Validate(); err != nil {
+			panic(fmt.Sprintf("engine: invalid Options.DefaultSDCCheck %d", opts.DefaultSDCCheck))
+		}
+	}
 	if opts.DefaultThreads == ThreadsAuto {
 		opts.DefaultThreads = 0 // explicit-auto is the zero default here
 	}
@@ -412,6 +434,8 @@ func New(opts Options) *Engine {
 		matrices:         newMatrixStore(opts.MaxMatrices),
 		defaultTransport: opts.DefaultTransport,
 		defaultStrategy:  opts.DefaultStrategy,
+		defaultTwin:      opts.DefaultTwinInterval,
+		defaultSDCCheck:  opts.DefaultSDCCheck,
 		defaultThreads:   opts.DefaultThreads,
 		defaultBlockSize: opts.DefaultBlockSize,
 		traceIters:       opts.TraceIters,
@@ -1078,6 +1102,17 @@ func (e *Engine) run(j *job) {
 		// ESR-shaped and pcg runs no strategy at all, so a non-ESR daemon
 		// default would fail a job its client validly submitted.
 		cfg.Strategy = e.defaultStrategy
+	}
+	if cfg.TwinInterval == 0 {
+		// Daemon-level twin comparison period for jobs that did not pick one
+		// (inert unless the resolved strategy is twin); prep-cache keyed.
+		cfg.TwinInterval = e.defaultTwin
+	}
+	if cfg.SDCCheckInterval == 0 && cfg.Method != MethodSPCG && cfg.Method != MethodPCG {
+		// Daemon-level SDC check period, with the same method exemption as
+		// the default strategy: the reference solvers do not run the check,
+		// so arming it on them would fail a validly submitted job.
+		cfg.SDCCheckInterval = e.defaultSDCCheck
 	}
 	if cfg.Threads == 0 {
 		// Daemon-level kernel thread cap for jobs that did not pick one (0

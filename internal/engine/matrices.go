@@ -262,10 +262,18 @@ func prepKey(matrixHash string, cfg Config) string {
 		// field.
 		interval = cfg.CheckpointInterval
 	}
+	twin := 0
+	if cfg.Strategy == StrategyTwin {
+		// Same reasoning as the checkpoint interval: the twin comparison
+		// period only shapes solves under the twin strategy.
+		twin = cfg.TwinInterval
+	}
 	// Threads is preparation-scoped too: the per-rank kernels bake the cap
 	// in, so sessions differing only in the thread cap must not share an
 	// entry (the cap bounds a session's CPU appetite, not its numerics).
-	return fmt.Sprintf("%s|r=%d|phi=%d|prec=%s|omega=%g|tr=%s|seed=%d|st=%s|ckpt=%d|th=%d",
+	// SDCCheckInterval is preparation-scoped like Strategy: a session runs
+	// every solve with (or without) the armed detector.
+	return fmt.Sprintf("%s|r=%d|phi=%d|prec=%s|omega=%g|tr=%s|seed=%d|st=%s|ckpt=%d|twin=%d|sdc=%d|th=%d",
 		matrixHash, cfg.Ranks, cfg.Phi, cfg.Preconditioner, omega, cfg.Transport, seed,
-		cfg.Strategy, interval, cfg.Threads)
+		cfg.Strategy, interval, twin, cfg.SDCCheckInterval, cfg.Threads)
 }

@@ -67,14 +67,14 @@ type engineMetrics struct {
 // series, in the struct's field order (see snapshotTransports, which relies
 // on these names to rebuild the JSON stats block).
 var transportStatNames = []string{
-	"delivered", "copied", "pool_gets", "pool_puts", "pool_news", "delayed", "dropped", "reconnects",
+	"delivered", "copied", "pool_gets", "pool_puts", "pool_news", "delayed", "dropped", "corrupted", "reconnects",
 }
 
 // transportStatValues flattens s in transportStatNames order. The byte
 // counters are deliberately absent: they live on the two-label
 // solver_transport_bytes_total{transport,direction} series instead.
 func transportStatValues(s cluster.TransportStats) []int64 {
-	return []int64{s.Delivered, s.Copied, s.PoolGets, s.PoolPuts, s.PoolNews, s.Delayed, s.Dropped, s.Reconnects}
+	return []int64{s.Delivered, s.Copied, s.PoolGets, s.PoolPuts, s.PoolNews, s.Delayed, s.Dropped, s.Corrupted, s.Reconnects}
 }
 
 // strategyStatNames maps the integer core.StrategyStats fields onto counter
@@ -82,12 +82,14 @@ func transportStatValues(s cluster.TransportStats) []int64 {
 var strategyStatNames = []string{
 	"solves", "episodes", "restarts", "redone_iterations",
 	"checkpoints", "checkpoint_floats", "redundancy_floats", "recovery_floats",
+	"sdc_injected", "sdc_detected", "sdc_corrected",
 }
 
 // strategyStatValues flattens s in strategyStatNames order.
 func strategyStatValues(s core.StrategyStats) []int64 {
 	return []int64{s.Solves, s.Episodes, s.Restarts, s.RedoneIterations,
-		s.Checkpoints, s.CheckpointFloats, s.RedundancyFloats, s.RecoveryFloats}
+		s.Checkpoints, s.CheckpointFloats, s.RedundancyFloats, s.RecoveryFloats,
+		s.SDCInjected, s.SDCDetected, s.SDCCorrected}
 }
 
 // strategyStatHelp documents each strategy counter series.
@@ -100,6 +102,9 @@ var strategyStatHelp = map[string]string{
 	"checkpoint_floats": "Float64 elements shipped to/from simulated reliable storage per strategy.",
 	"redundancy_floats": "Extra ESR elements piggybacked on the SpMV halo traffic per strategy.",
 	"recovery_floats":   "Reconstruction-episode traffic in float64 elements per strategy.",
+	"sdc_injected":      "Scheduled silent-data-corruption bit flips injected into solver state per strategy.",
+	"sdc_detected":      "Silent corruptions detected (twin divergence or residual drift) per strategy.",
+	"sdc_corrected":     "Silent corruptions repaired by twin forward recovery per strategy.",
 }
 
 // transportStatHelp documents each transport counter series.
@@ -111,6 +116,7 @@ var transportStatHelp = map[string]string{
 	"pool_news":  "Buffer recycler misses (fresh allocations) per transport.",
 	"delayed":    "Messages delayed by the chaos fabric per transport.",
 	"dropped":    "Failure-dropped messages per transport.",
+	"corrupted":  "Payloads bit-flipped in transit by the chaos wire's corruption mode per transport.",
 	"reconnects": "Re-established peer connections on the net fabric per transport.",
 }
 
@@ -520,6 +526,7 @@ func snapshotTransports(s metrics.Snapshot) map[string]TransportUsage {
 		func(t *cluster.TransportStats, v int64) { t.PoolNews = v },
 		func(t *cluster.TransportStats, v int64) { t.Delayed = v },
 		func(t *cluster.TransportStats, v int64) { t.Dropped = v },
+		func(t *cluster.TransportStats, v int64) { t.Corrupted = v },
 		func(t *cluster.TransportStats, v int64) { t.Reconnects = v },
 	}
 	for i, f := range transportStatNames {
@@ -620,6 +627,9 @@ func snapshotStrategies(s metrics.Snapshot) map[string]core.StrategyStats {
 		func(t *core.StrategyStats, v int64) { t.CheckpointFloats = v },
 		func(t *core.StrategyStats, v int64) { t.RedundancyFloats = v },
 		func(t *core.StrategyStats, v int64) { t.RecoveryFloats = v },
+		func(t *core.StrategyStats, v int64) { t.SDCInjected = v },
+		func(t *core.StrategyStats, v int64) { t.SDCDetected = v },
+		func(t *core.StrategyStats, v int64) { t.SDCCorrected = v },
 	}
 	for i, f := range strategyStatNames {
 		for name, v := range s.ByLabel("solver_"+f+"_total", "strategy") {

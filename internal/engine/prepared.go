@@ -179,6 +179,8 @@ func (ps *Prepared) newStrategy(rt *cluster.Runtime) (core.Strategy, *checkpoint
 		return checkpoint.NewStrategy(store, ps.cfg.CheckpointInterval), store
 	case StrategyRestart:
 		return core.NewRestartStrategy(), nil
+	case StrategyTwin:
+		return core.NewTwinStrategy(ps.cfg.TwinInterval), nil
 	default:
 		return core.NewESRStrategy(), nil
 	}
@@ -316,12 +318,14 @@ func (ps *Prepared) method(opts SolveOpts) (string, error) {
 	}
 	switch m {
 	case MethodAuto:
-		if ps.cfg.Strategy == StrategyESR && ps.cfg.Phi == 0 && opts.Schedule.Empty() {
+		if ps.cfg.Strategy == StrategyESR && ps.cfg.Phi == 0 && opts.Schedule.Empty() &&
+			ps.cfg.SDCCheckInterval == 0 {
 			// Nothing for the resilient driver to do: no redundancy, no
-			// failures, and the ESR strategy adds no steady-state work.
-			// Non-ESR strategies always take the driver so their overhead
-			// (periodic checkpoints) is exercised and measurable even on
-			// failure-free solves.
+			// failures, no SDC check, and the ESR strategy adds no
+			// steady-state work. Non-ESR strategies always take the driver
+			// so their overhead (periodic checkpoints, twin comparisons) is
+			// exercised and measurable even on failure-free solves; an armed
+			// SDC check needs the driver because only it runs the check.
 			return MethodPCG, nil
 		}
 		return MethodESRPCG, nil
@@ -397,11 +401,14 @@ func (ps *Prepared) solveOn(ctx context.Context, rt *cluster.Runtime, localRanks
 	if err := opts.Schedule.Validate(ps.cfg.Ranks); err != nil {
 		return Solution{}, err
 	}
-	if !opts.Schedule.Empty() && ps.cfg.Phi == 0 && ps.cfg.Strategy == StrategyESR {
+	if opts.Schedule.HasFailStop() && ps.cfg.Phi == 0 &&
+		(ps.cfg.Strategy == StrategyESR || ps.cfg.Strategy == StrategyTwin) {
 		// Reject at the door instead of spinning up the runtime just for
-		// the solver's own resilience-enabled check to fail. Only the ESR
-		// strategy needs redundancy; checkpoint/restart recover without it.
-		return Solution{}, fmt.Errorf("esr: a failure schedule needs a session prepared with phi >= 1 (or a non-ESR recovery strategy)")
+		// the solver's own resilience-enabled check to fail. Only ESR
+		// reconstruction needs redundancy (the twin strategy delegates its
+		// fail-stop recovery to it); checkpoint/restart roll back without
+		// it, and corruption-only schedules never lose a node's state.
+		return Solution{}, fmt.Errorf("esr: a fail-stop schedule needs a session prepared with phi >= 1 (or a checkpoint/restart recovery strategy)")
 	}
 	method, err := ps.method(opts)
 	if err != nil {
@@ -456,7 +463,7 @@ func (ps *Prepared) solveOn(ctx context.Context, rt *cluster.Runtime, localRanks
 		bv := distmat.Vector{P: ps.part, Pos: e.Pos, Local: append([]float64(nil), b[pr.lo:pr.hi]...)}
 		x := distmat.NewVector(ps.part, e.Pos)
 		copts := core.Options{Tol: opts.Tol, MaxIter: opts.MaxIter, LocalTol: opts.LocalTol,
-			Threads: ps.cfg.Threads, Ctx: ctx,
+			Threads: ps.cfg.Threads, Ctx: ctx, SDCCheck: ps.cfg.SDCCheckInterval,
 			OnFailure: opts.OnFailure, Resume: opts.Resume}
 		if c.Rank() == 0 {
 			copts.Progress = opts.Progress
@@ -473,6 +480,14 @@ func (ps *Prepared) solveOn(ctx context.Context, rt *cluster.Runtime, localRanks
 			res, err = core.ResilientPCG(e, m, x, bv, pr.prec, copts, opts.Schedule, strat)
 		}
 		if err != nil {
+			if c.Rank() == 0 {
+				// A failed solve still carries observables — most importantly
+				// the SDC counters of a detection-classified failure (the
+				// whole point of the detector is that the failure is visible).
+				mu.Lock()
+				sol.Result = res
+				mu.Unlock()
+			}
 			return err
 		}
 		full, err := distmat.Gather(e, x)
@@ -492,6 +507,26 @@ func (ps *Prepared) solveOn(ctx context.Context, rt *cluster.Runtime, localRanks
 			// Close aborted this solve's runtime; surface the session error,
 			// not a wrapped per-rank abort.
 			return Solution{}, ErrPreparedClosed
+		}
+		if hasRank0 {
+			// Fold the SDC counters of the failed solve into the session
+			// aggregate (Solves stays 0 — nothing finished), so a detected
+			// corruption shows up in the strategy gauges even though the
+			// solve was classified as failed.
+			r := sol.Result
+			if r.SDCInjected+r.SDCDetected+r.SDCCorrected > 0 {
+				delta := core.StrategyStats{
+					SDCInjected:  int64(r.SDCInjected),
+					SDCDetected:  int64(r.SDCDetected),
+					SDCCorrected: int64(r.SDCCorrected),
+				}
+				ps.mu.Lock()
+				ps.sstats.Add(delta)
+				ps.mu.Unlock()
+				if ps.strategySink != nil {
+					ps.strategySink(ps.cfg.Strategy, delta)
+				}
+			}
 		}
 		return Solution{}, err
 	}

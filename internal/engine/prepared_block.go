@@ -25,8 +25,14 @@ func (ps *Prepared) ValidateBatch(bs [][]float64) error {
 // (checkpoint/restart) and the split-preconditioner SPCG method keep their
 // single-RHS drivers, so batches on such sessions fall back to looped
 // per-column solves.
+// The silent-data-corruption machinery (twin strategy, armed SDC check,
+// corruption events in the schedule) likewise lives in the single-RHS driver
+// only, so such batches fall back to looped solves too.
 func (ps *Prepared) CanSolveBlock(opts SolveOpts) bool {
 	if ps.cfg.Strategy != StrategyESR || opts.Resume != nil {
+		return false
+	}
+	if ps.cfg.SDCCheckInterval != 0 || opts.Schedule.HasCorruption() {
 		return false
 	}
 	m, err := ps.method(opts)
@@ -78,8 +84,8 @@ func (ps *Prepared) SolveBlock(ctx context.Context, bs [][]float64, opts SolveOp
 	if err := opts.Schedule.Validate(ps.cfg.Ranks); err != nil {
 		return nil, nil, err
 	}
-	if !opts.Schedule.Empty() && ps.cfg.Phi == 0 {
-		return nil, nil, fmt.Errorf("esr: a failure schedule needs a session prepared with phi >= 1 (or a non-ESR recovery strategy)")
+	if opts.Schedule.HasFailStop() && ps.cfg.Phi == 0 {
+		return nil, nil, fmt.Errorf("esr: a fail-stop schedule needs a session prepared with phi >= 1 (or a checkpoint/restart recovery strategy)")
 	}
 	if !ps.CanSolveBlock(opts) {
 		if _, err := ps.method(opts); err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/precond"
 	"repro/internal/sparse"
 	"repro/internal/stats"
+	"repro/internal/xerr"
 )
 
 // StrategyMeasurement is one protected solve's observables under a recovery
@@ -33,6 +35,17 @@ type StrategyMeasurement struct {
 	RecoveryFloats int64
 	// CheckpointFloats is the reliable-storage volume (cluster.CatCheckpoint).
 	CheckpointFloats int64
+	// SDCInjected/SDCDetected/SDCCorrected count silent-data-corruption
+	// injections, detections and twin forward repairs; SDCLatency is the
+	// summed detection latency in iterations.
+	SDCInjected  int
+	SDCDetected  int
+	SDCCorrected int
+	SDCLatency   int
+	// SDCFailed reports that the solve was classified as failed by the
+	// drift detector (the detection-only outcome of strategies without a
+	// repair path); the measurement's counters remain valid.
+	SDCFailed bool
 }
 
 // OverheadFloats is the steady-state protection volume of the run: the
@@ -43,11 +56,14 @@ func (m StrategyMeasurement) OverheadFloats() int64 {
 
 // SolveStrategyOnce runs one distributed solve of A x = b protected by the
 // named recovery strategy (core.StrategyESR / StrategyCheckpoint /
-// StrategyRestart), through the same core.ResilientPCG driver the engine
-// uses, and returns the rank-0 measurement with the per-category traffic
-// volumes. interval is the checkpoint period (ignored by the other
-// strategies); phi is the ESR redundancy level (0 for the others).
-func SolveStrategyOnce(a *sparse.CSR, ranks, phi int, sched *faults.Schedule, strategy string, interval int, tol, localTol float64) (StrategyMeasurement, error) {
+// StrategyRestart / StrategyTwin), through the same core.ResilientPCG driver
+// the engine uses, and returns the rank-0 measurement with the per-category
+// traffic volumes. interval is the checkpoint period (or, for twin, the
+// comparison period; 0 selects the default); phi is the ESR redundancy level
+// (0 for the rollback strategies). sdcCheck, when > 0, arms the periodic
+// true-residual drift check; a solve classified as failed by it returns with
+// SDCFailed set and a nil error — the detection itself is the measurement.
+func SolveStrategyOnce(a *sparse.CSR, ranks, phi int, sched *faults.Schedule, strategy string, interval, sdcCheck int, tol, localTol float64) (StrategyMeasurement, error) {
 	rt := cluster.New(ranks)
 	var strat core.Strategy
 	var store *checkpoint.Store
@@ -59,6 +75,8 @@ func SolveStrategyOnce(a *sparse.CSR, ranks, phi int, sched *faults.Schedule, st
 		strat = checkpoint.NewStrategy(store, interval)
 	case core.StrategyRestart:
 		strat = core.NewRestartStrategy()
+	case core.StrategyTwin:
+		strat = core.NewTwinStrategy(interval)
 	default:
 		return StrategyMeasurement{}, fmt.Errorf("experiments: unknown strategy %q", strategy)
 	}
@@ -79,12 +97,12 @@ func SolveStrategyOnce(a *sparse.CSR, ranks, phi int, sched *faults.Schedule, st
 		prec := core.LocalPrecond{P: bj}
 		b := distmat.Vector{P: p, Pos: e.Pos, Local: rhsFor(lo, hi)}
 		x := distmat.NewVector(p, e.Pos)
-		opts := core.Options{Tol: tol, LocalTol: localTol}
+		opts := core.Options{Tol: tol, LocalTol: localTol, SDCCheck: sdcCheck}
 		res, err := core.ResilientPCG(e, m, x, b, prec, opts, sched, strat)
-		if err != nil {
-			return err
-		}
 		if c.Rank() == 0 {
+			// Captured even when the solve errored: a drift-detection
+			// failure still carries the SDC counters this comparison is
+			// measuring.
 			mu.Lock()
 			meas = StrategyMeasurement{
 				Measurement: Measurement{
@@ -96,13 +114,23 @@ func SolveStrategyOnce(a *sparse.CSR, ranks, phi int, sched *faults.Schedule, st
 				},
 				WorkIterations: res.WorkIterations,
 				Episodes:       len(res.Reconstructions),
+				SDCInjected:    res.SDCInjected,
+				SDCDetected:    res.SDCDetected,
+				SDCCorrected:   res.SDCCorrected,
+				SDCLatency:     res.SDCLatency,
 			}
 			mu.Unlock()
 		}
-		return nil
+		return err
 	})
 	if err != nil {
-		return meas, err
+		if errors.Is(err, xerr.DataLoss) && meas.SDCDetected > 0 {
+			// The armed drift check refused to converge wrong: that is the
+			// intended detection-only outcome, not a measurement failure.
+			meas.SDCFailed = true
+		} else {
+			return meas, err
+		}
 	}
 	ctrs := rt.Counters()
 	meas.RedundancyFloats = ctrs.Floats(cluster.CatRedundancy)
@@ -145,6 +173,18 @@ type StrategyCell struct {
 	// RecoveryFloats is the recovery-episode traffic of the failure runs
 	// (reconstruction gathers for ESR, checkpoint restores for C/R).
 	RecoveryFloats int64
+	// SDCDetected/SDCCorrected are the mean detected and repaired corruption
+	// counts of the bit-flip runs, and SDCLatency the mean detection latency
+	// in iterations. The twin strategy detects through its shadow comparison
+	// and repairs forward; the others run the periodic true-residual drift
+	// check in detection-only mode.
+	SDCDetected  float64 `json:"sdc_detected"`
+	SDCCorrected float64 `json:"sdc_corrected"`
+	SDCLatency   float64 `json:"sdc_latency_iters"`
+	// SDCFailed reports that the bit-flip runs ended classified as failed —
+	// the intended detection-only outcome for strategies that cannot repair
+	// corruption (the safe alternative to silently converging wrong).
+	SDCFailed bool `json:"sdc_failed"`
 	// Converged reports whether every run met the tolerance.
 	Converged bool
 }
@@ -206,7 +246,12 @@ func (cfg Config) strategyRow(id string, a *sparse.CSR, failures int, intervals 
 		interval int
 		phi      int
 	}
-	variants := []variant{{core.StrategyESR, 0, failures}}
+	variants := []variant{
+		{core.StrategyESR, 0, failures},
+		// Twin delegates fail-stop recovery to ESR reconstruction, so the
+		// failure runs need the same redundancy level.
+		{core.StrategyTwin, 0, failures},
+	}
 	for _, iv := range intervals {
 		variants = append(variants, variant{core.StrategyCheckpoint, iv, 0})
 	}
@@ -217,7 +262,7 @@ func (cfg Config) strategyRow(id string, a *sparse.CSR, failures int, intervals 
 		// Failure-free runs: the strategy's steady-state overhead.
 		var undT []float64
 		for rep := 0; rep < cfg.Reps; rep++ {
-			m, err := SolveStrategyOnce(a, cfg.Ranks, v.phi, nil, v.strategy, v.interval, cfg.Tol, cfg.LocalTol)
+			m, err := SolveStrategyOnce(a, cfg.Ranks, v.phi, nil, v.strategy, v.interval, 0, cfg.Tol, cfg.LocalTol)
 			if err != nil {
 				return row, err
 			}
@@ -231,7 +276,7 @@ func (cfg Config) strategyRow(id string, a *sparse.CSR, failures int, intervals 
 		// Failure runs: the strategy's recovery cost.
 		var failT, recT, redo []float64
 		for rep := 0; rep < cfg.Reps; rep++ {
-			m, err := SolveStrategyOnce(a, cfg.Ranks, v.phi, sched, v.strategy, v.interval, cfg.Tol, cfg.LocalTol)
+			m, err := SolveStrategyOnce(a, cfg.Ranks, v.phi, sched, v.strategy, v.interval, 0, cfg.Tol, cfg.LocalTol)
 			if err != nil {
 				return row, err
 			}
@@ -246,6 +291,31 @@ func (cfg Config) strategyRow(id string, a *sparse.CSR, failures int, intervals 
 		cell.WithFailurePct = 100 * (stats.Mean(failT) - row.T0) / row.T0
 		cell.RecoveryPct = 100 * stats.Mean(recT) / row.T0
 		cell.RedoneIters = stats.Mean(redo)
+		// Corruption runs: one bit flip in the iterate at the kill iteration.
+		// The twin strategy detects it through its shadow comparison and
+		// repairs forward; the other strategies run the periodic drift check
+		// and must classify the solve as failed instead of silently
+		// converging wrong. Detection latency is injection-to-detection in
+		// iterations.
+		corr := faults.NewSchedule(faults.BitFlip(row.FailAt, 0, faults.TargetX, 0, 52))
+		sdcCheck := 10
+		if v.strategy == core.StrategyTwin {
+			sdcCheck = 0 // the shadow comparison is the detector
+		}
+		var det, fix, lat []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			m, err := SolveStrategyOnce(a, cfg.Ranks, v.phi, corr, v.strategy, v.interval, sdcCheck, cfg.Tol, cfg.LocalTol)
+			if err != nil {
+				return row, err
+			}
+			det = append(det, float64(m.SDCDetected))
+			fix = append(fix, float64(m.SDCCorrected))
+			lat = append(lat, float64(m.SDCLatency))
+			cell.SDCFailed = cell.SDCFailed || m.SDCFailed
+		}
+		cell.SDCDetected = stats.Mean(det)
+		cell.SDCCorrected = stats.Mean(fix)
+		cell.SDCLatency = stats.Mean(lat)
 		row.Cells = append(row.Cells, cell)
 	}
 	return row, nil
@@ -254,12 +324,13 @@ func (cfg Config) strategyRow(id string, a *sparse.CSR, failures int, intervals 
 // FormatStrategyTable renders the comparison as aligned text.
 func FormatStrategyTable(rows []StrategyRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Strategy comparison: ESR vs checkpoint/restart vs cold restart (overheads in %% of reference t0)\n")
+	fmt.Fprintf(&b, "Strategy comparison: ESR vs twin vs checkpoint/restart vs cold restart (overheads in %% of reference t0)\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-4s t0 = %8.4fs  iters = %-5d failures: %d ranks at iteration %d\n",
 			r.ID, r.T0, r.RefIters, r.Failures, r.FailAt)
-		fmt.Fprintf(&b, "      %-22s %10s %14s %12s %12s %10s %14s\n",
-			"strategy", "overhead", "extra floats", "w/ failures", "recovery", "redone", "rec floats")
+		fmt.Fprintf(&b, "      %-22s %10s %14s %12s %12s %10s %14s %8s %8s %8s\n",
+			"strategy", "overhead", "extra floats", "w/ failures", "recovery", "redone", "rec floats",
+			"sdc det", "sdc fix", "det lat")
 		for _, c := range r.Cells {
 			name := c.Strategy
 			switch {
@@ -272,9 +343,12 @@ func FormatStrategyTable(rows []StrategyRow) string {
 			if !c.Converged {
 				mark = " !"
 			}
-			fmt.Fprintf(&b, "      %-22s %9.1f%% %14d %11.1f%% %11.1f%% %10.1f %14d%s\n",
+			if c.SDCFailed {
+				mark += " [sdc: failed-safe]"
+			}
+			fmt.Fprintf(&b, "      %-22s %9.1f%% %14d %11.1f%% %11.1f%% %10.1f %14d %8.1f %8.1f %8.1f%s\n",
 				name, c.OverheadPct, c.OverheadFloats, c.WithFailurePct, c.RecoveryPct,
-				c.RedoneIters, c.RecoveryFloats, mark)
+				c.RedoneIters, c.RecoveryFloats, c.SDCDetected, c.SDCCorrected, c.SDCLatency, mark)
 		}
 	}
 	b.WriteString("'extra floats' is the steady-state protection volume per solve: the redundant\n")
@@ -283,5 +357,9 @@ func FormatStrategyTable(rows []StrategyRow) string {
 	b.WriteString("resumes at the failure iteration, C/R redoes up to a full interval, restart\n")
 	b.WriteString("redoes everything. C/R wins only when checkpoints are cheap relative to the\n")
 	b.WriteString("iteration volume they protect; see README 'Resilience strategies'.\n")
+	b.WriteString("'sdc det/fix/lat' come from bit-flip runs: corruptions detected, repaired\n")
+	b.WriteString("forward (twin only), and the injection-to-detection latency in iterations.\n")
+	b.WriteString("'[sdc: failed-safe]' marks detection-only strategies that classified the\n")
+	b.WriteString("corrupted solve as failed instead of silently converging wrong.\n")
 	return b.String()
 }

@@ -16,15 +16,15 @@ func TestQuickStrategyComparison(t *testing.T) {
 	const ranks = 4
 	sched := faults.NewSchedule(faults.Simultaneous(8, 1, 2))
 
-	esr, err := SolveStrategyOnce(a, ranks, 2, sched, core.StrategyESR, 0, 1e-8, 1e-14)
+	esr, err := SolveStrategyOnce(a, ranks, 2, sched, core.StrategyESR, 0, 0, 1e-8, 1e-14)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ck, err := SolveStrategyOnce(a, ranks, 0, sched, core.StrategyCheckpoint, 5, 1e-8, 1e-14)
+	ck, err := SolveStrategyOnce(a, ranks, 0, sched, core.StrategyCheckpoint, 5, 0, 1e-8, 1e-14)
 	if err != nil {
 		t.Fatal(err)
 	}
-	re, err := SolveStrategyOnce(a, ranks, 0, sched, core.StrategyRestart, 0, 1e-8, 1e-14)
+	re, err := SolveStrategyOnce(a, ranks, 0, sched, core.StrategyRestart, 0, 0, 1e-8, 1e-14)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,22 +64,38 @@ func TestQuickStrategyTable(t *testing.T) {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	r := rows[0]
-	if r.RefIters == 0 || len(r.Cells) != 3 { // esr, checkpoint@5, restart
+	if r.RefIters == 0 || len(r.Cells) != 4 { // esr, twin, checkpoint@5, restart
 		t.Fatalf("row = %+v", r)
 	}
 	for _, c := range r.Cells {
 		if !c.Converged {
 			t.Fatalf("cell %q did not converge: %+v", c.Strategy, c)
 		}
+		// Every variant ran the bit-flip round and noticed the corruption:
+		// twin through its shadow comparison (and repaired it forward), the
+		// rest through the drift check (classifying the solve as failed).
+		if c.SDCDetected == 0 {
+			t.Fatalf("cell %q missed the bit flip: %+v", c.Strategy, c)
+		}
+		if c.Strategy == core.StrategyTwin {
+			if c.SDCCorrected == 0 || c.SDCFailed {
+				t.Fatalf("twin cell did not repair forward: %+v", c)
+			}
+		} else if c.SDCCorrected != 0 || !c.SDCFailed {
+			t.Fatalf("cell %q should be detection-only failed-safe: %+v", c.Strategy, c)
+		}
 	}
 	if r.Cells[0].Strategy != core.StrategyESR || r.Cells[0].OverheadFloats == 0 {
 		t.Fatalf("esr cell: %+v", r.Cells[0])
 	}
-	if r.Cells[1].Interval != 5 || r.Cells[1].OverheadFloats == 0 {
-		t.Fatalf("checkpoint cell: %+v", r.Cells[1])
+	if r.Cells[1].Strategy != core.StrategyTwin || r.Cells[1].OverheadFloats == 0 {
+		t.Fatalf("twin cell: %+v", r.Cells[1])
 	}
-	if r.Cells[2].Strategy != core.StrategyRestart || r.Cells[2].OverheadFloats != 0 {
-		t.Fatalf("restart cell: %+v", r.Cells[2])
+	if r.Cells[2].Interval != 5 || r.Cells[2].OverheadFloats == 0 {
+		t.Fatalf("checkpoint cell: %+v", r.Cells[2])
+	}
+	if r.Cells[3].Strategy != core.StrategyRestart || r.Cells[3].OverheadFloats != 0 {
+		t.Fatalf("restart cell: %+v", r.Cells[3])
 	}
 	if s := FormatStrategyTable(rows); len(s) == 0 {
 		t.Fatal("empty formatted table")

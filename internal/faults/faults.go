@@ -12,14 +12,46 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 )
 
-// Event is one failure injection: Ranks fail together at the poll point of
-// the given solver iteration. Phase 0 fires at the iteration's main poll
-// point (right after the SpMV distributed the redundant copies); Phase p >= 1
-// fires immediately before recovery phase p of an ongoing reconstruction,
-// modelling failures that overlap with the recovery.
+// Corruption targets: the solver vector a bit-flip event strikes.
+const (
+	TargetX = "x" // iterate
+	TargetR = "r" // recurrence residual
+	TargetP = "p" // search direction
+	TargetZ = "z" // preconditioned residual
+)
+
+// Corruption is the payload of a silent-data-corruption event: a single bit
+// flipped in one entry of a victim rank's local vector. Unlike fail-stop
+// events the rank keeps running — nothing crashes, the state is just wrong,
+// modelling the soft errors TwinCG (arXiv:1605.04580) targets.
+type Corruption struct {
+	// Target names the corrupted vector (TargetX, TargetR, TargetP, TargetZ).
+	Target string `json:"target"`
+	// Index is the entry within the victim's local slice. It is interpreted
+	// modulo the local length, so one schedule stays meaningful across
+	// partitionings.
+	Index int `json:"index"`
+	// Bit is the flipped bit position in the float64 payload (0..63).
+	Bit int `json:"bit"`
+}
+
+// Flip returns v with the corruption's bit flipped.
+func (c Corruption) Flip(v float64) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ (1 << uint(c.Bit)))
+}
+
+// Event is one fault injection. Fail-stop events (Corrupt == nil) kill Ranks
+// together at the poll point of the given solver iteration: Phase 0 fires at
+// the iteration's main poll point (right after the SpMV distributed the
+// redundant copies); Phase p >= 1 fires immediately before recovery phase p
+// of an ongoing reconstruction, modelling failures that overlap with the
+// recovery. Corruption events (Corrupt != nil) instead flip one bit in each
+// victim's local copy of the target vector at the main poll point — the
+// ranks survive, silently carrying wrong data.
 type Event struct {
 	// Iteration is the 0-based solver iteration of the poll point.
 	Iteration int `json:"iteration"`
@@ -27,7 +59,14 @@ type Event struct {
 	Phase int `json:"phase,omitempty"`
 	// Ranks are the victims.
 	Ranks []int `json:"ranks"`
+	// Corrupt, when non-nil, turns the event into a silent-data-corruption
+	// injection instead of a fail-stop failure.
+	Corrupt *Corruption `json:"corrupt,omitempty"`
 }
+
+// IsCorruption reports whether the event is a silent-data-corruption
+// injection rather than a fail-stop failure.
+func (e Event) IsCorruption() bool { return e.Corrupt != nil }
 
 // Schedule is a deterministic collection of failure events. All ranks
 // evaluate the same schedule, which makes failure knowledge consistent
@@ -53,13 +92,70 @@ func (s *Schedule) Events() []Event {
 	return append([]Event(nil), s.events...)
 }
 
-// AtIteration returns the sorted union of ranks failing at the main poll
-// point of the given iteration (Phase 0).
+// AtIteration returns the sorted union of ranks failing fail-stop at the
+// main poll point of the given iteration (Phase 0). Corruption events are
+// excluded — their victims survive; see CorruptionsAt.
 func (s *Schedule) AtIteration(iter int) []int {
 	if s == nil {
 		return nil
 	}
-	return s.collect(func(e Event) bool { return e.Iteration == iter && e.Phase == 0 })
+	return s.collect(func(e Event) bool {
+		return e.Iteration == iter && e.Phase == 0 && !e.IsCorruption()
+	})
+}
+
+// CorruptionSite is one (rank, corruption) pair due at a poll point.
+type CorruptionSite struct {
+	Rank int
+	Corruption
+}
+
+// CorruptionsAt returns the corruption injections due at the main poll point
+// of the given iteration, in deterministic schedule order (event order, then
+// rank order within an event). Every rank evaluates the same schedule, so
+// all ranks agree on the count even though only the victim applies the flip.
+func (s *Schedule) CorruptionsAt(iter int) []CorruptionSite {
+	if s == nil {
+		return nil
+	}
+	var out []CorruptionSite
+	for _, e := range s.events {
+		if !e.IsCorruption() || e.Iteration != iter {
+			continue
+		}
+		for _, r := range e.Ranks {
+			out = append(out, CorruptionSite{Rank: r, Corruption: *e.Corrupt})
+		}
+	}
+	return out
+}
+
+// HasFailStop reports whether the schedule contains at least one fail-stop
+// (non-corruption) event.
+func (s *Schedule) HasFailStop() bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.events {
+		if !e.IsCorruption() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCorruption reports whether the schedule contains at least one
+// silent-data-corruption event.
+func (s *Schedule) HasCorruption() bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.events {
+		if e.IsCorruption() {
+			return true
+		}
+	}
+	return false
 }
 
 // AtRecoveryPhase returns the sorted union of ranks failing right before
@@ -68,18 +164,24 @@ func (s *Schedule) AtRecoveryPhase(iter, phase int) []int {
 	if s == nil {
 		return nil
 	}
-	return s.collect(func(e Event) bool { return e.Iteration == iter && e.Phase == phase })
+	return s.collect(func(e Event) bool {
+		return e.Iteration == iter && e.Phase == phase && !e.IsCorruption()
+	})
 }
 
 // MaxSimultaneous returns the largest total number of ranks failing within
 // one iteration (simultaneous plus overlapping), i.e. the psi the schedule
-// requires the solver's phi to cover.
+// requires the solver's phi to cover. Corruption victims survive and do not
+// count.
 func (s *Schedule) MaxSimultaneous() int {
 	if s == nil {
 		return 0
 	}
 	perIter := map[int]map[int]bool{}
 	for _, e := range s.events {
+		if e.IsCorruption() {
+			continue
+		}
 		m := perIter[e.Iteration]
 		if m == nil {
 			m = map[int]bool{}
@@ -128,23 +230,41 @@ func (s *Schedule) Validate(ranks int) error {
 	if s == nil {
 		return nil
 	}
-	for _, e := range s.events {
+	for i, e := range s.events {
 		if e.Iteration < 0 {
 			// A negative iteration never fires: a silent no-op failure
 			// event that would make an experiment measure the wrong thing.
-			return fmt.Errorf("faults: negative iteration in event %+v", e)
+			return fmt.Errorf("faults: negative iteration in event %d (%+v)", i, e)
 		}
 		if e.Phase < 0 {
-			return fmt.Errorf("faults: negative phase in event %+v", e)
+			return fmt.Errorf("faults: negative phase in event %d (%+v)", i, e)
 		}
 		if len(e.Ranks) == 0 {
 			// An event with no victims never fires — the same silent no-op
 			// class as a negative iteration.
-			return fmt.Errorf("faults: event %+v has no ranks", e)
+			return fmt.Errorf("faults: event %d (%+v) has no ranks", i, e)
 		}
 		for _, r := range e.Ranks {
 			if r < 0 || r >= ranks {
-				return fmt.Errorf("faults: invalid rank %d in event %+v", r, e)
+				return fmt.Errorf("faults: invalid rank %d in event %d (%+v)", r, i, e)
+			}
+		}
+		if c := e.Corrupt; c != nil {
+			if e.Phase != 0 {
+				// Corruption fires at the main poll point only: recovery-phase
+				// poll points mutate reconstruction scratch, not solver state.
+				return fmt.Errorf("faults: corruption event %d (%+v) must have phase 0", i, e)
+			}
+			switch c.Target {
+			case TargetX, TargetR, TargetP, TargetZ:
+			default:
+				return fmt.Errorf("faults: corruption event %d has invalid target %q (want x, r, p or z)", i, c.Target)
+			}
+			if c.Index < 0 {
+				return fmt.Errorf("faults: corruption event %d has negative index %d", i, c.Index)
+			}
+			if c.Bit < 0 || c.Bit > 63 {
+				return fmt.Errorf("faults: corruption event %d has bit %d outside [0,63]", i, c.Bit)
 			}
 		}
 	}
@@ -223,4 +343,15 @@ func Simultaneous(iteration int, ranks ...int) Event {
 // the reconstruction for `iteration` is in recovery phase `phase`.
 func Overlapping(iteration, phase int, ranks ...int) Event {
 	return Event{Iteration: iteration, Phase: phase, Ranks: ranks}
+}
+
+// BitFlip is a convenience constructor for a silent-data-corruption event:
+// at the main poll point of `iteration`, bit `bit` of entry `index` (modulo
+// the local length) of `rank`'s local copy of `target` is flipped.
+func BitFlip(iteration, rank int, target string, index, bit int) Event {
+	return Event{
+		Iteration: iteration,
+		Ranks:     []int{rank},
+		Corrupt:   &Corruption{Target: target, Index: index, Bit: bit},
+	}
 }

@@ -1,6 +1,11 @@
 package faults
 
-import "testing"
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
 
 func TestScheduleQueries(t *testing.T) {
 	s := NewSchedule(
@@ -72,6 +77,183 @@ func TestValidate(t *testing.T) {
 	if err := NewSchedule(Simultaneous(0, 0, 1)).Validate(4); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestCorruptionQueries(t *testing.T) {
+	s := NewSchedule(
+		Simultaneous(3, 1),
+		BitFlip(3, 2, TargetX, 7, 52),
+		BitFlip(3, 0, TargetR, 0, 11),
+		BitFlip(9, 1, TargetP, 4, 62),
+	)
+	// Corruption victims survive: they are invisible to the fail-stop queries.
+	if got := s.AtIteration(3); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("AtIteration(3) = %v, want fail-stop victim only", got)
+	}
+	if got := s.MaxSimultaneous(); got != 1 {
+		t.Fatalf("MaxSimultaneous = %d, corruption must not count", got)
+	}
+	sites := s.CorruptionsAt(3)
+	if len(sites) != 2 {
+		t.Fatalf("CorruptionsAt(3) = %v", sites)
+	}
+	// Deterministic schedule order: event order, then rank order.
+	if sites[0].Rank != 2 || sites[0].Target != TargetX || sites[0].Index != 7 || sites[0].Bit != 52 {
+		t.Fatalf("site 0 = %+v", sites[0])
+	}
+	if sites[1].Rank != 0 || sites[1].Target != TargetR {
+		t.Fatalf("site 1 = %+v", sites[1])
+	}
+	if s.CorruptionsAt(4) != nil {
+		t.Fatal("no corruption at iteration 4")
+	}
+	if !s.HasFailStop() || !s.HasCorruption() {
+		t.Fatalf("mixed schedule: HasFailStop=%v HasCorruption=%v", s.HasFailStop(), s.HasCorruption())
+	}
+	corrOnly := NewSchedule(BitFlip(1, 0, TargetZ, 0, 50))
+	if corrOnly.HasFailStop() || !corrOnly.HasCorruption() {
+		t.Fatal("corruption-only schedule misclassified")
+	}
+	if (*Schedule)(nil).HasCorruption() || (*Schedule)(nil).HasFailStop() {
+		t.Fatal("nil schedule has no events")
+	}
+}
+
+func TestCorruptionFlip(t *testing.T) {
+	c := Corruption{Target: TargetX, Index: 0, Bit: 52}
+	v := 1.5
+	flipped := c.Flip(v)
+	if flipped == v {
+		t.Fatal("flip must change the value")
+	}
+	if c.Flip(flipped) != v {
+		t.Fatal("flip must be an involution")
+	}
+	if got := math.Float64bits(v) ^ math.Float64bits(flipped); got != 1<<52 {
+		t.Fatalf("xor mask = %#x, want bit 52", got)
+	}
+}
+
+func TestValidateCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		frag string // expected message fragment incl. the event index
+	}{
+		{"bad target", BitFlip(1, 0, "q", 0, 3), "event 1 has invalid target"},
+		{"negative index", BitFlip(1, 0, TargetX, -1, 3), "event 1 has negative index"},
+		{"bit too high", BitFlip(1, 0, TargetX, 0, 64), "event 1 has bit 64"},
+		{"negative bit", BitFlip(1, 0, TargetX, 0, -1), "event 1 has bit -1"},
+		{"nonzero phase", Event{Iteration: 1, Phase: 2, Ranks: []int{0},
+			Corrupt: &Corruption{Target: TargetX}}, "event 1"},
+	}
+	for _, tc := range cases {
+		// The valid leading event shifts the broken one to index 1, pinning
+		// that Validate names the offending event.
+		err := NewSchedule(Simultaneous(0, 0), tc.ev).Validate(4)
+		if err == nil {
+			t.Fatalf("%s: must fail", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("%s: error %q does not name the event: want %q", tc.name, err, tc.frag)
+		}
+	}
+	ok := NewSchedule(Simultaneous(0, 0), BitFlip(1, 3, TargetZ, 10, 63))
+	if err := ok.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption victims survive, so corrupting every rank is legal.
+	all := NewSchedule(BitFlip(1, 0, TargetX, 0, 1), BitFlip(1, 1, TargetX, 0, 1))
+	if err := all.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateNamesEventIndex(t *testing.T) {
+	err := NewSchedule(Simultaneous(0, 0), Simultaneous(-1, 1)).Validate(4)
+	if err == nil || !strings.Contains(err.Error(), "event 1") {
+		t.Fatalf("error %v does not name event 1", err)
+	}
+	err = NewSchedule(Simultaneous(2, 9)).Validate(4)
+	if err == nil || !strings.Contains(err.Error(), "event 0") {
+		t.Fatalf("error %v does not name event 0", err)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := NewSchedule(
+		Simultaneous(3, 1, 2),
+		Overlapping(3, 2, 7),
+		BitFlip(5, 4, TargetR, 12, 31),
+	)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Schedule
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("round trip changed the encoding:\n%s\n%s", b, b2)
+	}
+	sites := got.CorruptionsAt(5)
+	if len(sites) != 1 || sites[0].Rank != 4 || sites[0].Target != TargetR || sites[0].Bit != 31 {
+		t.Fatalf("corruption lost in transit: %+v", sites)
+	}
+}
+
+// FuzzScheduleJSON: any schedule that decodes must re-encode to an equivalent
+// schedule (decode∘encode is the identity on the decoded form), and the
+// corruption payload must survive the trip exactly.
+func FuzzScheduleJSON(f *testing.F) {
+	seed, _ := json.Marshal(NewSchedule(
+		Simultaneous(3, 1, 2),
+		BitFlip(5, 0, TargetX, 3, 52),
+		Overlapping(4, 1, 6),
+	))
+	f.Add(string(seed))
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`[{"iteration":1,"ranks":[0],"corrupt":{"target":"z","index":2,"bit":63}}]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		var s Schedule
+		if err := json.Unmarshal([]byte(in), &s); err != nil {
+			return // invalid inputs are rejected, not normalised
+		}
+		b1, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		var s2 Schedule
+		if err := json.Unmarshal(b1, &s2); err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%s", err, b1)
+		}
+		b2, err := json.Marshal(&s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("not a fixed point:\n%s\n%s", b1, b2)
+		}
+		ev1, ev2 := s.Events(), s2.Events()
+		if len(ev1) != len(ev2) {
+			t.Fatalf("event count changed: %d != %d", len(ev1), len(ev2))
+		}
+		for i := range ev1 {
+			if ev1[i].IsCorruption() != ev2[i].IsCorruption() {
+				t.Fatalf("event %d corruption flag changed", i)
+			}
+			if ev1[i].IsCorruption() && *ev1[i].Corrupt != *ev2[i].Corrupt {
+				t.Fatalf("event %d corruption payload changed: %+v != %+v",
+					i, *ev1[i].Corrupt, *ev2[i].Corrupt)
+			}
+		}
+	})
 }
 
 func TestContiguousRanks(t *testing.T) {

@@ -36,6 +36,7 @@ func (c *Class) Code() string { return c.code }
 //	FailedPrecondition the entity exists but is in the wrong state
 //	ResourceExhausted  a bounded store or queue is full; retry later
 //	Unavailable        the serving component is shut down or draining
+//	DataLoss           data was lost or silently corrupted beyond recovery
 //	Internal           an invariant broke; the caller cannot fix this
 var (
 	InvalidArgument    = &Class{"invalid_argument"}
@@ -44,6 +45,7 @@ var (
 	FailedPrecondition = &Class{"failed_precondition"}
 	ResourceExhausted  = &Class{"resource_exhausted"}
 	Unavailable        = &Class{"unavailable"}
+	DataLoss           = &Class{"data_loss"}
 	Internal           = &Class{"internal"}
 )
 
@@ -58,6 +60,7 @@ func Classes() []*Class {
 		FailedPrecondition,
 		ResourceExhausted,
 		Unavailable,
+		DataLoss,
 		Internal,
 	}
 }

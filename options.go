@@ -80,6 +80,16 @@ const (
 	// failure the solve restarts from the initial guess. The lower bound
 	// every protection scheme must beat. Works at phi 0.
 	RestartStrategy Strategy = engine.StrategyRestart
+	// TwinStrategy is the TwinCG-style twin-replica scheme: a node-local
+	// shadow copy of the solver state, compared by checksum every
+	// WithTwinInterval iterations. On divergence a scalar-residual vote
+	// identifies the corrupted copy and the healthy one is carried forward —
+	// the only strategy that *corrects* silent data corruption (bit flips
+	// injected with BitFlip events or by the chaos wire) instead of merely
+	// detecting it. Fail-stop failures delegate to ESR reconstruction, so a
+	// fail-stop schedule still needs phi >= 1; corruption-only schedules run
+	// at phi 0.
+	TwinStrategy Strategy = engine.StrategyTwin
 )
 
 // Method is a typed solver selector for WithMethod. Its values are the wire
@@ -111,6 +121,13 @@ type InvalidStrategyError = engine.InvalidStrategyError
 // InvalidCheckpointIntervalError reports a non-positive checkpoint save
 // period.
 type InvalidCheckpointIntervalError = engine.InvalidCheckpointIntervalError
+
+// InvalidTwinIntervalError reports a non-positive twin comparison period.
+type InvalidTwinIntervalError = engine.InvalidTwinIntervalError
+
+// InvalidSDCCheckIntervalError reports a negative silent-data-corruption
+// check period.
+type InvalidSDCCheckIntervalError = engine.InvalidSDCCheckIntervalError
 
 // InvalidThreadsError reports a meaningless kernel thread cap (below
 // ThreadsAuto).
@@ -263,6 +280,39 @@ func WithCheckpointInterval(n int) Option {
 			return &InvalidCheckpointIntervalError{Interval: n}
 		}
 		c.CheckpointInterval = n
+		return nil
+	}
+}
+
+// WithTwinInterval sets the shadow-synchronisation and checksum-comparison
+// period (in iterations) of the twin strategy; n must be positive (ignored
+// by the other strategies; the default is 1, catching every corruption at
+// the poll point of the iteration it strikes and repairing it bitwise —
+// larger periods trade detection latency for comparison overhead).
+// Preparation-scoped.
+func WithTwinInterval(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return &InvalidTwinIntervalError{Interval: n}
+		}
+		c.TwinInterval = n
+		return nil
+	}
+}
+
+// WithSDCCheck arms the periodic silent-data-corruption detector: every n
+// iterations (and once more at convergence) the solver compares the true
+// residual ||b - A x|| against its recurrence residual. Under TwinStrategy
+// detected drift is repaired forward; under every other strategy the solve
+// fails with a data_loss-classed *SDCDetectedError instead of silently
+// returning a wrong answer. n must be positive; the detector is off by
+// default. Preparation-scoped.
+func WithSDCCheck(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return &InvalidSDCCheckIntervalError{Interval: n}
+		}
+		c.SDCCheckInterval = n
 		return nil
 	}
 }

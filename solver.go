@@ -105,9 +105,10 @@ func (s *Solver) solveOpts(opts []Option) (engine.SolveOpts, Config, error) {
 		cfg.Preconditioner != s.cfg.Preconditioner || cfg.SSOROmega != s.cfg.SSOROmega ||
 		cfg.Transport != s.cfg.Transport || cfg.TransportSeed != s.cfg.TransportSeed ||
 		cfg.Strategy != s.cfg.Strategy || cfg.CheckpointInterval != s.cfg.CheckpointInterval ||
+		cfg.TwinInterval != s.cfg.TwinInterval || cfg.SDCCheckInterval != s.cfg.SDCCheckInterval ||
 		cfg.Threads != s.cfg.Threads {
 		return engine.SolveOpts{}, Config{}, fmt.Errorf(
-			"esr: preparation-scoped option (ranks, phi, preconditioner, ssor omega, transport, strategy, checkpoint interval, threads) passed to Solve; set it on NewSolver")
+			"esr: preparation-scoped option (ranks, phi, preconditioner, ssor omega, transport, strategy, checkpoint interval, twin interval, sdc check interval, threads) passed to Solve; set it on NewSolver")
 	}
 	return engine.SolveOpts{
 		Tol: cfg.Tol, MaxIter: cfg.MaxIter, LocalTol: cfg.LocalTol,

@@ -116,6 +116,68 @@ func TestChaosStrategySoak(t *testing.T) {
 		})
 	}
 
+	// Corruption axis: bit flips over the chaos wire, per strategy. Twin
+	// repairs forward and must land the correct solution; the rollback
+	// strategies cannot repair, so with the drift check armed they must fail
+	// data_loss-classed — under no seed may any strategy converge silently
+	// wrong.
+	corr := NewSchedule(
+		BitFlip(5, 1, TargetX, 3, 52),
+		BitFlip(9, 2, TargetR, 0, 51),
+	)
+	sdcVariants := []struct {
+		name    string
+		repairs bool
+		opts    []Option
+	}{
+		{"twin", true, []Option{WithStrategy(TwinStrategy)}},
+		{"esr", false, []Option{WithPhi(1), WithSDCCheck(5)}},
+		{"checkpoint", false, []Option{WithStrategy(CheckpointStrategy), WithCheckpointInterval(4), WithSDCCheck(5)}},
+		{"restart", false, []Option{WithStrategy(RestartStrategy), WithSDCCheck(5)}},
+	}
+	for _, v := range sdcVariants {
+		v := v
+		t.Run("sdc-"+v.name, func(t *testing.T) {
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				opts := append([]Option{
+					WithRanks(4),
+					WithTransport(ChaosTransport),
+					WithTransportSeed(seed),
+					WithSchedule(corr),
+				}, v.opts...)
+				s, err := NewSolver(a, opts...)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				sol, err := s.Solve(context.Background(), b)
+				st := s.StrategyStats()
+				s.Close()
+				if !v.repairs {
+					if err == nil {
+						t.Fatalf("seed %d: corrupted solve must not converge silently", seed)
+					}
+					if !errors.Is(err, ErrDataLoss) {
+						t.Fatalf("seed %d: error %v is not data_loss-classed", seed, err)
+					}
+					if st.SDCDetected == 0 || st.SDCCorrected != 0 {
+						t.Fatalf("seed %d: stats %+v, want detection without repair", seed, st)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				r := sol.Result
+				if !r.Converged || r.SDCInjected != 2 || r.SDCDetected != 2 || r.SDCCorrected != 2 {
+					t.Fatalf("seed %d: result %+v, want converged with SDC 2/2/2", seed, r)
+				}
+				if rn := ResidualNorm(a, sol.X, b); rn > 1e-4 {
+					t.Fatalf("seed %d: true residual %g", seed, rn)
+				}
+			}
+		})
+	}
+
 	// The blocked multi-RHS path under the same chaos wire and overlapping
 	// schedule: the k-wide recovery episode (including its restart) must
 	// land every column regardless of delivery order.
